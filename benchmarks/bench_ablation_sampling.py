@@ -1,0 +1,44 @@
+"""E9 -- ablation of Technique 1's knobs (Lemmas 3.1-3.4).
+
+Times the static solver while sweeping the per-cell sample-size constant and
+the number of grid shifts, quantifying how much of the running time each part
+of the machinery costs.  The full quality-vs-time table is produced by
+``repro.bench.experiments.experiment_e9_ablation``.
+"""
+
+import pytest
+
+from repro.core import max_range_sum_ball
+
+
+@pytest.mark.benchmark(group="E9-ablation-sample-constant")
+@pytest.mark.parametrize("constant", [0.25, 0.5, 1.0, 2.0])
+def test_sample_constant(benchmark, weighted_cloud_150, constant):
+    points, weights = weighted_cloud_150
+    result = benchmark(
+        lambda: max_range_sum_ball(points, radius=1.0, epsilon=0.35, weights=weights,
+                                   seed=13, sample_constant=constant)
+    )
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E9-ablation-shifts")
+@pytest.mark.parametrize("cap", [1, 2, 4, None])
+def test_shift_cap(benchmark, weighted_cloud_150, cap):
+    points, weights = weighted_cloud_150
+    result = benchmark(
+        lambda: max_range_sum_ball(points, radius=1.0, epsilon=0.35, weights=weights,
+                                   seed=14, shift_cap=cap)
+    )
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E9-ablation-epsilon")
+@pytest.mark.parametrize("epsilon", [0.45, 0.35, 0.25])
+def test_epsilon_dependence(benchmark, weighted_cloud_150, epsilon):
+    points, weights = weighted_cloud_150
+    result = benchmark.pedantic(
+        lambda: max_range_sum_ball(points, radius=1.0, epsilon=epsilon, weights=weights, seed=15),
+        rounds=3, iterations=1,
+    )
+    assert result.value > 0

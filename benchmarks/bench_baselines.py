@@ -1,0 +1,52 @@
+"""E8 -- the Figure 1 scenario: exact baselines on a hotspot workload.
+
+Times the classical exact solvers the paper builds on: the Imai--Asano /
+Nandy--Bhattacharya rectangle sweep [IA83, NB95], the Chazelle--Lee style
+disk sweep [CL86], the 1-d interval sweep, and Technique 1 as the approximate
+alternative, all on the same weighted hotspot data.
+"""
+
+import pytest
+
+from repro.core import max_range_sum_ball
+from repro.exact import maxrs_disk_exact, maxrs_interval_exact, maxrs_rectangle_exact
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_rectangle_exact_sweep(benchmark, hotspot_cloud_250):
+    points, weights = hotspot_cloud_250
+    result = benchmark(lambda: maxrs_rectangle_exact(points, 2.0, 2.0, weights=weights))
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_disk_exact_sweep(benchmark, hotspot_cloud_250):
+    points, weights = hotspot_cloud_250
+    result = benchmark(lambda: maxrs_disk_exact(points, radius=1.0, weights=weights))
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_disk_technique1_approx(benchmark, hotspot_cloud_250):
+    points, weights = hotspot_cloud_250
+    result = benchmark(
+        lambda: max_range_sum_ball(points, radius=1.0, epsilon=0.35, weights=weights, seed=12)
+    )
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_interval_exact_sweep(benchmark, hotspot_cloud_250):
+    points, weights = hotspot_cloud_250
+    xs = [x for x, _ in points]
+    result = benchmark(lambda: maxrs_interval_exact(xs, 2.0, weights=weights))
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_rectangle_contains_disk_value(benchmark, hotspot_cloud_250):
+    """The 2x2 square contains the unit disk, so its optimum can only be larger."""
+    points, weights = hotspot_cloud_250
+    disk_value = maxrs_disk_exact(points, radius=1.0, weights=weights).value
+    result = benchmark(lambda: maxrs_rectangle_exact(points, 2.0, 2.0, weights=weights))
+    assert result.value >= disk_value - 1e-9

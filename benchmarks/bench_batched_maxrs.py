@@ -1,0 +1,52 @@
+"""E6 -- batched MaxRS in R^1 and the Theorem 1.3 reduction.
+
+Times (a) the O(m n log n) batched MaxRS oracle (the upper bound that
+Theorem 1.3 shows is essentially optimal), (b) the full
+(min,+)-convolution-through-batched-MaxRS reduction and (c) the naive
+quadratic convolution it must match.
+"""
+
+import pytest
+
+from repro.batched import batched_maxrs_1d
+from repro.convolution import min_plus_convolution, min_plus_via_batched_maxrs
+from repro.core.sampling import default_rng
+
+
+@pytest.fixture(scope="module")
+def batched_instance():
+    rng = default_rng(201)
+    xs = [float(v) for v in rng.uniform(0.0, 100.0, size=400)]
+    weights = [float(v) for v in rng.uniform(0.5, 2.0, size=400)]
+    lengths = [float(v) for v in rng.uniform(1.0, 40.0, size=15)]
+    return xs, weights, lengths
+
+
+@pytest.fixture(scope="module")
+def convolution_instance():
+    rng = default_rng(202)
+    a = [int(v) for v in rng.integers(-50, 50, size=48)]
+    b = [int(v) for v in rng.integers(-50, 50, size=48)]
+    return a, b
+
+
+@pytest.mark.benchmark(group="E6-batched-maxrs")
+def test_batched_oracle_m_queries(benchmark, batched_instance):
+    xs, weights, lengths = batched_instance
+    results = benchmark(lambda: batched_maxrs_1d(xs, lengths, weights=weights))
+    assert len(results) == len(lengths)
+
+
+@pytest.mark.benchmark(group="E6-batched-maxrs")
+def test_min_plus_via_batched_maxrs_reduction(benchmark, convolution_instance):
+    a, b = convolution_instance
+    expected = min_plus_convolution(a, b)
+    got = benchmark(lambda: min_plus_via_batched_maxrs(a, b))
+    assert got == pytest.approx(expected)
+
+
+@pytest.mark.benchmark(group="E6-batched-maxrs")
+def test_naive_min_plus_reference(benchmark, convolution_instance):
+    a, b = convolution_instance
+    result = benchmark(lambda: min_plus_convolution(a, b))
+    assert len(result) == len(a)

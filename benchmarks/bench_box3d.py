@@ -1,0 +1,49 @@
+"""E15 -- exact box MaxRS beyond the plane and the d >= 3 approximation regime.
+
+Times the R^3 z-slab sweep baseline against the brute-force cross-check on a
+small prefix, and the paper's d = 3 ball approximation (Theorem 1.2) on a
+planted instance -- the regime where exact d-ball MaxRS (~n^d) is hopeless
+and the dimension-friendly approximation is the only practical option.
+"""
+
+import pytest
+
+from repro.core import max_range_sum_ball
+from repro.datasets import planted_ball_instance
+from repro.exact import maxrs_box3d_exact, maxrs_box_bruteforce
+
+SIDES = (1.5, 1.5, 1.5)
+
+
+@pytest.mark.benchmark(group="E15-boxes-3d")
+def test_box3d_sweep(benchmark, points_3d_150):
+    result = benchmark(lambda: maxrs_box3d_exact(points_3d_150, side_lengths=SIDES))
+    assert result.value >= 1
+
+
+@pytest.mark.benchmark(group="E15-boxes-3d")
+def test_box3d_bruteforce_small_prefix(benchmark, points_3d_150):
+    prefix = points_3d_150[:25]
+    result = benchmark.pedantic(
+        lambda: maxrs_box_bruteforce(prefix, side_lengths=SIDES),
+        rounds=3, iterations=1,
+    )
+    assert result.value >= 1
+
+
+@pytest.mark.benchmark(group="E15-boxes-3d")
+def test_box3d_sweep_matches_bruteforce(benchmark, points_3d_150):
+    prefix = points_3d_150[:25]
+    expected = maxrs_box_bruteforce(prefix, side_lengths=SIDES).value
+    result = benchmark(lambda: maxrs_box3d_exact(prefix, side_lengths=SIDES))
+    assert result.value == pytest.approx(expected)
+
+
+@pytest.mark.benchmark(group="E15-boxes-3d")
+def test_ball_approximation_in_3d(benchmark):
+    points, opt = planted_ball_instance(120, planted=15, dim=3, seed=42)
+    result = benchmark.pedantic(
+        lambda: max_range_sum_ball(points, radius=1.0, epsilon=0.45, seed=1),
+        rounds=3, iterations=1,
+    )
+    assert result.value >= (0.5 - 0.45) * opt - 1e-9

@@ -1,0 +1,46 @@
+"""E7 -- batched smallest k-enclosing interval and the Theorem 1.4 reduction.
+
+Times the O(n^2) batched SEI oracle (the upper bound Theorem 1.4 shows is
+essentially optimal) and the full (min,+)-convolution-through-BSEI reduction.
+"""
+
+import pytest
+
+from repro.batched import batched_smallest_enclosing_intervals, smallest_k_enclosing_interval
+from repro.convolution import min_plus_convolution, min_plus_via_bsei
+from repro.core.sampling import default_rng
+
+
+@pytest.fixture(scope="module")
+def sei_points():
+    rng = default_rng(301)
+    return [float(v) for v in rng.uniform(0.0, 1000.0, size=500)]
+
+
+@pytest.fixture(scope="module")
+def convolution_instance():
+    rng = default_rng(302)
+    a = [int(v) for v in rng.integers(-50, 50, size=48)]
+    b = [int(v) for v in rng.integers(-50, 50, size=48)]
+    return a, b
+
+
+@pytest.mark.benchmark(group="E7-bsei")
+def test_batched_sei_oracle(benchmark, sei_points):
+    results = benchmark(lambda: batched_smallest_enclosing_intervals(sei_points))
+    assert len(results) == len(sei_points)
+    assert results == sorted(results)
+
+
+@pytest.mark.benchmark(group="E7-bsei")
+def test_single_k_sei(benchmark, sei_points):
+    length, window = benchmark(lambda: smallest_k_enclosing_interval(sei_points, 50))
+    assert window is not None and length >= 0
+
+
+@pytest.mark.benchmark(group="E7-bsei")
+def test_min_plus_via_bsei_reduction(benchmark, convolution_instance):
+    a, b = convolution_instance
+    expected = min_plus_convolution(a, b)
+    got = benchmark(lambda: min_plus_via_bsei(a, b))
+    assert got == pytest.approx(expected)

@@ -1,0 +1,49 @@
+"""E3 -- colored (1/2 - eps)-approximate MaxRS with a d-ball (Theorem 1.5).
+
+Times the colored Technique 1 solver against the exact O(n^2 log n) colored
+sweep on the wildlife-trajectory workload the paper motivates colored MaxRS
+with, plus the d = 3 case (where no exact baseline exists) on a planted
+instance.
+"""
+
+import pytest
+
+from repro.core import colored_maxrs_ball
+from repro.datasets import planted_colored_instance
+from repro.exact import colored_maxrs_disk_sweep
+
+
+@pytest.mark.benchmark(group="E3-colored-ball")
+def test_colored_technique1(benchmark, trajectory_cloud):
+    points, colors = trajectory_cloud
+    result = benchmark(
+        lambda: colored_maxrs_ball(points, radius=1.0, epsilon=0.35, colors=colors, seed=6)
+    )
+    assert result.value >= 1
+
+
+@pytest.mark.benchmark(group="E3-colored-ball")
+def test_colored_exact_sweep_baseline(benchmark, trajectory_cloud):
+    points, colors = trajectory_cloud
+    result = benchmark(lambda: colored_maxrs_disk_sweep(points, radius=1.0, colors=colors))
+    assert result.value >= 1
+
+
+@pytest.mark.benchmark(group="E3-colored-ball")
+def test_colored_technique1_guarantee(benchmark, trajectory_cloud):
+    points, colors = trajectory_cloud
+    exact_value = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors).value
+    result = benchmark(
+        lambda: colored_maxrs_ball(points, radius=1.0, epsilon=0.3, colors=colors, seed=7)
+    )
+    assert result.value >= (0.5 - 0.3) * exact_value - 1e-9
+
+
+@pytest.mark.benchmark(group="E3-colored-ball-3d")
+def test_colored_technique1_dimension3(benchmark):
+    points, colors, opt = planted_colored_instance(60, planted_colors=10, dim=3, seed=8)
+    result = benchmark.pedantic(
+        lambda: colored_maxrs_ball(points, radius=1.0, epsilon=0.45, colors=colors, seed=9),
+        rounds=2, iterations=1,
+    )
+    assert result.value >= (0.5 - 0.45) * opt

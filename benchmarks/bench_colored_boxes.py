@@ -1,0 +1,69 @@
+"""E14 -- colored box MaxRS: the Technique 2 extension (Section 7, open problem 1).
+
+Times, on the same trajectory workload, the [ZGH+22]-style exact baseline,
+the box arrangement solver (Lemma 4.2 analogue), the grid-localised
+output-sensitive solver (Theorem 4.6 analogue) and the (1 - eps)
+color-sampling solver (Theorem 1.6 analogue), and asserts the exact variants
+agree with the baseline.
+"""
+
+import pytest
+
+from repro.boxes import (
+    colored_maxrs_box,
+    colored_maxrs_box_arrangement,
+    colored_maxrs_box_output_sensitive,
+)
+from repro.exact import colored_maxrs_rectangle_exact
+
+WIDTH = 2.0
+HEIGHT = 2.0
+
+
+@pytest.mark.benchmark(group="E14-colored-boxes")
+def test_zgh_style_exact_baseline(benchmark, trajectory_cloud_colored_boxes):
+    points, colors = trajectory_cloud_colored_boxes
+    result = benchmark(
+        lambda: colored_maxrs_rectangle_exact(points, width=WIDTH, height=HEIGHT, colors=colors)
+    )
+    assert result.value >= 1
+
+
+@pytest.mark.benchmark(group="E14-colored-boxes")
+def test_box_arrangement(benchmark, trajectory_cloud_colored_boxes):
+    points, colors = trajectory_cloud_colored_boxes
+    result = benchmark(
+        lambda: colored_maxrs_box_arrangement(points, width=WIDTH, height=HEIGHT, colors=colors)
+    )
+    assert result.value >= 1
+
+
+@pytest.mark.benchmark(group="E14-colored-boxes")
+def test_box_output_sensitive(benchmark, trajectory_cloud_colored_boxes):
+    points, colors = trajectory_cloud_colored_boxes
+    result = benchmark(
+        lambda: colored_maxrs_box_output_sensitive(points, width=WIDTH, height=HEIGHT,
+                                                   colors=colors)
+    )
+    assert result.value >= 1
+
+
+@pytest.mark.benchmark(group="E14-colored-boxes")
+def test_box_color_sampling(benchmark, trajectory_cloud_colored_boxes):
+    points, colors = trajectory_cloud_colored_boxes
+    result = benchmark(
+        lambda: colored_maxrs_box(points, width=WIDTH, height=HEIGHT, epsilon=0.25,
+                                  colors=colors, seed=5)
+    )
+    assert result.value >= 1
+
+
+@pytest.mark.benchmark(group="E14-colored-boxes")
+def test_extension_matches_baseline(benchmark, trajectory_cloud_colored_boxes):
+    points, colors = trajectory_cloud_colored_boxes
+    baseline = colored_maxrs_rectangle_exact(points, width=WIDTH, height=HEIGHT, colors=colors)
+    result = benchmark(
+        lambda: colored_maxrs_box_output_sensitive(points, width=WIDTH, height=HEIGHT,
+                                                   colors=colors)
+    )
+    assert result.value == baseline.value

@@ -1,0 +1,39 @@
+"""E5 -- (1 - eps)-approximate colored disk MaxRS via color sampling (Theorem 1.6).
+
+Times the final color-sampling algorithm (both the exact-cut-off branch and a
+forced sampling branch) against the exact sweep on a controlled-opt instance.
+"""
+
+import pytest
+
+from repro.core import colored_maxrs_disk
+from repro.exact import colored_maxrs_disk_sweep
+
+
+@pytest.mark.benchmark(group="E5-colored-disk-eps")
+def test_final_algorithm_default_cutoff(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark.pedantic(
+        lambda: colored_maxrs_disk(points, radius=1.0, epsilon=0.25, colors=colors, seed=10),
+        rounds=3, iterations=1,
+    )
+    assert result.value >= (1 - 0.25) * opt - 1e-9
+
+
+@pytest.mark.benchmark(group="E5-colored-disk-eps")
+def test_final_algorithm_forced_sampling(benchmark, planted_colored_150):
+    """A small sampling constant forces the color-sampling branch."""
+    points, colors, opt = planted_colored_150
+    result = benchmark.pedantic(
+        lambda: colored_maxrs_disk(points, radius=1.0, epsilon=0.3, colors=colors,
+                                   seed=11, sampling_constant=0.25),
+        rounds=3, iterations=1,
+    )
+    assert result.value >= (1 - 0.3) * opt - 1e-9
+
+
+@pytest.mark.benchmark(group="E5-colored-disk-eps")
+def test_exact_sweep_reference(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark(lambda: colored_maxrs_disk_sweep(points, radius=1.0, colors=colors))
+    assert result.value == opt

@@ -1,0 +1,63 @@
+"""E10 -- colored disk MaxRS: who wins where.
+
+Times every colored-disk solver in the library on one controlled-opt
+instance: the exact sweep, Technique 1 (weakest guarantee, any dimension),
+the exact output-sensitive Technique 2 algorithm and the (1-eps)
+color-sampling variant.  The grouped pytest-benchmark output is the crossover
+table of experiment E10.
+"""
+
+import pytest
+
+from repro.core import (
+    colored_maxrs_ball,
+    colored_maxrs_disk,
+    colored_maxrs_disk_arrangement,
+    colored_maxrs_disk_output_sensitive,
+)
+from repro.exact import colored_maxrs_disk_sweep
+
+
+@pytest.mark.benchmark(group="E10-crossover")
+def test_exact_sweep(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark(lambda: colored_maxrs_disk_sweep(points, radius=1.0, colors=colors))
+    assert result.value == opt
+
+
+@pytest.mark.benchmark(group="E10-crossover")
+def test_technique1_half_eps(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark(
+        lambda: colored_maxrs_ball(points, radius=1.0, epsilon=0.3, colors=colors, seed=16)
+    )
+    assert result.value >= (0.5 - 0.3) * opt
+
+
+@pytest.mark.benchmark(group="E10-crossover")
+def test_technique2_arrangement(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark(
+        lambda: colored_maxrs_disk_arrangement(points, radius=1.0, colors=colors)
+    )
+    assert result.value == opt
+
+
+@pytest.mark.benchmark(group="E10-crossover")
+def test_technique2_output_sensitive(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark.pedantic(
+        lambda: colored_maxrs_disk_output_sensitive(points, radius=1.0, colors=colors),
+        rounds=3, iterations=1,
+    )
+    assert result.value == opt
+
+
+@pytest.mark.benchmark(group="E10-crossover")
+def test_technique2_one_minus_eps(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark.pedantic(
+        lambda: colored_maxrs_disk(points, radius=1.0, epsilon=0.25, colors=colors, seed=17),
+        rounds=3, iterations=1,
+    )
+    assert result.value >= (1 - 0.25) * opt - 1e-9

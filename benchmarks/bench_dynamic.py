@@ -1,0 +1,63 @@
+"""E2 -- dynamic MaxRS under insertions and deletions (Theorem 1.1).
+
+Times (a) the replay of a full hotspot-monitoring stream, (b) a single
+insertion into a pre-populated structure and (c) the exact-recompute baseline
+(running the quadratic sweep from scratch on the live set), which is what the
+paper's O_eps(log n) update time is an improvement over.
+"""
+
+import pytest
+
+from repro.core import DynamicMaxRS
+from repro.exact import maxrs_disk_exact
+
+
+def _replay(stream, structure):
+    id_of = {}
+    for position, event in enumerate(stream):
+        if event.kind == "insert":
+            id_of[position] = structure.insert(event.point, event.weight)
+        else:
+            structure.delete(id_of.pop(event.target))
+    return structure
+
+
+@pytest.mark.benchmark(group="E2-dynamic")
+def test_stream_replay(benchmark, update_stream_200):
+    def run():
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.45, seed=3)
+        _replay(update_stream_200, structure)
+        return structure.query()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.value >= 1.0
+
+
+@pytest.mark.benchmark(group="E2-dynamic")
+def test_single_insert(benchmark, update_stream_200):
+    structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.45, seed=4)
+    _replay(update_stream_200, structure)
+    probe_point = (4.0, 4.0)
+
+    def insert_and_delete():
+        point_id = structure.insert(probe_point)
+        structure.delete(point_id)
+
+    benchmark(insert_and_delete)
+    assert len(structure) > 0
+
+
+@pytest.mark.benchmark(group="E2-dynamic")
+def test_query_after_updates(benchmark, update_stream_200):
+    structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.45, seed=5)
+    _replay(update_stream_200, structure)
+    result = benchmark(structure.query)
+    assert result.value >= 1.0
+
+
+@pytest.mark.benchmark(group="E2-dynamic")
+def test_exact_recompute_baseline(benchmark, update_stream_200):
+    """The naive alternative to Theorem 1.1: recompute from scratch per query."""
+    live = [coords for coords, _ in update_stream_200.live_points_after(len(update_stream_200))]
+    result = benchmark(lambda: maxrs_disk_exact(live, radius=1.0))
+    assert result.value >= 1.0

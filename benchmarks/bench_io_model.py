@@ -1,0 +1,80 @@
+"""E12 -- external MaxRS block-transfer counts on the simulated I/O model.
+
+Wall-clock timings here are secondary; each benchmark also asserts the I/O
+shape the [CCT12/CCT14] line of work predicts -- sort-based external MaxRS
+stays within a small factor of sort(n) block transfers, while the nested-scan
+baseline is quadratic in the number of blocks.
+"""
+
+import pytest
+
+from repro.io_model import (
+    BlockStorage,
+    external_maxrs_interval,
+    external_maxrs_interval_nested_scan,
+    external_maxrs_rectangle,
+    external_merge_sort,
+)
+
+BLOCK_SIZE = 16
+MEMORY = 128
+
+
+def _storage_with(records):
+    storage = BlockStorage(block_size=BLOCK_SIZE, memory_capacity=MEMORY)
+    return storage, storage.file_from_records(records)
+
+
+@pytest.mark.benchmark(group="E12-io-model")
+def test_external_sort(benchmark, external_records_1d):
+    def run():
+        _, file = _storage_with(external_records_1d)
+        return external_merge_sort(file, key=lambda r: r[0])
+
+    sorted_file = benchmark(run)
+    assert len(sorted_file) == len(external_records_1d)
+
+
+@pytest.mark.benchmark(group="E12-io-model")
+def test_external_interval_sort_based(benchmark, external_records_1d):
+    def run():
+        _, file = _storage_with(external_records_1d)
+        return external_maxrs_interval(file, length=5.0)
+
+    result = benchmark(run)
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E12-io-model")
+def test_external_interval_nested_scan(benchmark, external_records_1d):
+    def run():
+        _, file = _storage_with(external_records_1d)
+        return external_maxrs_interval_nested_scan(file, length=5.0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E12-io-model")
+def test_external_rectangle_sort_based(benchmark, external_records_2d):
+    def run():
+        _, file = _storage_with(external_records_2d)
+        return external_maxrs_rectangle(file, width=4.0, height=4.0)
+
+    result = benchmark(run)
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E12-io-model")
+def test_io_shape_sort_beats_nested_scan(benchmark, external_records_1d):
+    """Sort-based external MaxRS must use fewer block transfers than nested scanning."""
+
+    def run():
+        _, file = _storage_with(external_records_1d)
+        sort_based = external_maxrs_interval(file, length=5.0)
+        nested = external_maxrs_interval_nested_scan(file, length=5.0)
+        return sort_based, nested
+
+    sort_based, nested = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sort_based.value == pytest.approx(nested.value)
+    assert sort_based.meta["io"].total_ios < nested.meta["io"].total_ios

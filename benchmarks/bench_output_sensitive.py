@@ -1,0 +1,41 @@
+"""E4 -- output-sensitive exact colored disk MaxRS (Theorem 4.6 / Lemma 4.2).
+
+Times the three exact colored-disk solvers on the same controlled-opt
+instance: the straightforward O(n^2 log n) angular sweep, the arrangement
+route of Lemma 4.2 and the grid-localised output-sensitive algorithm of
+Theorem 4.6.  All three must agree on the optimum.
+"""
+
+import pytest
+
+from repro.core import (
+    colored_maxrs_disk_arrangement,
+    colored_maxrs_disk_output_sensitive,
+)
+from repro.exact import colored_maxrs_disk_sweep
+
+
+@pytest.mark.benchmark(group="E4-output-sensitive")
+def test_exact_sweep(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark(lambda: colored_maxrs_disk_sweep(points, radius=1.0, colors=colors))
+    assert result.value == opt
+
+
+@pytest.mark.benchmark(group="E4-output-sensitive")
+def test_arrangement_lemma42(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark(
+        lambda: colored_maxrs_disk_arrangement(points, radius=1.0, colors=colors)
+    )
+    assert result.value == opt
+
+
+@pytest.mark.benchmark(group="E4-output-sensitive")
+def test_output_sensitive_theorem46(benchmark, planted_colored_150):
+    points, colors, opt = planted_colored_150
+    result = benchmark.pedantic(
+        lambda: colored_maxrs_disk_output_sensitive(points, radius=1.0, colors=colors),
+        rounds=3, iterations=1,
+    )
+    assert result.value == opt

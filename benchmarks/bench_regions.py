@@ -1,0 +1,60 @@
+"""Region-search extensions: top-k disjoint placements and decaying hotspots.
+
+These kernels are not tied to a paper table (the extensions live in the
+related-work space the paper surveys in Section 1.6); they are benchmarked so
+regressions in the greedy peeling loop or in the decay monitor's O(1)-tick
+path are caught alongside the main experiments.
+"""
+
+import pytest
+
+from repro.datasets import clustered_points
+from repro.regions import DecayingMaxRSMonitor, top_k_maxrs_disk, top_k_maxrs_rectangle
+
+
+@pytest.mark.benchmark(group="regions-extensions")
+def test_top_k_rectangles(benchmark, clustered_cloud_300):
+    placements = benchmark(
+        lambda: top_k_maxrs_rectangle(clustered_cloud_300, width=2.0, height=2.0, k=3)
+    )
+    assert 1 <= len(placements) <= 3
+    assert placements[0].value >= placements[-1].value
+
+
+@pytest.mark.benchmark(group="regions-extensions")
+def test_top_k_disks(benchmark, clustered_cloud_300):
+    placements = benchmark.pedantic(
+        lambda: top_k_maxrs_disk(clustered_cloud_300, radius=1.0, k=3),
+        rounds=3, iterations=1,
+    )
+    assert 1 <= len(placements) <= 3
+
+
+@pytest.mark.benchmark(group="regions-extensions")
+def test_decaying_monitor_feed(benchmark):
+    points = clustered_points(120, dim=2, extent=8.0, clusters=3, seed=21)
+
+    def run():
+        monitor = DecayingMaxRSMonitor(decay=0.9, dim=2, radius=1.0, epsilon=0.45, seed=21)
+        for index, point in enumerate(points):
+            monitor.observe(point)
+            if (index + 1) % 10 == 0:
+                monitor.tick()
+        return monitor.current()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="regions-extensions")
+def test_decay_tick_is_cheap(benchmark):
+    monitor = DecayingMaxRSMonitor(decay=0.99, dim=2, radius=1.0, epsilon=0.45, seed=23,
+                                   prune_below=0.0)
+    for point in clustered_points(80, dim=2, extent=8.0, clusters=2, seed=23):
+        monitor.observe(point)
+
+    # A bounded number of rounds keeps the decayed weights well above the
+    # underflow regime (a tick is O(1); the interesting cost is the rare
+    # renormalization, exercised by the feed benchmark above).
+    benchmark.pedantic(monitor.tick, rounds=50, iterations=1)
+    assert monitor.ticks == 50

@@ -1,0 +1,58 @@
+"""E11 -- prior-work sampling baselines vs Technique 1 (Section 1.5 comparison).
+
+Times, on the same clustered point cloud, the paper's (1/2 - eps) probe
+sampler, the classical point-sampling (1 - eps) baseline (exact sweep on a
+Bernoulli sample), the shifted-grid decomposition and the exact disk sweep.
+The reproduced shape: the exact sweep and the baselines that fall back to it
+pay a quadratic cost as points concentrate, while Technique 1's cost is
+governed by the sample size only.
+"""
+
+import pytest
+
+from repro.approx import maxrs_disk_grid_decomposition, maxrs_disk_sampled
+from repro.core import max_range_sum_ball
+from repro.exact import maxrs_disk_exact
+
+
+@pytest.mark.benchmark(group="E11-sampling-baselines")
+def test_technique1_probe_sampling(benchmark, clustered_cloud_300):
+    result = benchmark.pedantic(
+        lambda: max_range_sum_ball(clustered_cloud_300, radius=1.0, epsilon=0.4, seed=1),
+        rounds=3, iterations=1,
+    )
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E11-sampling-baselines")
+def test_point_sampling_baseline(benchmark, clustered_cloud_300):
+    result = benchmark(
+        lambda: maxrs_disk_sampled(clustered_cloud_300, radius=1.0, epsilon=0.3, seed=1)
+    )
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E11-sampling-baselines")
+def test_grid_decomposition_baseline(benchmark, clustered_cloud_300):
+    result = benchmark(
+        lambda: maxrs_disk_grid_decomposition(clustered_cloud_300, radius=1.0)
+    )
+    assert result.exact
+
+
+@pytest.mark.benchmark(group="E11-sampling-baselines")
+def test_exact_disk_sweep_reference(benchmark, clustered_cloud_300):
+    result = benchmark.pedantic(
+        lambda: maxrs_disk_exact(clustered_cloud_300, radius=1.0),
+        rounds=3, iterations=1,
+    )
+    assert result.exact
+
+
+@pytest.mark.benchmark(group="E11-sampling-baselines")
+def test_point_sampling_guarantee_holds(benchmark, clustered_cloud_300):
+    exact_value = maxrs_disk_exact(clustered_cloud_300, radius=1.0).value
+    result = benchmark(
+        lambda: maxrs_disk_sampled(clustered_cloud_300, radius=1.0, epsilon=0.25, seed=2)
+    )
+    assert result.value >= 0.5 * exact_value

@@ -1,0 +1,49 @@
+"""E1 -- static (1/2 - eps)-approximate MaxRS with a d-ball (Theorem 1.2).
+
+Times the Technique 1 solver against the exact disk sweep baseline on the
+same weighted point cloud, and shows the epsilon dependence of the sampling
+cost.  The paper's claim being reproduced: near-linear running time (the
+exact sweep is quadratic) at the cost of a (1/2 - eps) guarantee.
+"""
+
+import pytest
+
+from repro.core import max_range_sum_ball
+from repro.exact import maxrs_disk_exact
+
+
+@pytest.mark.benchmark(group="E1-static-ball")
+def test_technique1_eps_040(benchmark, weighted_cloud_150):
+    points, weights = weighted_cloud_150
+    result = benchmark(
+        lambda: max_range_sum_ball(points, radius=1.0, epsilon=0.4, weights=weights, seed=1)
+    )
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E1-static-ball")
+def test_technique1_eps_030(benchmark, weighted_cloud_150):
+    points, weights = weighted_cloud_150
+    result = benchmark.pedantic(
+        lambda: max_range_sum_ball(points, radius=1.0, epsilon=0.3, weights=weights, seed=1),
+        rounds=3, iterations=1,
+    )
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E1-static-ball")
+def test_exact_disk_baseline(benchmark, weighted_cloud_150):
+    points, weights = weighted_cloud_150
+    result = benchmark(lambda: maxrs_disk_exact(points, radius=1.0, weights=weights))
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E1-static-ball")
+def test_technique1_guarantee_holds(benchmark, weighted_cloud_150):
+    """Times the approximate solver and checks the Theorem 1.2 guarantee."""
+    points, weights = weighted_cloud_150
+    exact_value = maxrs_disk_exact(points, radius=1.0, weights=weights).value
+    result = benchmark(
+        lambda: max_range_sum_ball(points, radius=1.0, epsilon=0.35, weights=weights, seed=2)
+    )
+    assert result.value >= (0.5 - 0.35) * exact_value - 1e-9

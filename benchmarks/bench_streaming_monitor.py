@@ -1,0 +1,62 @@
+"""E13 -- continuous hotspot monitoring over update streams (Section 1.1 scenario).
+
+Times a full stream replay through the dynamic (Theorem 1.1) monitor, the
+sliding-window variant and the exact-recompute baseline.  The reproduced
+shape: the exact baseline's per-query cost grows with the live-set size while
+the dynamic monitor's per-update cost stays flat.
+"""
+
+import pytest
+
+from repro.datasets import clustered_points
+from repro.streaming import (
+    ApproximateMaxRSMonitor,
+    ExactRecomputeMonitor,
+    SlidingWindowMaxRSMonitor,
+)
+
+
+@pytest.mark.benchmark(group="E13-streaming")
+def test_approximate_monitor_replay(benchmark, update_stream_200):
+    def run():
+        monitor = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.45, seed=1)
+        return monitor.replay(update_stream_200, query_every=50)
+
+    snapshots = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert snapshots[-1].value >= 1
+
+
+@pytest.mark.benchmark(group="E13-streaming")
+def test_exact_recompute_monitor_replay(benchmark, update_stream_200):
+    def run():
+        monitor = ExactRecomputeMonitor(radius=1.0)
+        return monitor.replay(update_stream_200, query_every=50)
+
+    snapshots = benchmark(run)
+    assert snapshots[-1].value >= 1
+
+
+@pytest.mark.benchmark(group="E13-streaming")
+def test_sliding_window_monitor(benchmark):
+    points = clustered_points(150, dim=2, extent=8.0, clusters=3, seed=9)
+
+    def run():
+        monitor = SlidingWindowMaxRSMonitor(window=40, dim=2, radius=1.0, epsilon=0.45, seed=9)
+        return monitor.replay_points(points, query_every=50)
+
+    snapshots = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(s.live_points <= 40 for s in snapshots)
+
+
+@pytest.mark.benchmark(group="E13-streaming")
+def test_monitor_guarantee_against_exact(benchmark, update_stream_200):
+    """The approximate monitor's final report stays within (1/2 - eps) of exact."""
+    exact = ExactRecomputeMonitor(radius=1.0)
+    exact_snaps = exact.replay(update_stream_200, query_every=len(update_stream_200))
+
+    def run():
+        monitor = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.45, seed=3)
+        return monitor.replay(update_stream_200, query_every=len(update_stream_200))
+
+    approx_snaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert approx_snaps[-1].value >= (0.5 - 0.45) * exact_snaps[-1].value - 1e-9

@@ -1,0 +1,98 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*.py`` file regenerates the timing kernel of one experiment from
+DESIGN.md section 4 (E1-E10).  The full tables (including the paper-claim
+checks) are produced by ``python -m repro.bench.experiments``; the benchmark
+suite times the hot kernels on fixed, moderately sized workloads so that
+relative comparisons (who wins, by roughly what factor) are reproducible in a
+few minutes of wall clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    hotspot_monitoring_stream,
+    planted_colored_instance,
+    trajectory_colored_points,
+    uniform_weighted_points,
+    weighted_hotspot_points,
+)
+
+
+@pytest.fixture(scope="session")
+def weighted_cloud_150():
+    """150 weighted uniform points in the plane (E1, E9 kernels)."""
+    return uniform_weighted_points(150, dim=2, extent=6.0, seed=101)
+
+
+@pytest.fixture(scope="session")
+def hotspot_cloud_250():
+    """250 weighted hotspot points (E8 kernel)."""
+    return weighted_hotspot_points(250, dim=2, extent=10.0, seed=102)
+
+
+@pytest.fixture(scope="session")
+def trajectory_cloud():
+    """Trajectory points of 15 entities (E3 kernel)."""
+    return trajectory_colored_points(15, samples_per_entity=6, extent=6.0, seed=103)
+
+
+@pytest.fixture(scope="session")
+def planted_colored_150():
+    """150 colored points with a planted optimum of 8 colors (E4/E5/E10 kernels)."""
+    return planted_colored_instance(150, planted_colors=8, dim=2, background_colors=3, seed=104)
+
+
+@pytest.fixture(scope="session")
+def update_stream_200():
+    """A 200-update hotspot monitoring stream (E2 kernel)."""
+    return hotspot_monitoring_stream(200, dim=2, extent=8.0, seed=105)
+
+
+@pytest.fixture(scope="session")
+def clustered_cloud_300():
+    """300 clustered unweighted points (E11 kernel)."""
+    from repro.datasets import clustered_points
+
+    return clustered_points(300, dim=2, extent=8.0, clusters=3, seed=106)
+
+
+@pytest.fixture(scope="session")
+def trajectory_cloud_colored_boxes():
+    """Trajectory points of 25 entities for the colored box extension (E14 kernel)."""
+    return trajectory_colored_points(25, samples_per_entity=8, extent=8.0, seed=107)
+
+
+@pytest.fixture(scope="session")
+def external_records_1d():
+    """600 weighted 1-d records for the I/O model benchmarks (E12 kernel)."""
+    import random
+
+    rng = random.Random(108)
+    return [(rng.uniform(0.0, 100.0), rng.uniform(0.5, 2.0)) for _ in range(600)]
+
+
+@pytest.fixture(scope="session")
+def external_records_2d():
+    """400 weighted planar records for the I/O model benchmarks (E12 kernel)."""
+    import random
+
+    rng = random.Random(109)
+    return [
+        (rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0), rng.uniform(0.5, 2.0))
+        for _ in range(400)
+    ]
+
+
+@pytest.fixture(scope="session")
+def points_3d_150():
+    """150 uniform points in R^3 (E15 kernel)."""
+    import random
+
+    rng = random.Random(110)
+    return [
+        (rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0))
+        for _ in range(150)
+    ]

@@ -1,0 +1,91 @@
+"""Colored MaxRS for axis-aligned boxes: the paper's open problem 1 in action.
+
+Section 7 of the paper asks whether the output-sensitivity + color-sampling
+technique of Section 4 extends beyond disks.  The :mod:`repro.boxes` package
+carries that extension out for axis-aligned rectangles in the plane; this
+example runs the whole ladder on a neighbourhood-analysis workload -- find
+the rectangular neighbourhood covering the most *distinct facility types*
+(restaurants, schools, hospitals, ...):
+
+* the [ZGH+22]-style exact baseline,
+* the box arrangement solver (the Lemma 4.2 analogue),
+* the grid-localised output-sensitive solver (the Theorem 4.6 analogue),
+* the (1 - eps) color-sampling solver (the Theorem 1.6 analogue),
+* plus the corner-pigeonhole estimate of ``opt`` that drives the sampling.
+
+Run with:  python examples/colored_box_extension.py
+"""
+
+import time
+
+from repro.boxes import (
+    colored_maxrs_box,
+    colored_maxrs_box_arrangement,
+    colored_maxrs_box_output_sensitive,
+    estimate_colored_opt_box,
+)
+from repro.core.sampling import default_rng
+from repro.exact import colored_maxrs_rectangle_exact
+
+FACILITY_TYPES = ["restaurant", "school", "hospital", "park", "pharmacy",
+                  "fire station", "library", "supermarket", "gym", "clinic"]
+FACILITIES_PER_TYPE = 14
+NEIGHBOURHOOD = (2.0, 2.0)  # width x height of the candidate neighbourhood
+EPSILON = 0.25
+
+
+def facility_map(seed=0):
+    """Facilities of each type scattered over the city, denser near the centre."""
+    rng = default_rng(seed)
+    points, colors = [], []
+    for facility in FACILITY_TYPES:
+        for _ in range(FACILITIES_PER_TYPE):
+            if rng.random() < 0.4:
+                center = (6.0, 6.0)
+                point = (float(center[0] + rng.normal(0.0, 1.2)),
+                         float(center[1] + rng.normal(0.0, 1.2)))
+            else:
+                point = (float(rng.uniform(0.0, 12.0)), float(rng.uniform(0.0, 12.0)))
+            points.append(point)
+            colors.append(facility)
+    return points, colors
+
+
+def _timed(label, solver):
+    start = time.perf_counter()
+    result = solver()
+    elapsed = time.perf_counter() - start
+    print("  %-28s value=%-3d corner=(%.2f, %.2f)  %.3fs"
+          % (label, result.value, result.center[0], result.center[1], elapsed))
+    return result
+
+
+def main() -> None:
+    width, height = NEIGHBOURHOOD
+    points, colors = facility_map(seed=31)
+    print("City map: %d facilities of %d types; looking for the best %.0fx%.0f neighbourhood"
+          % (len(points), len(FACILITY_TYPES), width, height))
+
+    estimate = estimate_colored_opt_box(points, width, height, colors=colors)
+    print("\nCorner-pigeonhole estimate of opt: %d (true opt is between this and 4x this)"
+          % estimate)
+
+    print("\nSolvers (all counts are distinct facility types covered):")
+    baseline = _timed("ZGH-style exact baseline",
+                      lambda: colored_maxrs_rectangle_exact(points, width=width, height=height,
+                                                            colors=colors))
+    _timed("box arrangement (exact)",
+           lambda: colored_maxrs_box_arrangement(points, width, height, colors=colors))
+    _timed("output-sensitive (exact)",
+           lambda: colored_maxrs_box_output_sensitive(points, width, height, colors=colors))
+    approx = _timed("(1-eps) color sampling",
+                    lambda: colored_maxrs_box(points, width, height, epsilon=EPSILON,
+                                              colors=colors, seed=31))
+
+    print("\nThe exact solvers agree on %d facility types; the color-sampling solver is "
+          "guaranteed at least %.0f%% of that (it achieved %d) and used the '%s' branch."
+          % (baseline.value, 100 * (1 - EPSILON), approx.value, approx.meta["branch"]))
+
+
+if __name__ == "__main__":
+    main()

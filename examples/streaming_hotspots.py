@@ -1,0 +1,69 @@
+"""Monitoring a live hotspot over a sliding window of recent observations.
+
+The Section 1.1 motivation: infection (or check-in, or incident) locations
+arrive continuously and the authorities want to know, at any moment, where a
+fixed-radius response zone should be placed to cover the most *recent*
+activity.  This example feeds a drifting point stream -- the hotspot moves
+over time -- through two monitors:
+
+* :class:`repro.streaming.SlidingWindowMaxRSMonitor`, which keeps only the
+  most recent ``WINDOW`` observations alive inside the paper's dynamic
+  (1/2 - eps) structure (Theorem 1.1), and
+* :class:`repro.streaming.ExactRecomputeMonitor`, the exact baseline, to show
+  how close the approximate hotspot stays.
+
+Run with:  python examples/streaming_hotspots.py
+"""
+
+from repro.datasets.streams import UpdateEvent, UpdateStream
+from repro.exact import maxrs_disk_exact
+from repro.streaming import SlidingWindowMaxRSMonitor
+from repro.core.sampling import default_rng
+
+TOTAL_OBSERVATIONS = 240
+WINDOW = 60
+RADIUS = 1.0
+EPSILON = 0.35
+CHECKPOINTS = 4
+
+
+def drifting_stream(total, seed=0):
+    """Observations around a hotspot that drifts from (2, 2) towards (10, 10)."""
+    rng = default_rng(seed)
+    points = []
+    for i in range(total):
+        progress = i / max(1, total - 1)
+        center = (2.0 + 8.0 * progress, 2.0 + 8.0 * progress)
+        points.append(tuple(float(c + rng.normal(0.0, 0.6)) for c in center))
+    return points
+
+
+def main() -> None:
+    points = drifting_stream(TOTAL_OBSERVATIONS, seed=11)
+    print("Streaming %d observations; hotspot drifts from (2,2) to (10,10); window=%d"
+          % (len(points), WINDOW))
+
+    monitor = SlidingWindowMaxRSMonitor(window=WINDOW, dim=2, radius=RADIUS,
+                                        epsilon=EPSILON, seed=11)
+    checkpoint_every = max(1, len(points) // CHECKPOINTS)
+    snapshots = monitor.replay_points(points, query_every=checkpoint_every)
+
+    print("\n%8s  %12s  %22s  %10s  %8s" % ("step", "window size", "reported center",
+                                            "covered", "exact"))
+    for snapshot in snapshots:
+        # Exact reference on the same window contents.
+        window_points = points[max(0, snapshot.step - WINDOW):snapshot.step]
+        exact = maxrs_disk_exact(window_points, radius=RADIUS)
+        center = "(%.2f, %.2f)" % snapshot.center if snapshot.center else "none"
+        print("%8d  %12d  %22s  %10.0f  %8.0f"
+              % (snapshot.step, snapshot.live_points, center, snapshot.value, exact.value))
+
+    final = snapshots[-1]
+    print("\nThe reported hotspot follows the drift: the final center (%.2f, %.2f) sits near "
+          "the most recent observations, not the stale ones." % final.center)
+    print("Guarantee: every reported coverage is at least (1/2 - %.2f) of the exact optimum "
+          "over the window, with high probability (Theorem 1.1)." % EPSILON)
+
+
+if __name__ == "__main__":
+    main()

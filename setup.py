@@ -1,0 +1,10 @@
+"""Thin setuptools shim.
+
+``pyproject.toml`` carries the real metadata; this file exists so that
+``python setup.py develop`` works in fully offline environments where the
+``wheel`` package (needed by PEP 660 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,156 @@
+"""repro -- reproduction of "A Bouquet of Results on Maximum Range Sum" (PODS 2025).
+
+The package implements the paper's three families of results plus every
+baseline and substrate they rely on:
+
+* **Dynamic / static approximate MaxRS for d-balls (Technique 1)** --
+  :func:`max_range_sum_ball` (Theorem 1.2), :class:`DynamicMaxRS`
+  (Theorem 1.1), :func:`colored_maxrs_ball` (Theorem 1.5).
+* **Colored disk MaxRS via output-sensitivity and color sampling
+  (Technique 2)** -- :func:`colored_maxrs_disk_arrangement` (Lemma 4.2),
+  :func:`colored_maxrs_disk_output_sensitive` (Theorem 4.6) and
+  :func:`colored_maxrs_disk` (Theorem 1.6).
+* **Batched MaxRS / batched smallest k-enclosing interval and the
+  (min,+)-convolution reduction chains** (Theorems 1.3 and 1.4) --
+  :mod:`repro.batched` and :mod:`repro.convolution`.
+* **Exact baselines** -- interval, rectangle [IA83, NB95] and disk [CL86]
+  MaxRS plus the straightforward colored disk sweep, in :mod:`repro.exact`.
+* **Workload generators and the benchmark harness** -- :mod:`repro.datasets`
+  and :mod:`repro.bench`.
+
+Quickstart
+----------
+>>> from repro import max_range_sum_ball
+>>> points = [(0.0, 0.0), (0.5, 0.5), (5.0, 5.0)]
+>>> result = max_range_sum_ball(points, radius=1.0, epsilon=0.3, seed=0)
+>>> result.value >= 1
+True
+"""
+
+from .core import (
+    Ball,
+    Box,
+    ColoredPoint,
+    DynamicMaxRS,
+    Interval,
+    MaxRSResult,
+    Point,
+    WeightedPoint,
+    colored_depth,
+    colored_maxrs_ball,
+    colored_maxrs_disk,
+    colored_maxrs_disk_arrangement,
+    colored_maxrs_disk_output_sensitive,
+    coverage_count,
+    covering_colors,
+    estimate_colored_opt_ball,
+    estimate_opt_ball,
+    max_range_sum_ball,
+    weighted_depth,
+)
+from .exact import (
+    colored_maxrs_disk_sweep,
+    colored_maxrs_interval_exact,
+    colored_maxrs_rectangle_exact,
+    maxrs_disk_exact,
+    maxrs_interval_exact,
+    maxrs_rectangle_exact,
+)
+from .batched import (
+    batched_maxrs_1d,
+    batched_maxrs_rectangles,
+    batched_smallest_enclosing_intervals,
+    smallest_k_enclosing_interval,
+)
+from .convolution import (
+    max_plus_convolution,
+    min_plus_convolution,
+    min_plus_via_batched_maxrs,
+    min_plus_via_bsei,
+)
+from .approx import (
+    maxrs_disk_grid_decomposition,
+    maxrs_disk_sampled,
+    maxrs_rectangle_sampled,
+)
+from .boxes import (
+    colored_maxrs_box,
+    colored_maxrs_box_arrangement,
+    colored_maxrs_box_output_sensitive,
+    estimate_colored_opt_box,
+)
+from .exact import maxrs_box3d_exact
+from .streaming import (
+    ApproximateMaxRSMonitor,
+    ExactRecomputeMonitor,
+    SlidingWindowMaxRSMonitor,
+)
+from .regions import (
+    DecayingMaxRSMonitor,
+    top_k_maxrs_disk,
+    top_k_maxrs_rectangle,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # primitives
+    "Point",
+    "WeightedPoint",
+    "ColoredPoint",
+    "Ball",
+    "Box",
+    "Interval",
+    "MaxRSResult",
+    # depth evaluators
+    "weighted_depth",
+    "colored_depth",
+    "covering_colors",
+    "coverage_count",
+    # Technique 1
+    "max_range_sum_ball",
+    "estimate_opt_ball",
+    "DynamicMaxRS",
+    "colored_maxrs_ball",
+    "estimate_colored_opt_ball",
+    # Technique 2
+    "colored_maxrs_disk",
+    "colored_maxrs_disk_arrangement",
+    "colored_maxrs_disk_output_sensitive",
+    # exact baselines
+    "maxrs_interval_exact",
+    "maxrs_rectangle_exact",
+    "maxrs_disk_exact",
+    "maxrs_box3d_exact",
+    "colored_maxrs_disk_sweep",
+    "colored_maxrs_rectangle_exact",
+    "colored_maxrs_interval_exact",
+    # prior-work approximation baselines
+    "maxrs_disk_sampled",
+    "maxrs_rectangle_sampled",
+    "maxrs_disk_grid_decomposition",
+    # Technique 2 extension to boxes (Section 7, open problem 1)
+    "colored_maxrs_box",
+    "colored_maxrs_box_arrangement",
+    "colored_maxrs_box_output_sensitive",
+    "estimate_colored_opt_box",
+    # streaming monitors (Section 1.1 application layer)
+    "ApproximateMaxRSMonitor",
+    "SlidingWindowMaxRSMonitor",
+    "ExactRecomputeMonitor",
+    # region-search extensions (Section 1.6 related work)
+    "top_k_maxrs_rectangle",
+    "top_k_maxrs_disk",
+    "DecayingMaxRSMonitor",
+    # batched problems
+    "batched_maxrs_1d",
+    "batched_maxrs_rectangles",
+    "smallest_k_enclosing_interval",
+    "batched_smallest_enclosing_intervals",
+    # convolutions and reductions
+    "min_plus_convolution",
+    "max_plus_convolution",
+    "min_plus_via_batched_maxrs",
+    "min_plus_via_bsei",
+]

@@ -1,0 +1,41 @@
+"""Prior-work approximation baselines for MaxRS.
+
+Section 1 and Section 1.5 of the paper position Technique 1 against the
+classical approach of *sampling the input objects* and running an exact
+algorithm on the sample [AHR+02, THCC13, AH08].  The modules here implement
+that family of baselines so that the paper's comparison ("previous
+constructions... have a running time of ``O_eps(n log^Theta(d) n)``",
+Section 1.1) can be reproduced empirically:
+
+* :mod:`repro.approx.point_sampling` -- the (1 - eps)-approximation obtained
+  by Bernoulli sampling of the input points followed by an exact solve on the
+  sample, for disks and for axis-aligned rectangles, together with the
+  doubling-based estimation of ``opt`` that the scheme needs.
+* :mod:`repro.approx.grid_decomposition` -- the shifted-grid decomposition
+  baseline (Hochbaum--Maass style): partition the plane into large grid
+  cells, solve each cell exactly, and take the best answer over a constant
+  number of grid shifts.  The answer is exact; the point of the baseline is
+  that its running time degrades to the exact algorithm's on concentrated
+  inputs, which is precisely the regime where Technique 1 keeps its
+  near-linear bound.
+"""
+
+from .point_sampling import (
+    estimate_opt_disk_by_doubling,
+    maxrs_disk_sampled,
+    maxrs_rectangle_sampled,
+    sample_probability,
+)
+from .grid_decomposition import (
+    maxrs_disk_grid_decomposition,
+    maxrs_rectangle_grid_decomposition,
+)
+
+__all__ = [
+    "sample_probability",
+    "estimate_opt_disk_by_doubling",
+    "maxrs_disk_sampled",
+    "maxrs_rectangle_sampled",
+    "maxrs_disk_grid_decomposition",
+    "maxrs_rectangle_grid_decomposition",
+]

@@ -1,0 +1,25 @@
+"""Circular-arc arrangement substrate used by Technique 2 (Section 4).
+
+The modules here provide exactly the machinery Lemma 4.2 needs:
+
+* :mod:`repro.arrangement.arcs` -- x-monotone circular arcs, point evaluation
+  and arc/arc intersection;
+* :mod:`repro.arrangement.union` -- the boundary of the union of equal-radius
+  disks of one color, decomposed into x-monotone arcs;
+* :mod:`repro.arrangement.decomposition` -- a vertical (trapezoidal)
+  decomposition of a set of colored boundary arcs together with the
+  depth-propagating traversal that finds a point of maximum colored depth.
+"""
+
+from .arcs import CircularArc, arc_intersections, circle_intersections
+from .union import union_boundary_arcs
+from .decomposition import count_bichromatic_intersections, max_colored_depth_from_arcs
+
+__all__ = [
+    "CircularArc",
+    "arc_intersections",
+    "circle_intersections",
+    "union_boundary_arcs",
+    "max_colored_depth_from_arcs",
+    "count_bichromatic_intersections",
+]

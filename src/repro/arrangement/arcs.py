@@ -1,0 +1,120 @@
+"""x-monotone circular arcs.
+
+Section 4.1 of the paper decomposes each union boundary into x-monotone
+circular arcs (every vertical line meets such an arc at most once) before
+building the trapezoidal map.  An arc is stored as the portion of either the
+upper or the lower half of a circle between two x-coordinates, together with
+an arbitrary payload (the color of the union region it bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+__all__ = ["CircularArc", "circle_intersections", "arc_intersections"]
+
+UPPER = "upper"
+LOWER = "lower"
+
+
+@dataclass(frozen=True)
+class CircularArc:
+    """An x-monotone arc of the circle centered at ``(cx, cy)`` with radius ``radius``.
+
+    ``side`` selects the upper (``y >= cy``) or lower (``y <= cy``) half of the
+    circle; ``x_lo <= x_hi`` bound the arc horizontally.  ``color`` identifies
+    which union region's boundary the arc belongs to.
+    """
+
+    cx: float
+    cy: float
+    radius: float
+    side: str
+    x_lo: float
+    x_hi: float
+    color: Hashable = 0
+
+    def __post_init__(self):
+        if self.side not in (UPPER, LOWER):
+            raise ValueError("arc side must be 'upper' or 'lower'")
+        if self.radius <= 0:
+            raise ValueError("arc radius must be positive")
+        if self.x_lo > self.x_hi + 1e-12:
+            raise ValueError("arc x_lo must not exceed x_hi")
+
+    def spans_x(self, x: float, *, strict: bool = True) -> bool:
+        """Whether the arc's x-range contains ``x`` (strictly, by default)."""
+        if strict:
+            return self.x_lo < x < self.x_hi
+        return self.x_lo - 1e-12 <= x <= self.x_hi + 1e-12
+
+    def y_at(self, x: float) -> float:
+        """The y-coordinate of the arc at horizontal position ``x``.
+
+        ``x`` is clamped into the circle's horizontal extent to guard against
+        floating-point drift at the arc endpoints.
+        """
+        dx = x - self.cx
+        inside = self.radius * self.radius - dx * dx
+        if inside < 0:
+            inside = 0.0
+        offset = math.sqrt(inside)
+        return self.cy + offset if self.side == UPPER else self.cy - offset
+
+    @property
+    def left_endpoint(self) -> Tuple[float, float]:
+        return (self.x_lo, self.y_at(self.x_lo))
+
+    @property
+    def right_endpoint(self) -> Tuple[float, float]:
+        return (self.x_hi, self.y_at(self.x_hi))
+
+
+def circle_intersections(
+    a_center: Tuple[float, float],
+    a_radius: float,
+    b_center: Tuple[float, float],
+    b_radius: float,
+) -> List[Tuple[float, float]]:
+    """Intersection points of two circles (0, 1 or 2 points)."""
+    dx = b_center[0] - a_center[0]
+    dy = b_center[1] - a_center[1]
+    dist = math.hypot(dx, dy)
+    if dist <= 1e-12:
+        return []
+    if dist > a_radius + b_radius + 1e-12:
+        return []
+    if dist < abs(a_radius - b_radius) - 1e-12:
+        return []
+    # Distance from a_center to the radical line along the center line.
+    along = (dist * dist + a_radius * a_radius - b_radius * b_radius) / (2.0 * dist)
+    perp_sq = a_radius * a_radius - along * along
+    if perp_sq < 0:
+        perp_sq = 0.0
+    perp = math.sqrt(perp_sq)
+    ux, uy = dx / dist, dy / dist
+    base = (a_center[0] + ux * along, a_center[1] + uy * along)
+    if perp <= 1e-12:
+        return [base]
+    return [
+        (base[0] - uy * perp, base[1] + ux * perp),
+        (base[0] + uy * perp, base[1] - ux * perp),
+    ]
+
+
+def _point_on_arc(arc: CircularArc, point: Tuple[float, float]) -> bool:
+    """Whether a point known to lie on the arc's circle lies on the arc itself."""
+    x, y = point
+    if not (arc.x_lo - 1e-9 <= x <= arc.x_hi + 1e-9):
+        return False
+    if arc.side == UPPER:
+        return y >= arc.cy - 1e-9
+    return y <= arc.cy + 1e-9
+
+
+def arc_intersections(a: CircularArc, b: CircularArc) -> List[Tuple[float, float]]:
+    """Intersection points of two x-monotone circular arcs."""
+    points = circle_intersections((a.cx, a.cy), a.radius, (b.cx, b.cy), b.radius)
+    return [p for p in points if _point_on_arc(a, p) and _point_on_arc(b, p)]

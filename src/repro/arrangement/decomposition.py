@@ -1,0 +1,150 @@
+"""Vertical (trapezoidal) decomposition of colored boundary arcs and its traversal.
+
+This is the engine behind Lemma 4.2: given the x-monotone boundary arcs of the
+union regions ``U_1, ..., U_m`` (one color per region), find a point of
+maximum (uncolored) depth with respect to the regions -- which equals the
+maximum colored depth with respect to the original disks.
+
+The paper builds a trapezoidal map with Mulmuley's randomized incremental
+algorithm and then propagates depths across adjacent cells with a BFS.  We
+build the same decomposition slab by slab (see DESIGN.md, substitutions): the
+critical x-coordinates are the arc endpoints and the bichromatic arc/arc
+intersection points; strictly between two consecutive critical values the
+arcs crossing the slab are totally ordered by y, and walking that order bottom
+to top toggles membership in one region per crossed arc (an arc of ``∂U_c``
+is crossed transversally, so it flips the inside/outside status of color
+``c``).  The cells visited this way are exactly the pseudo-trapezoids of the
+trapezoidal map restricted to the slab, and the running depth is the BFS
+depth of the corresponding cell.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from .arcs import CircularArc, arc_intersections
+
+__all__ = [
+    "critical_xs",
+    "bichromatic_intersection_points",
+    "count_bichromatic_intersections",
+    "max_colored_depth_from_arcs",
+    "slab_depth_profile",
+]
+
+
+def critical_xs(arcs: Sequence[CircularArc]) -> List[float]:
+    """Sorted distinct critical x-coordinates: arc endpoints and bichromatic intersections."""
+    xs: Set[float] = set()
+    for arc in arcs:
+        xs.add(arc.x_lo)
+        xs.add(arc.x_hi)
+    for i in range(len(arcs)):
+        for j in range(i + 1, len(arcs)):
+            if arcs[i].color == arcs[j].color:
+                continue
+            for px, _py in arc_intersections(arcs[i], arcs[j]):
+                xs.add(px)
+    return sorted(xs)
+
+
+def bichromatic_intersection_points(
+    arcs: Sequence[CircularArc],
+) -> List[Tuple[float, float]]:
+    """Intersection points between boundary arcs of different colors.
+
+    These are the vertices of the arrangement of the union boundaries -- the
+    quantity ``k`` of Lemma 4.2 / Lemma 4.5 is their count.  They double as
+    candidate optima for *closed* disks: in degenerate (non-general-position)
+    inputs the maximum colored depth may be attained only at such a vertex,
+    never inside an open cell.
+    """
+    points: List[Tuple[float, float]] = []
+    for i in range(len(arcs)):
+        for j in range(i + 1, len(arcs)):
+            if arcs[i].color == arcs[j].color:
+                continue
+            points.extend(arc_intersections(arcs[i], arcs[j]))
+    return points
+
+
+def count_bichromatic_intersections(arcs: Sequence[CircularArc]) -> int:
+    """Number of intersection points between boundary arcs of different colors.
+
+    This is the quantity ``k`` of Lemma 4.2 / Lemma 4.5; experiment E4 uses it
+    to verify the ``k = O(n * opt)`` bound empirically.
+    """
+    return len(bichromatic_intersection_points(arcs))
+
+
+def slab_depth_profile(
+    arcs: Sequence[CircularArc], x_mid: float
+) -> List[Tuple[float, int]]:
+    """Depth profile of the vertical line ``x = x_mid``.
+
+    Returns a list of ``(y, depth)`` pairs: crossing height of each arc
+    spanning the slab (bottom to top) and the depth of the cell *above* that
+    crossing.  Intended for tests and diagnostics.
+    """
+    crossings = sorted(
+        (arc.y_at(x_mid), arc.color) for arc in arcs if arc.spans_x(x_mid)
+    )
+    active: Set[Hashable] = set()
+    profile: List[Tuple[float, int]] = []
+    for y, color in crossings:
+        if color in active:
+            active.discard(color)
+        else:
+            active.add(color)
+        profile.append((y, len(active)))
+    return profile
+
+
+def max_colored_depth_from_arcs(
+    arcs: Sequence[CircularArc],
+) -> Tuple[int, Optional[Tuple[float, float]]]:
+    """Maximum depth over the plane w.r.t. the colored union regions, with a witness.
+
+    Returns ``(depth, point)`` where ``point`` lies strictly inside a cell of
+    maximum depth, or ``(0, None)`` when there are no arcs at all.
+    """
+    if not arcs:
+        return 0, None
+
+    xs = critical_xs(arcs)
+    best_depth = 0
+    best_point: Optional[Tuple[float, float]] = None
+
+    for left, right in zip(xs[:-1], xs[1:]):
+        if right - left <= 1e-12:
+            continue
+        x_mid = (left + right) / 2.0
+        crossings = sorted(
+            (arc.y_at(x_mid), arc.color) for arc in arcs if arc.spans_x(x_mid)
+        )
+        if not crossings:
+            continue
+        active: Set[Hashable] = set()
+        index = 0
+        total = len(crossings)
+        while index < total:
+            # Process every arc crossing at (numerically) the same height
+            # together; coincident crossings only occur for degenerate inputs
+            # but must not corrupt the parity.
+            y_here = crossings[index][0]
+            while index < total and abs(crossings[index][0] - y_here) <= 1e-12:
+                color = crossings[index][1]
+                if color in active:
+                    active.discard(color)
+                else:
+                    active.add(color)
+                index += 1
+            depth = len(active)
+            if depth > best_depth:
+                if index < total:
+                    y_above = (y_here + crossings[index][0]) / 2.0
+                else:
+                    y_above = y_here + 1.0
+                best_depth = depth
+                best_point = (x_mid, y_above)
+    return best_depth, best_point

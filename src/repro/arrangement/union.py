@@ -1,0 +1,150 @@
+"""Boundary of the union of equal-radius disks, as x-monotone arcs.
+
+Technique 2 (Section 4.2) merges all disks of one color into the region
+``U_c`` and only keeps the boundary ``∂U_c``, which consists of circular arcs
+of the participating circles.  The paper obtains these arcs through power
+diagrams [Aur88]; this implementation derives them directly from angular
+coverage: a point of circle ``C_i`` belongs to ``∂U_c`` iff it is not strictly
+inside any other disk of the color, so subtracting from ``[0, 2π)`` the
+angular intervals of ``C_i`` covered by the other disks leaves exactly the
+boundary arcs contributed by ``C_i``.  (See DESIGN.md: the arcs produced are
+identical to the power-diagram construction; only the construction-time
+exponent differs.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Sequence, Tuple
+
+from .arcs import LOWER, UPPER, CircularArc
+
+__all__ = ["union_boundary_arcs", "angular_arcs_to_xmonotone"]
+
+TWO_PI = 2.0 * math.pi
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge overlapping angular intervals given with ``start <= end``."""
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [list(intervals[0])]
+    for start, end in intervals[1:]:
+        if start <= merged[-1][1] + 1e-12:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(lo, hi) for lo, hi in merged]
+
+
+def _complement_on_circle(covered: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Complement of a set of merged intervals within ``[0, 2π)``."""
+    if not covered:
+        return [(0.0, TWO_PI)]
+    gaps = []
+    cursor = 0.0
+    for start, end in covered:
+        if start > cursor + 1e-12:
+            gaps.append((cursor, start))
+        cursor = max(cursor, end)
+    if cursor < TWO_PI - 1e-12:
+        gaps.append((cursor, TWO_PI))
+    return gaps
+
+
+def angular_arcs_to_xmonotone(
+    center: Tuple[float, float],
+    radius: float,
+    angular_arcs: List[Tuple[float, float]],
+    color: Hashable,
+) -> List[CircularArc]:
+    """Convert angular arcs of one circle into x-monotone :class:`CircularArc` pieces.
+
+    Splitting at angles ``0`` and ``π`` (the points of extreme x-coordinate)
+    guarantees every piece lies entirely on the upper or lower half circle.
+    """
+    pieces: List[CircularArc] = []
+    cx, cy = center
+    for start, end in angular_arcs:
+        if end - start <= 1e-12:
+            continue
+        # Break at multiples of pi inside (start, end).
+        cuts = [start]
+        k = math.floor(start / math.pi) + 1
+        while k * math.pi < end - 1e-12:
+            if k * math.pi > start + 1e-12:
+                cuts.append(k * math.pi)
+            k += 1
+        cuts.append(end)
+        for lo_angle, hi_angle in zip(cuts[:-1], cuts[1:]):
+            if hi_angle - lo_angle <= 1e-12:
+                continue
+            mid = (lo_angle + hi_angle) / 2.0
+            side = UPPER if math.sin(mid) > 0 else LOWER
+            x_a = cx + radius * math.cos(lo_angle)
+            x_b = cx + radius * math.cos(hi_angle)
+            pieces.append(
+                CircularArc(
+                    cx=cx,
+                    cy=cy,
+                    radius=radius,
+                    side=side,
+                    x_lo=min(x_a, x_b),
+                    x_hi=max(x_a, x_b),
+                    color=color,
+                )
+            )
+    return pieces
+
+
+def union_boundary_arcs(
+    centers: Sequence[Tuple[float, float]],
+    radius: float,
+    color: Hashable = 0,
+) -> List[CircularArc]:
+    """x-monotone boundary arcs of the union of equal-radius disks.
+
+    Parameters
+    ----------
+    centers:
+        Disk centers (duplicates are removed -- a duplicated circle would
+        otherwise appear twice on the boundary and break the even/odd
+        crossing structure used by the decomposition).
+    radius:
+        Common disk radius.
+    color:
+        Payload stored on every produced arc.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    unique = sorted({(float(x), float(y)) for x, y in centers})
+    arcs: List[CircularArc] = []
+    for i, center in enumerate(unique):
+        covered: List[Tuple[float, float]] = []
+        fully_covered = False
+        for j, other in enumerate(unique):
+            if i == j:
+                continue
+            dx = other[0] - center[0]
+            dy = other[1] - center[1]
+            dist = math.hypot(dx, dy)
+            if dist >= 2.0 * radius - 1e-12:
+                continue
+            if dist <= 1e-12:
+                fully_covered = True  # identical circle; cannot happen after dedup
+                break
+            half_width = math.acos(dist / (2.0 * radius))
+            theta = math.atan2(dy, dx) % TWO_PI
+            start = (theta - half_width) % TWO_PI
+            end = (theta + half_width) % TWO_PI
+            if start <= end:
+                covered.append((start, end))
+            else:
+                covered.append((start, TWO_PI))
+                covered.append((0.0, end))
+        if fully_covered:
+            continue
+        boundary = _complement_on_circle(_merge_intervals(covered))
+        arcs.extend(angular_arcs_to_xmonotone(center, radius, boundary, color))
+    return arcs

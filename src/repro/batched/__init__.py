@@ -1,0 +1,14 @@
+"""Batched MaxRS and batched smallest k-enclosing interval oracles (Sections 5 and 6)."""
+
+from .maxrs import batched_maxrs_1d, batched_maxrs_rectangles
+from .sei import (
+    batched_smallest_enclosing_intervals,
+    smallest_k_enclosing_interval,
+)
+
+__all__ = [
+    "batched_maxrs_1d",
+    "batched_maxrs_rectangles",
+    "smallest_k_enclosing_interval",
+    "batched_smallest_enclosing_intervals",
+]

@@ -1,0 +1,69 @@
+"""Smallest k-enclosing interval and its batched version (Section 6).
+
+Given ``n`` points on the real line, the smallest ``k``-enclosing interval
+(SEI) is the shortest interval containing ``k`` of the points; the batched
+problem (BSEI) asks for the answer for *every* ``k`` from 1 to ``n``.  After
+sorting, the smallest interval containing ``k`` points is realised by ``k``
+consecutive points, so a sliding window solves one ``k`` in ``O(n)`` and all
+of them in ``O(n^2)`` -- the upper bound that Theorem 1.4 shows is essentially
+optimal under the (min,+)-convolution conjecture.
+
+The batched solver is the oracle consumed by the Section 6.2 reduction
+(monotone (min,+)-convolution -> BSEI), validated in experiment E7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["smallest_k_enclosing_interval", "batched_smallest_enclosing_intervals"]
+
+
+def _to_sorted_floats(points: Sequence) -> List[float]:
+    values = []
+    for p in points:
+        if isinstance(p, (int, float)):
+            values.append(float(p))
+        else:
+            seq = tuple(p)
+            if len(seq) != 1:
+                raise ValueError("SEI expects points on the real line")
+            values.append(float(seq[0]))
+    values.sort()
+    return values
+
+
+def smallest_k_enclosing_interval(
+    points: Sequence, k: int
+) -> Tuple[float, Optional[Tuple[float, float]]]:
+    """Length and placement of the smallest interval containing ``k`` points.
+
+    Returns ``(length, (left, right))``; ``k`` must satisfy ``1 <= k <= n``.
+    """
+    values = _to_sorted_floats(points)
+    n = len(values)
+    if not 1 <= k <= n:
+        raise ValueError("k must lie in [1, n], got k=%d for n=%d" % (k, n))
+    best_length = float("inf")
+    best_window: Optional[Tuple[float, float]] = None
+    for start in range(n - k + 1):
+        left, right = values[start], values[start + k - 1]
+        if right - left < best_length:
+            best_length = right - left
+            best_window = (left, right)
+    return best_length, best_window
+
+
+def batched_smallest_enclosing_intervals(points: Sequence) -> List[float]:
+    """Smallest enclosing-interval length for every ``k`` in ``1..n`` (``O(n^2)``).
+
+    The returned list ``G`` is 1-indexed conceptually: ``G[k - 1]`` is the
+    length of the smallest interval containing ``k`` points.
+    """
+    values = _to_sorted_floats(points)
+    n = len(values)
+    results: List[float] = []
+    for k in range(1, n + 1):
+        best = min(values[start + k - 1] - values[start] for start in range(n - k + 1))
+        results.append(best)
+    return results

@@ -1,0 +1,29 @@
+"""Benchmark harness: timing helpers, table formatting and the E1-E15 experiments.
+
+The paper has no empirical tables (it is a theory paper), so EXPERIMENTS.md
+defines one experiment per theorem / claim (see DESIGN.md section 4).  Each
+experiment is a function in :mod:`repro.bench.experiments` (E1-E10) or
+:mod:`repro.bench.experiments_extended` (E11-E15) that generates the
+workload, runs the relevant solvers and returns an :class:`ExperimentReport`
+whose rows can be printed as a plain-text table; ``benchmarks/`` wraps the hot
+kernels of the same experiments in pytest-benchmark targets, and
+:mod:`repro.bench.recorder` archives reports as CSV/JSON.
+"""
+
+from .harness import ExperimentReport, Timer, format_table, geometric_sizes
+from .recorder import report_to_dict, write_report_csv, write_reports_csv_dir, write_reports_json
+from . import experiments
+from . import experiments_extended
+
+__all__ = [
+    "Timer",
+    "ExperimentReport",
+    "format_table",
+    "geometric_sizes",
+    "experiments",
+    "experiments_extended",
+    "report_to_dict",
+    "write_report_csv",
+    "write_reports_csv_dir",
+    "write_reports_json",
+]

@@ -1,0 +1,334 @@
+"""Experiment drivers E11-E15: baselines, substrates and extensions.
+
+These experiments complement E1-E10 (``repro.bench.experiments``) with the
+comparisons enabled by the extension packages:
+
+* E11 -- the prior-work point-sampling (1 - eps) baseline and the shifted-grid
+  decomposition against Technique 1 (the Section 1.5 comparison).
+* E12 -- external-memory MaxRS on the simulated I/O model: sort-based versus
+  nested-scan block transfers (the [CCT12, CCT14] comparison).
+* E13 -- continuous hotspot monitoring: the dynamic structure versus exact
+  recomputation over update streams (the Section 1.1 application).
+* E14 -- colored MaxRS for axis-aligned boxes: the Technique 2 extension of
+  Section 7 (open problem 1) against the [ZGH+22]-style exact baseline.
+* E15 -- exact box MaxRS beyond the plane: the R^3 z-slab sweep baseline and
+  the d >= 3 regime that motivates Theorem 1.2's dimension-friendly bound.
+
+Every driver returns an :class:`~repro.bench.harness.ExperimentReport`;
+``python -m repro experiments run --all`` prints them all.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..approx import (
+    maxrs_disk_grid_decomposition,
+    maxrs_disk_sampled,
+)
+from ..boxes import (
+    colored_maxrs_box,
+    colored_maxrs_box_arrangement,
+    colored_maxrs_box_output_sensitive,
+    estimate_colored_opt_box,
+)
+from ..core import max_range_sum_ball
+from ..datasets import (
+    clustered_points,
+    hotspot_monitoring_stream,
+    planted_ball_instance,
+    trajectory_colored_points,
+    uniform_weighted_points,
+)
+from ..exact import (
+    colored_maxrs_rectangle_exact,
+    maxrs_box3d_exact,
+    maxrs_box_bruteforce,
+    maxrs_disk_exact,
+)
+from ..io_model import (
+    BlockStorage,
+    external_maxrs_interval,
+    external_maxrs_interval_nested_scan,
+    external_maxrs_rectangle,
+    external_merge_sort,
+)
+from ..streaming import ApproximateMaxRSMonitor, ExactRecomputeMonitor
+from .harness import ExperimentReport, Timer
+
+__all__ = [
+    "experiment_e11_sampling_baselines",
+    "experiment_e12_io_model",
+    "experiment_e13_streaming_monitor",
+    "experiment_e14_colored_boxes",
+    "experiment_e15_boxes_beyond_plane",
+    "run_all_extended",
+]
+
+
+# --------------------------------------------------------------------------- #
+# E11: prior-work sampling baselines vs Technique 1
+# --------------------------------------------------------------------------- #
+
+def experiment_e11_sampling_baselines(
+    sizes: Sequence[int] = (100, 200, 400),
+    epsilon: float = 0.3,
+    seed: int = 11,
+) -> ExperimentReport:
+    """Point-sampling (1-eps) baseline and grid decomposition vs Technique 1."""
+    report = ExperimentReport(
+        experiment_id="E11",
+        title="Prior-work baselines vs Technique 1 for disk MaxRS (Section 1.5 comparison)",
+        headers=["n", "opt", "tech1", "sampled", "grid_decomp",
+                 "tech1_s", "sampled_s", "grid_s", "exact_s"],
+    )
+    guarantees_ok = True
+    for n in sizes:
+        points = clustered_points(n, dim=2, extent=8.0, clusters=3, seed=seed + n)
+        with Timer() as exact_timer:
+            exact = maxrs_disk_exact(points, radius=1.0)
+        with Timer() as tech1_timer:
+            tech1 = max_range_sum_ball(points, radius=1.0, epsilon=epsilon, seed=seed)
+        with Timer() as sampled_timer:
+            sampled = maxrs_disk_sampled(points, radius=1.0, epsilon=epsilon, seed=seed)
+        with Timer() as grid_timer:
+            grid = maxrs_disk_grid_decomposition(points, radius=1.0)
+        guarantees_ok &= tech1.value >= (0.5 - epsilon) * exact.value - 1e-9
+        guarantees_ok &= sampled.value >= 0.5 * exact.value - 1e-9
+        guarantees_ok &= abs(grid.value - exact.value) < 1e-9
+        report.add_row(n, exact.value, tech1.value, sampled.value, grid.value,
+                       tech1_timer.elapsed, sampled_timer.elapsed,
+                       grid_timer.elapsed, exact_timer.elapsed)
+    report.add_claim("Technique 1 meets its (1/2 - eps) guarantee", guarantees_ok)
+    report.add_note("the point-sampling baseline gives the stronger (1-eps) guarantee but "
+                    "pays an exact quadratic solve on the sample; the grid decomposition is "
+                    "exact but degrades to the exact sweep on concentrated inputs")
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# E12: external-memory MaxRS on the simulated I/O model
+# --------------------------------------------------------------------------- #
+
+def experiment_e12_io_model(
+    sizes: Sequence[int] = (256, 512, 1024),
+    block_size: int = 16,
+    memory: int = 128,
+    seed: int = 12,
+) -> ExperimentReport:
+    """Block-transfer counts of sort-based vs nested-scan external MaxRS."""
+    report = ExperimentReport(
+        experiment_id="E12",
+        title="External MaxRS in the I/O model: sort-based vs nested scan ([CCT12/CCT14] shape)",
+        headers=["n", "blocks", "sort_ios", "scan_based_ios", "nested_scan_ios",
+                 "rect_ios", "values_match"],
+    )
+    rng = random.Random(seed)
+    shape_ok = True
+    for n in sizes:
+        records_1d = [(rng.uniform(0.0, 100.0), rng.uniform(0.5, 2.0)) for _ in range(n)]
+        records_2d = [
+            (rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0), rng.uniform(0.5, 2.0))
+            for _ in range(n)
+        ]
+        storage = BlockStorage(block_size=block_size, memory_capacity=memory)
+        file_1d = storage.file_from_records(records_1d)
+        file_2d = storage.file_from_records(records_2d)
+
+        before = storage.stats.snapshot()
+        external_merge_sort(file_1d, key=lambda r: r[0])
+        sort_ios = storage.stats.delta_since(before).total_ios
+
+        sort_based = external_maxrs_interval(file_1d, length=5.0)
+        nested = external_maxrs_interval_nested_scan(file_1d, length=5.0)
+        rectangle = external_maxrs_rectangle(file_2d, width=4.0, height=4.0)
+
+        values_match = abs(sort_based.value - nested.value) < 1e-6
+        shape_ok &= values_match
+        shape_ok &= sort_based.meta["io"].total_ios < nested.meta["io"].total_ios
+        report.add_row(n, file_1d.block_count, sort_ios,
+                       sort_based.meta["io"].total_ios,
+                       nested.meta["io"].total_ios,
+                       rectangle.meta["io"].total_ios,
+                       values_match)
+    report.add_claim("sort-based external MaxRS uses fewer block transfers than nested scans "
+                     "and both agree on the optimum", shape_ok)
+    report.add_note("nested-scan I/O grows quadratically in the number of blocks while the "
+                    "sort-based algorithms stay within a small factor of sort(n)")
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# E13: streaming hotspot monitoring
+# --------------------------------------------------------------------------- #
+
+def experiment_e13_streaming_monitor(
+    stream_lengths: Sequence[int] = (100, 200, 400),
+    epsilon: float = 0.3,
+    query_every: int = 25,
+    seed: int = 13,
+) -> ExperimentReport:
+    """Dynamic-structure monitoring vs exact recomputation over update streams."""
+    report = ExperimentReport(
+        experiment_id="E13",
+        title="Continuous hotspot monitoring: Theorem 1.1 structure vs exact recomputation",
+        headers=["updates", "approx_ms_per_update", "exact_ms_per_query",
+                 "worst_ratio", "guarantee"],
+    )
+    guarantee = 0.5 - epsilon
+    guarantees_ok = True
+    approx_costs: List[float] = []
+    exact_costs: List[float] = []
+    for updates in stream_lengths:
+        stream = hotspot_monitoring_stream(updates, dim=2, extent=8.0, seed=seed + updates)
+        approx = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=epsilon, seed=seed)
+        exact = ExactRecomputeMonitor(radius=1.0)
+        with Timer() as approx_timer:
+            approx_snaps = approx.replay(stream, query_every=query_every)
+        with Timer() as exact_timer:
+            exact_snaps = exact.replay(stream, query_every=query_every)
+        worst_ratio = 1.0
+        for a, e in zip(approx_snaps, exact_snaps):
+            if e.value > 0:
+                worst_ratio = min(worst_ratio, a.value / e.value)
+        guarantees_ok &= worst_ratio >= guarantee - 1e-9
+        approx_per_update = 1000.0 * approx_timer.elapsed / max(1, len(stream))
+        exact_per_query = 1000.0 * exact_timer.elapsed / max(1, len(exact_snaps))
+        approx_costs.append(approx_per_update)
+        exact_costs.append(exact_per_query)
+        report.add_row(updates, approx_per_update, exact_per_query, worst_ratio, guarantee)
+    report.add_claim("every reported hotspot is within (1/2 - eps) of the exact optimum",
+                     guarantees_ok)
+    if len(approx_costs) >= 2 and approx_costs[0] > 0 and exact_costs[0] > 0:
+        report.add_claim(
+            "the exact per-query cost grows faster with the stream length than the dynamic "
+            "structure's per-update cost (the Theorem 1.1 shape)",
+            exact_costs[-1] / exact_costs[0] > approx_costs[-1] / approx_costs[0],
+        )
+    report.add_note("absolute per-update constants of the sampling structure are large in pure "
+                    "Python, so the exact baseline can still be cheaper at these live-set sizes; "
+                    "the reproduced shape is that its per-query cost grows with the live set "
+                    "while the dynamic per-update cost stays flat")
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# E14: colored MaxRS for boxes (Technique 2 extension, open problem 1)
+# --------------------------------------------------------------------------- #
+
+def experiment_e14_colored_boxes(
+    entity_counts: Sequence[int] = (10, 20, 40),
+    epsilon: float = 0.25,
+    seed: int = 14,
+) -> ExperimentReport:
+    """The Technique 2 extension to boxes against the [ZGH+22]-style baseline."""
+    report = ExperimentReport(
+        experiment_id="E14",
+        title="Colored box MaxRS: Technique 2 extension (Section 7, open problem 1)",
+        headers=["entities", "n", "opt", "arrangement", "output_sensitive",
+                 "eps_value", "opt_estimate", "baseline_s", "arrangement_s",
+                 "output_sensitive_s", "eps_s"],
+    )
+    exact_ok = True
+    eps_ok = True
+    estimate_ok = True
+    for entities in entity_counts:
+        points, colors = trajectory_colored_points(entities, samples_per_entity=8,
+                                                   extent=8.0, seed=seed + entities)
+        with Timer() as baseline_timer:
+            baseline = colored_maxrs_rectangle_exact(points, width=2.0, height=2.0, colors=colors)
+        with Timer() as arrangement_timer:
+            arrangement = colored_maxrs_box_arrangement(points, width=2.0, height=2.0,
+                                                        colors=colors)
+        with Timer() as output_timer:
+            output_sensitive = colored_maxrs_box_output_sensitive(points, width=2.0, height=2.0,
+                                                                  colors=colors)
+        with Timer() as eps_timer:
+            approx = colored_maxrs_box(points, width=2.0, height=2.0, epsilon=epsilon,
+                                       colors=colors, seed=seed)
+        estimate = estimate_colored_opt_box(points, width=2.0, height=2.0, colors=colors)
+        exact_ok &= arrangement.value == baseline.value == output_sensitive.value
+        eps_ok &= approx.value >= (1.0 - epsilon) * baseline.value - 1e-9
+        estimate_ok &= baseline.value / 4.0 - 1e-9 <= estimate <= baseline.value + 1e-9
+        report.add_row(entities, len(points), baseline.value, arrangement.value,
+                       output_sensitive.value, approx.value, estimate,
+                       baseline_timer.elapsed, arrangement_timer.elapsed,
+                       output_timer.elapsed, eps_timer.elapsed)
+    report.add_claim("arrangement and output-sensitive solvers match the exact baseline", exact_ok)
+    report.add_claim("color sampling meets the (1 - eps) guarantee", eps_ok)
+    report.add_claim("the corner estimator brackets opt within a factor of 4", estimate_ok)
+    report.add_note("this is the box analogue of Theorems 4.6 and 1.6; the corner argument "
+                    "replaces Lemma 4.3")
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# E15: exact boxes beyond the plane
+# --------------------------------------------------------------------------- #
+
+def experiment_e15_boxes_beyond_plane(
+    sizes: Sequence[int] = (40, 80, 160),
+    seed: int = 15,
+) -> ExperimentReport:
+    """Exact 3-box sweep vs brute force, and the d = 3 ball approximation regime."""
+    report = ExperimentReport(
+        experiment_id="E15",
+        title="Exact box MaxRS in R^3 and the d >= 3 regime of Theorem 1.2",
+        headers=["n", "box3d_value", "box3d_s", "bruteforce_s",
+                 "ball_opt", "ball_approx", "ball_ratio"],
+    )
+    rng = random.Random(seed)
+    matches_ok = True
+    ratio_ok = True
+    for n in sizes:
+        points = [
+            (rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0))
+            for _ in range(n)
+        ]
+        with Timer() as sweep_timer:
+            sweep = maxrs_box3d_exact(points, side_lengths=(1.5, 1.5, 1.5))
+        brute_time = float("nan")
+        if n <= 40:
+            with Timer() as brute_timer:
+                brute = maxrs_box_bruteforce(points, side_lengths=(1.5, 1.5, 1.5))
+            brute_time = brute_timer.elapsed
+            matches_ok &= abs(brute.value - sweep.value) < 1e-9
+
+        ball_points, ball_opt = planted_ball_instance(n, planted=max(5, n // 8), dim=3,
+                                                      seed=seed + n)
+        approx = max_range_sum_ball(ball_points, radius=1.0, epsilon=0.4, seed=seed)
+        ratio = approx.value / ball_opt if ball_opt else 1.0
+        ratio_ok &= ratio >= 0.1 - 1e-9
+        report.add_row(n, sweep.value, sweep_timer.elapsed, brute_time,
+                       ball_opt, approx.value, ratio)
+    report.add_claim("the z-slab sweep matches the brute force where the latter is feasible",
+                     matches_ok)
+    report.add_claim("the d = 3 ball approximation stays within its guarantee on planted optima",
+                     ratio_ok)
+    report.add_note("exact d-ball MaxRS for d >= 3 costs ~n^d, which is why Theorem 1.2's "
+                    "dimension-friendly approximation matters in this regime")
+    return report
+
+
+def run_all_extended(verbose: bool = True) -> Dict[str, ExperimentReport]:
+    """Run every extended experiment with default parameters and return the reports."""
+    drivers = [
+        experiment_e11_sampling_baselines,
+        experiment_e12_io_model,
+        experiment_e13_streaming_monitor,
+        experiment_e14_colored_boxes,
+        experiment_e15_boxes_beyond_plane,
+    ]
+    reports: Dict[str, ExperimentReport] = {}
+    for driver in drivers:
+        report = driver()
+        reports[report.experiment_id] = report
+        if verbose:
+            print(report.render())
+            print()
+    return reports
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    run_all_extended(verbose=True)

@@ -1,0 +1,105 @@
+"""Small utilities shared by the experiment drivers and the benchmark suite."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Timer", "ExperimentReport", "format_table", "geometric_sizes"]
+
+
+class Timer:
+    """Context manager measuring wall-clock time in seconds."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a plain-text table with right-padded columns."""
+    rendered_rows = [[_format_value(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "  ".join("-" * widths[i] for i in range(len(headers)))
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rendered_rows
+    ]
+    return "\n".join([line, separator] + body)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100 or abs(value) < 0.01:
+            return "%.3g" % value
+        return "%.3f" % value
+    return str(value)
+
+
+@dataclass
+class ExperimentReport:
+    """Result of one experiment: a table plus free-form notes.
+
+    ``headers``/``rows`` carry the data the paper-vs-measured comparison in
+    EXPERIMENTS.md is based on; ``claims`` summarise whether the theorem's
+    qualitative statement held on this run.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    claims: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(list(values))
+
+    def add_claim(self, description: str, holds: bool) -> None:
+        self.claims[description] = bool(holds)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values()) if self.claims else True
+
+    def render(self) -> str:
+        parts = ["[%s] %s" % (self.experiment_id, self.title),
+                 format_table(self.headers, self.rows)]
+        if self.claims:
+            parts.append("claims:")
+            for description, holds in self.claims.items():
+                parts.append("  [%s] %s" % ("ok" if holds else "FAIL", description))
+        for note in self.notes:
+            parts.append("note: %s" % note)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.render()
+
+
+def geometric_sizes(start: int, factor: float, count: int) -> List[int]:
+    """A geometric progression of instance sizes for scaling experiments."""
+    if start < 1 or factor <= 1.0 or count < 1:
+        raise ValueError("start >= 1, factor > 1 and count >= 1 are required")
+    sizes = []
+    current = float(start)
+    for _ in range(count):
+        sizes.append(int(round(current)))
+        current *= factor
+    return sizes

@@ -1,0 +1,73 @@
+"""Persisting experiment reports to CSV and JSON.
+
+``python -m repro experiments run`` can archive the tables it prints so
+EXPERIMENTS.md (and any downstream analysis) can be regenerated from files
+rather than terminal scrollback.  The formats are intentionally plain:
+
+* one CSV file per experiment: the report's header row followed by its data
+  rows, then a blank line and the claim outcomes;
+* a single JSON file for a whole run: experiment id, title, headers, rows,
+  claims and notes.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Iterable, List
+
+from .harness import ExperimentReport
+
+__all__ = [
+    "report_to_dict",
+    "write_report_csv",
+    "write_reports_json",
+    "write_reports_csv_dir",
+]
+
+
+def report_to_dict(report: ExperimentReport) -> Dict[str, object]:
+    """A JSON-serialisable view of one experiment report."""
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "headers": list(report.headers),
+        "rows": [list(row) for row in report.rows],
+        "claims": dict(report.claims),
+        "notes": list(report.notes),
+        "all_claims_hold": report.all_claims_hold,
+    }
+
+
+def write_report_csv(report: ExperimentReport, path: str) -> None:
+    """Write one report's table (and claim outcomes) as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(report.headers)
+        for row in report.rows:
+            writer.writerow(row)
+        if report.claims:
+            writer.writerow([])
+            writer.writerow(["claim", "holds"])
+            for description, holds in report.claims.items():
+                writer.writerow([description, holds])
+
+
+def write_reports_json(reports: Iterable[ExperimentReport], path: str) -> None:
+    """Write a collection of reports as one JSON document."""
+    payload: List[Dict[str, object]] = [report_to_dict(report) for report in reports]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+
+
+def write_reports_csv_dir(reports: Iterable[ExperimentReport], directory: str) -> List[str]:
+    """Write one CSV per report into ``directory``; returns the file paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    for report in reports:
+        path = os.path.join(directory, "%s.csv" % report.experiment_id.lower())
+        write_report_csv(report, path)
+        paths.append(path)
+    return paths

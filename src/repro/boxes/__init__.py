@@ -1,0 +1,42 @@
+"""Colored MaxRS for axis-aligned boxes: the Technique 2 extension (Section 7).
+
+The paper's first open problem asks whether the output-sensitivity +
+color-sampling technique of Section 4 extends to colored MaxRS with boxes.
+This package carries out that extension in the plane:
+
+* :mod:`repro.boxes.union` -- the union of axis-aligned rectangles of one
+  color, decomposed into disjoint pieces (the box analogue of the
+  power-diagram union boundary of Lemma 4.2);
+* :mod:`repro.boxes.sweep` -- a vertical-slab sweep over the colored union
+  pieces that finds a point of maximum colored depth (the analogue of the
+  trapezoidal-map traversal);
+* :mod:`repro.boxes.colored` -- the primal-side public API: an exact
+  arrangement solver, the output-sensitive ``O(n log n + n * opt)``-style
+  solver driven by a grid of query-sized cells (Theorem 4.6 analogue), the
+  corner-pigeonhole ``opt`` estimator, and the (1 - eps) color-sampling
+  solver (Theorem 1.6 analogue).
+
+The correctness oracle for all of it is the existing exact colored rectangle
+solver :func:`repro.exact.colored_rectangle.colored_maxrs_rectangle_exact`
+([ZGH+22] baseline).
+"""
+
+from .union import rectangles_union_pieces, union_area, point_in_union
+from .sweep import max_colored_depth_boxes
+from .colored import (
+    colored_maxrs_box,
+    colored_maxrs_box_arrangement,
+    colored_maxrs_box_output_sensitive,
+    estimate_colored_opt_box,
+)
+
+__all__ = [
+    "rectangles_union_pieces",
+    "union_area",
+    "point_in_union",
+    "max_colored_depth_boxes",
+    "colored_maxrs_box_arrangement",
+    "colored_maxrs_box_output_sensitive",
+    "estimate_colored_opt_box",
+    "colored_maxrs_box",
+]

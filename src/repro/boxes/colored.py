@@ -1,0 +1,327 @@
+"""Colored MaxRS for axis-aligned boxes: output-sensitivity and color sampling.
+
+This module answers the paper's first open problem (Section 7) in the plane:
+it transfers the two phases of Technique 2 from unit disks to ``width x
+height`` axis-aligned query rectangles.
+
+Dual formulation
+----------------
+A query rectangle with lower-left corner ``(a, b)`` covers the point ``p``
+exactly when ``(a, b)`` lies in the *dual box* ``[p_x - width, p_x] x
+[p_y - height, p_y]``.  Colored box MaxRS is therefore the problem of finding
+a point of maximum colored depth among ``n`` equal-size colored boxes, which
+:func:`repro.boxes.sweep.max_colored_depth_boxes` solves by sweeping the
+per-color union pieces.
+
+Output sensitivity (Theorem 4.6 analogue)
+-----------------------------------------
+Impose a grid whose cells have exactly the query dimensions.  Two facts
+replace Lemma 4.3:
+
+* every dual box that intersects a cell contains one of the cell's four
+  corners (two overlapping intervals of equal length always share an
+  endpoint of one of them, in each axis independently); hence
+* the number of distinct colors whose dual boxes intersect any one cell is
+  at most ``4 * opt`` (each corner has colored depth at most ``opt``), and no
+  shifting of the grid is needed because the optimal point already lies in
+  some cell together with all the boxes that cover it.
+
+Running the sweep separately inside every non-empty cell therefore touches
+each box at most four times and each sub-problem involves at most
+``4 * opt`` colors, the output-sensitive behaviour Theorem 4.6 establishes
+for disks.
+
+Color sampling (Theorem 1.6 analogue)
+-------------------------------------
+The same corner argument yields a constant-factor estimate of ``opt``: every
+color covering the optimal point also covers one of the four corners of the
+optimal point's cell, so the best grid vertex has colored depth in
+``[opt / 4, opt]``.  With that estimate, each color is kept independently
+with probability ``lambda = c1 * log(n) / (eps^2 * opt')`` and the
+output-sensitive solver runs on the sampled colors; Lemma 4.8's Chernoff
+argument is unchanged because it never uses the shape of the ranges.  The
+reported placement is re-measured against the *full* input, so the returned
+value is always a true colored coverage.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..core._inputs import normalize_colored
+from ..core.result import MaxRSResult
+from ..core.sampling import default_rng
+from .sweep import max_colored_depth_boxes
+
+__all__ = [
+    "colored_maxrs_box_arrangement",
+    "colored_maxrs_box_output_sensitive",
+    "estimate_colored_opt_box",
+    "colored_maxrs_box",
+]
+
+Coords = Tuple[float, ...]
+
+
+def _dual_boxes(
+    coords: Sequence[Coords], width: float, height: float
+) -> List[Tuple[float, float, float, float]]:
+    """Dual box of every point: placements whose rectangle covers the point."""
+    return [(x - width, y - height, x, y) for x, y in coords]
+
+
+def _validate(width: float, height: float, dim: int) -> None:
+    if width <= 0 or height <= 0:
+        raise ValueError("rectangle side lengths must be positive")
+    if dim and dim != 2:
+        raise ValueError("colored box MaxRS is implemented in the plane, got dim=%d" % dim)
+
+
+def _colored_coverage(
+    corner: Tuple[float, float],
+    coords: Sequence[Coords],
+    colors: Sequence[Hashable],
+    width: float,
+    height: float,
+) -> int:
+    """True number of distinct colors covered by the rectangle at ``corner``."""
+    a, b = corner
+    covered: Set[Hashable] = set()
+    for (x, y), color in zip(coords, colors):
+        if color in covered:
+            continue
+        if a - 1e-12 <= x <= a + width + 1e-12 and b - 1e-12 <= y <= b + height + 1e-12:
+            covered.add(color)
+    return len(covered)
+
+
+def colored_maxrs_box_arrangement(
+    points: Sequence,
+    width: float,
+    height: float,
+    *,
+    colors: Optional[Sequence[Hashable]] = None,
+) -> MaxRSResult:
+    """Exact colored box MaxRS via the union-piece sweep (Lemma 4.2 analogue).
+
+    ``center`` of the result is the lower-left corner of an optimal query
+    rectangle.  The running time is governed by the total number of union
+    pieces over all colors (near-linear for well-separated colors, quadratic
+    in the worst case), which is the quantity the output-sensitive solver
+    below keeps proportional to ``opt``.
+    """
+    coords, color_list, dim = normalize_colored(points, colors)
+    _validate(width, height, dim)
+    if not coords:
+        return MaxRSResult(value=0, center=None, shape="rectangle", exact=True,
+                           meta={"width": width, "height": height, "n": 0})
+    depth, point = max_colored_depth_boxes(_dual_boxes(coords, width, height), color_list)
+    if point is None:
+        point = (coords[0][0] - width, coords[0][1] - height)
+        depth = 1
+    value = _colored_coverage(point, coords, color_list, width, height)
+    return MaxRSResult(
+        value=max(depth, value),
+        center=point,
+        shape="rectangle",
+        exact=True,
+        meta={
+            "width": width,
+            "height": height,
+            "n": len(coords),
+            "colors": len(set(color_list)),
+            "method": "box-arrangement",
+        },
+    )
+
+
+def colored_maxrs_box_output_sensitive(
+    points: Sequence,
+    width: float,
+    height: float,
+    *,
+    colors: Optional[Sequence[Hashable]] = None,
+) -> MaxRSResult:
+    """Output-sensitive exact colored box MaxRS (Theorem 4.6 analogue).
+
+    Partitions the dual plane into cells of the query dimensions, runs the
+    union-piece sweep inside every non-empty cell (each cell sees at most
+    ``4 * opt`` distinct colors), and returns the best placement found.
+    """
+    coords, color_list, dim = normalize_colored(points, colors)
+    _validate(width, height, dim)
+    if not coords:
+        return MaxRSResult(value=0, center=None, shape="rectangle", exact=True,
+                           meta={"width": width, "height": height, "n": 0})
+
+    duals = _dual_boxes(coords, width, height)
+    # Assign every dual box to the cells it intersects (at most four).
+    cells: Dict[Tuple[int, int], Tuple[List[Tuple[float, float, float, float]], List[Hashable]]] = (
+        defaultdict(lambda: ([], []))
+    )
+    for (xlo, ylo, xhi, yhi), color in zip(duals, color_list):
+        cx_lo = int(math.floor(xlo / width))
+        cx_hi = int(math.floor(xhi / width))
+        cy_lo = int(math.floor(ylo / height))
+        cy_hi = int(math.floor(yhi / height))
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                bucket = cells[(cx, cy)]
+                bucket[0].append((xlo, ylo, xhi, yhi))
+                bucket[1].append(color)
+
+    best_depth = 0
+    best_point: Optional[Tuple[float, float]] = None
+    max_cell_colors = 0
+    for (cx, cy), (cell_rects, cell_colors) in cells.items():
+        max_cell_colors = max(max_cell_colors, len(set(cell_colors)))
+        # Clip each dual box to the cell so the per-cell sweep stays local.
+        x_cell_lo, x_cell_hi = cx * width, (cx + 1) * width
+        y_cell_lo, y_cell_hi = cy * height, (cy + 1) * height
+        clipped = []
+        clipped_colors = []
+        for (xlo, ylo, xhi, yhi), color in zip(cell_rects, cell_colors):
+            nxlo, nxhi = max(xlo, x_cell_lo), min(xhi, x_cell_hi)
+            nylo, nyhi = max(ylo, y_cell_lo), min(yhi, y_cell_hi)
+            if nxlo <= nxhi and nylo <= nyhi:
+                clipped.append((nxlo, nylo, nxhi, nyhi))
+                clipped_colors.append(color)
+        if not clipped:
+            continue
+        depth, point = max_colored_depth_boxes(clipped, clipped_colors)
+        if depth > best_depth and point is not None:
+            best_depth = depth
+            best_point = point
+
+    if best_point is None:
+        best_point = (coords[0][0] - width, coords[0][1] - height)
+    value = _colored_coverage(best_point, coords, color_list, width, height)
+    return MaxRSResult(
+        value=max(best_depth, value),
+        center=best_point,
+        shape="rectangle",
+        exact=True,
+        meta={
+            "width": width,
+            "height": height,
+            "n": len(coords),
+            "colors": len(set(color_list)),
+            "cells": len(cells),
+            "max_cell_colors": max_cell_colors,
+            "method": "box-output-sensitive",
+        },
+    )
+
+
+def estimate_colored_opt_box(
+    points: Sequence,
+    width: float,
+    height: float,
+    *,
+    colors: Optional[Sequence[Hashable]] = None,
+) -> int:
+    """Constant-factor estimate of colored box MaxRS ``opt`` via grid corners.
+
+    Every dual box contains at least one vertex of the grid whose cells have
+    the query dimensions, and every color covering the optimal point covers
+    one of the four corners of the optimal point's cell.  The maximum colored
+    depth over grid vertices is therefore in ``[opt / 4, opt]``; it is
+    computed in one pass over the input with per-vertex color sets.
+    """
+    coords, color_list, dim = normalize_colored(points, colors)
+    _validate(width, height, dim)
+    if not coords:
+        return 0
+    vertex_colors: Dict[Tuple[int, int], Set[Hashable]] = defaultdict(set)
+    for (x, y), color in zip(coords, color_list):
+        xlo, xhi = x - width, x
+        ylo, yhi = y - height, y
+        gx_lo = int(math.ceil(xlo / width - 1e-12))
+        gx_hi = int(math.floor(xhi / width + 1e-12))
+        gy_lo = int(math.ceil(ylo / height - 1e-12))
+        gy_hi = int(math.floor(yhi / height + 1e-12))
+        for gx in range(gx_lo, gx_hi + 1):
+            for gy in range(gy_lo, gy_hi + 1):
+                vertex_colors[(gx, gy)].add(color)
+    if not vertex_colors:
+        return 1
+    return max(len(colors_at_vertex) for colors_at_vertex in vertex_colors.values())
+
+
+def colored_maxrs_box(
+    points: Sequence,
+    width: float,
+    height: float,
+    epsilon: float,
+    *,
+    colors: Optional[Sequence[Hashable]] = None,
+    seed=None,
+    constant: float = 4.0,
+) -> MaxRSResult:
+    """(1 - eps)-approximate colored box MaxRS via color sampling (Thm 1.6 analogue).
+
+    Parameters mirror :func:`repro.core.technique2.colored_maxrs_disk`.  The
+    two branches of the final algorithm of Section 4.4 are preserved: when
+    the estimated ``opt`` is below ``c1 * eps^-2 * log n`` the exact
+    output-sensitive solver runs on the full input (``meta["branch"] ==
+    "exact"``); otherwise colors are sampled with probability
+    ``c1 * log(n) / (eps^2 * opt')`` and the output-sensitive solver runs on
+    the sample (``meta["branch"] == "sampled"``).  The returned value is the
+    true colored coverage of the reported placement.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must lie strictly between 0 and 1, got %r" % epsilon)
+    coords, color_list, dim = normalize_colored(points, colors)
+    _validate(width, height, dim)
+    if not coords:
+        return MaxRSResult(value=0, center=None, shape="rectangle", exact=False,
+                           meta={"width": width, "height": height, "n": 0,
+                                 "epsilon": epsilon, "branch": "empty"})
+
+    n = len(coords)
+    opt_estimate = max(1, estimate_colored_opt_box(coords, width, height, colors=color_list))
+    threshold = constant * (epsilon ** -2) * math.log(max(n, 2))
+
+    if opt_estimate <= threshold:
+        exact = colored_maxrs_box_output_sensitive(coords, width, height, colors=color_list)
+        meta = dict(exact.meta)
+        meta.update({"branch": "exact", "epsilon": epsilon, "opt_estimate": opt_estimate})
+        return MaxRSResult(value=exact.value, center=exact.center, shape="rectangle",
+                           exact=False, meta=meta)
+
+    rng = default_rng(seed)
+    probability = min(1.0, constant * math.log(max(n, 2)) / (epsilon * epsilon * opt_estimate))
+    distinct_colors = sorted(set(color_list), key=repr)
+    kept_colors = {c for c in distinct_colors if rng.random() < probability}
+    sampled_coords = [c for c, color in zip(coords, color_list) if color in kept_colors]
+    sampled_colors = [color for color in color_list if color in kept_colors]
+
+    if not sampled_coords:
+        sampled_coords = coords
+        sampled_colors = color_list
+
+    placement = colored_maxrs_box_output_sensitive(sampled_coords, width, height,
+                                                   colors=sampled_colors)
+    corner = placement.center
+    if corner is None:
+        corner = (coords[0][0] - width, coords[0][1] - height)
+    value = _colored_coverage(corner, coords, color_list, width, height)
+    return MaxRSResult(
+        value=value,
+        center=corner,
+        shape="rectangle",
+        exact=False,
+        meta={
+            "width": width,
+            "height": height,
+            "n": n,
+            "epsilon": epsilon,
+            "branch": "sampled",
+            "opt_estimate": opt_estimate,
+            "probability": probability,
+            "sampled_colors": len(kept_colors),
+            "method": "box-color-sampling",
+        },
+    )

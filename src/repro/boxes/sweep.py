@@ -1,0 +1,130 @@
+"""Maximum colored depth over axis-aligned boxes via a vertical-slab sweep.
+
+This is the box analogue of the trapezoidal-map traversal of Lemma 4.2: the
+colored problem is first turned into an uncolored one by replacing every
+color class with its union (here a set of disjoint rectangle pieces, see
+:mod:`repro.boxes.union`), and the resulting pieces are swept left to right
+while a range-add / global-max segment tree over the compressed
+y-coordinates tracks how many *distinct* colors cover each candidate y.
+
+Correctness relies on two facts:
+
+* pieces of one color never overlap (they come from a union decomposition
+  over half-open x-slabs), so adding ``+1`` per active piece counts each
+  color at most once at any sweep position; and
+* an optimal point can be translated down and left until its x-coordinate is
+  a piece's left boundary and its y-coordinate a piece's bottom boundary, so
+  sampling the tree only at event x-coordinates and compressed y-coordinates
+  loses nothing.
+
+The sweep treats pieces as active on the half-open range ``[xlo, xhi)``.  A
+configuration in which the optimum is attained *only* at an x where one
+color's coverage ends exactly and no other piece of that color takes over
+(which requires two input points at distance exactly ``width`` in x) can
+therefore be undercounted; such ties have measure zero and the exact solvers
+built on top re-measure the reported point against the full input anyway.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..structures.segment_tree import MaxAddSegmentTree
+from .union import Rect, rectangles_union_pieces
+
+__all__ = ["max_colored_depth_boxes"]
+
+
+def _group_rects_by_color(
+    rects: Sequence[Sequence[float]], colors: Sequence[Hashable]
+) -> Dict[Hashable, List[Rect]]:
+    if len(rects) != len(colors):
+        raise ValueError("got %d rectangles but %d colors" % (len(rects), len(colors)))
+    grouped: Dict[Hashable, List[Rect]] = defaultdict(list)
+    for rect, color in zip(rects, colors):
+        xlo, ylo, xhi, yhi = (float(v) for v in rect)
+        grouped[color].append((xlo, ylo, xhi, yhi))
+    return grouped
+
+
+def max_colored_depth_boxes(
+    rects: Sequence[Sequence[float]],
+    colors: Sequence[Hashable],
+) -> Tuple[int, Optional[Tuple[float, float]]]:
+    """Point of maximum colored depth with respect to closed axis-aligned boxes.
+
+    Parameters
+    ----------
+    rects:
+        Rectangles ``(xlo, ylo, xhi, yhi)``; the "dual" boxes of the colored
+        box MaxRS problem.
+    colors:
+        One hashable color label per rectangle.
+
+    Returns
+    -------
+    (depth, point)
+        The maximum number of distinct colors whose boxes share a common
+        point, and one point attaining it (``None`` on empty input).
+    """
+    grouped = _group_rects_by_color(rects, colors)
+    if not grouped:
+        return 0, None
+
+    # Union pieces per color; record (xlo, xhi, ylo, yhi, piece-id) events.
+    pieces: List[Tuple[float, float, float, float]] = []
+    for color_rects in grouped.values():
+        pieces.extend(
+            (xlo, xhi, ylo, yhi)
+            for (xlo, ylo, xhi, yhi) in rectangles_union_pieces(color_rects)
+        )
+    if not pieces:
+        return 0, None
+
+    ys = sorted({p[2] for p in pieces} | {p[3] for p in pieces})
+    y_index = {value: index for index, value in enumerate(ys)}
+    tree = MaxAddSegmentTree(len(ys))
+
+    events: List[Tuple[float, int, int, int]] = []  # (x, order, y_lo_idx, y_hi_idx) with order -1 remove / +1 add
+    for xlo, xhi, ylo, yhi in pieces:
+        lo = y_index[ylo]
+        hi = y_index[yhi]
+        if xhi > xlo:
+            events.append((xlo, 1, lo, hi))
+            events.append((xhi, -1, lo, hi))
+        else:
+            # Degenerate zero-width piece: active only at this single x.
+            events.append((xlo, 1, lo, hi))
+            events.append((xlo, 0, lo, hi))
+
+    # Removals before additions at equal x implements half-open [xlo, xhi)
+    # activation; the sentinel order 0 removes degenerate pieces after the
+    # query at their own x.
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    best_depth = 0
+    best_point: Optional[Tuple[float, float]] = None
+    index = 0
+    total = len(events)
+    while index < total:
+        x = events[index][0]
+        deferred_removals: List[Tuple[int, int]] = []
+        while index < total and events[index][0] == x:
+            _, order, lo, hi = events[index]
+            if order == -1:
+                tree.add(lo, hi, -1)
+            elif order == 1:
+                tree.add(lo, hi, 1)
+            else:
+                deferred_removals.append((lo, hi))
+            index += 1
+        depth, arg = tree.max_with_argmax()
+        if depth > best_depth:
+            best_depth = int(round(depth))
+            best_point = (x, ys[arg])
+        for lo, hi in deferred_removals:
+            tree.add(lo, hi, -1)
+
+    return best_depth, best_point

@@ -1,0 +1,109 @@
+"""Union of axis-aligned rectangles, decomposed into disjoint pieces.
+
+Technique 2 (Section 4) starts by replacing each color class by the *union*
+of its objects, so that colored depth becomes uncolored depth over the union
+regions.  For unit disks the union boundary is a set of circular arcs
+(:mod:`repro.arrangement.union`); for axis-aligned boxes -- the extension this
+package carries out -- the union is a rectilinear region, which we represent
+as a set of pairwise-disjoint axis-aligned rectangles produced by a
+vertical-slab sweep.
+
+A rectangle is the tuple ``(xlo, ylo, xhi, yhi)`` of its closed extent.  The
+decomposition uses half-open x-slabs ``[x_i, x_{i+1})`` internally, which is
+exactly what the depth sweep of :mod:`repro.boxes.sweep` needs: at any
+x-coordinate at most one slab of a given color is active, and within a slab
+the pieces of one color are disjoint, so adding ``+1`` per piece never
+double-counts a color.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Rect",
+    "rectangles_union_pieces",
+    "union_area",
+    "point_in_union",
+]
+
+Rect = Tuple[float, float, float, float]
+
+
+def _validate_rect(rect: Sequence[float]) -> Rect:
+    if len(rect) != 4:
+        raise ValueError("a rectangle is (xlo, ylo, xhi, yhi); got %r" % (rect,))
+    xlo, ylo, xhi, yhi = (float(v) for v in rect)
+    if xlo > xhi or ylo > yhi:
+        raise ValueError("rectangle has inverted extent: %r" % (rect,))
+    return (xlo, ylo, xhi, yhi)
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge closed, possibly overlapping intervals into maximal disjoint ones."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def rectangles_union_pieces(rects: Iterable[Sequence[float]]) -> List[Rect]:
+    """Decompose the union of rectangles into disjoint axis-aligned pieces.
+
+    The sweep walks the distinct x-coordinates of the input; inside each
+    half-open slab ``[x_i, x_{i+1})`` the covered y-set is the merged union of
+    the y-extents of the rectangles whose x-extent covers the whole slab.
+    Pieces of width zero (from degenerate rectangles) are dropped, but
+    zero-height pieces are kept so that degenerate but non-empty rectangles
+    still contribute to membership tests.
+
+    Returns pieces ``(xlo, ylo, xhi, yhi)``; distinct pieces overlap at most
+    on shared boundary segments, never in their interiors.
+    """
+    rect_list = [_validate_rect(r) for r in rects]
+    if not rect_list:
+        return []
+    xs = sorted({r[0] for r in rect_list} | {r[2] for r in rect_list})
+    pieces: List[Rect] = []
+    for x_left, x_right in zip(xs, xs[1:]):
+        if x_right <= x_left:
+            continue
+        active = [
+            (ylo, yhi)
+            for (xlo, ylo, xhi, yhi) in rect_list
+            if xlo <= x_left and x_right <= xhi
+        ]
+        for ylo, yhi in _merge_intervals(active):
+            pieces.append((x_left, ylo, x_right, yhi))
+    if len(xs) == 1:
+        # All rectangles are degenerate vertical segments at the same x.
+        x = xs[0]
+        for ylo, yhi in _merge_intervals([(r[1], r[3]) for r in rect_list]):
+            pieces.append((x, ylo, x, yhi))
+    return pieces
+
+
+def union_area(rects: Iterable[Sequence[float]]) -> float:
+    """Area of the union of the rectangles (via the disjoint decomposition)."""
+    return sum(
+        (xhi - xlo) * (yhi - ylo)
+        for xlo, ylo, xhi, yhi in rectangles_union_pieces(rects)
+    )
+
+
+def point_in_union(point: Sequence[float], rects: Iterable[Sequence[float]]) -> bool:
+    """Whether ``point`` lies in the union of the closed rectangles."""
+    x, y = float(point[0]), float(point[1])
+    for rect in rects:
+        xlo, ylo, xhi, yhi = _validate_rect(rect)
+        if xlo <= x <= xhi and ylo <= y <= yhi:
+            return True
+    return False

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three command groups cover the day-to-day uses of the library without
+writing Python:
+
+* ``experiments`` -- list the reproduction experiments (E1-E15) and run any
+  subset of them, optionally archiving the tables as CSV/JSON;
+* ``generate`` -- synthesise the workloads the experiments use (uniform,
+  clustered, hotspot, trajectory) and write them to CSV;
+* ``solve`` -- run a MaxRS solver over a CSV point file: exact interval,
+  rectangle and disk placement, the paper's approximate d-ball solver, and
+  the colored disk / box solvers.
+
+Every command prints a short human-readable summary to stdout and exits with
+status 0 on success, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .bench import experiments as _experiments
+from .bench import experiments_extended as _experiments_extended
+from .bench.harness import ExperimentReport
+from .bench.recorder import write_reports_csv_dir, write_reports_json
+from .boxes import colored_maxrs_box
+from .core import colored_maxrs_disk, max_range_sum_ball
+from .datasets import (
+    clustered_points,
+    trajectory_colored_points,
+    uniform_weighted_points,
+    weighted_hotspot_points,
+)
+from .datasets.io import read_points_csv, write_points_csv
+from .exact import (
+    colored_maxrs_disk_sweep,
+    maxrs_disk_exact,
+    maxrs_interval_exact,
+    maxrs_rectangle_exact,
+)
+
+__all__ = ["build_parser", "main", "experiment_registry"]
+
+
+# --------------------------------------------------------------------------- #
+# experiment registry
+# --------------------------------------------------------------------------- #
+
+def experiment_registry() -> Dict[str, Callable[[], ExperimentReport]]:
+    """Map experiment ids (``"E1"``..``"E15"``) to their zero-argument drivers."""
+    registry: Dict[str, Callable[[], ExperimentReport]] = {}
+    for module in (_experiments, _experiments_extended):
+        for name in dir(module):
+            if not name.startswith("experiment_e"):
+                continue
+            driver = getattr(module, name)
+            if not callable(driver):
+                continue
+            experiment_id = name.split("_")[1].upper()  # "experiment_e11_..." -> "E11"
+            registry[experiment_id] = driver
+    return dict(sorted(registry.items(), key=lambda item: int(item[0][1:])))
+
+
+# --------------------------------------------------------------------------- #
+# command implementations
+# --------------------------------------------------------------------------- #
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    registry = experiment_registry()
+    if args.action == "list":
+        for experiment_id, driver in registry.items():
+            summary = (driver.__doc__ or "").strip().splitlines()
+            print("%-4s %s" % (experiment_id, summary[0] if summary else ""))
+        return 0
+
+    wanted = list(registry) if args.all or not args.ids else [i.upper() for i in args.ids]
+    unknown = [i for i in wanted if i not in registry]
+    if unknown:
+        print("unknown experiment ids: %s" % ", ".join(unknown), file=sys.stderr)
+        print("known ids: %s" % ", ".join(registry), file=sys.stderr)
+        return 2
+
+    reports: List[ExperimentReport] = []
+    for experiment_id in wanted:
+        report = registry[experiment_id]()
+        reports.append(report)
+        print(report.render())
+        print()
+    if args.json:
+        write_reports_json(reports, args.json)
+        print("wrote %s" % args.json)
+    if args.csv_dir:
+        for path in write_reports_csv_dir(reports, args.csv_dir):
+            print("wrote %s" % path)
+    failed = [r.experiment_id for r in reports if not r.all_claims_hold]
+    if failed:
+        print("claims FAILED for: %s" % ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    colors = None
+    weights = None
+    if args.kind == "uniform":
+        points, weights = uniform_weighted_points(args.n, dim=args.dim, extent=args.extent,
+                                                  seed=args.seed)
+    elif args.kind == "clustered":
+        points = clustered_points(args.n, dim=args.dim, extent=args.extent,
+                                  clusters=args.clusters, seed=args.seed)
+    elif args.kind == "hotspot":
+        points, weights = weighted_hotspot_points(args.n, dim=args.dim, extent=args.extent,
+                                                  seed=args.seed)
+    elif args.kind == "trajectory":
+        samples = max(1, args.n // max(1, args.entities))
+        points, colors = trajectory_colored_points(args.entities, samples_per_entity=samples,
+                                                   dim=args.dim, extent=args.extent,
+                                                   seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        print("unknown workload kind %r" % args.kind, file=sys.stderr)
+        return 2
+    write_points_csv(args.output, points, weights=weights, colors=colors)
+    print("wrote %d points (dim=%d) to %s" % (len(points), args.dim, args.output))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    table = read_points_csv(args.input)
+    if not table.points:
+        print("input file %s contains no points" % args.input, file=sys.stderr)
+        return 2
+    points = table.points
+    weights = table.weights
+    colors = table.colors
+
+    if args.shape == "interval":
+        result = maxrs_interval_exact(points, length=args.length, weights=weights)
+    elif args.shape == "rectangle":
+        result = maxrs_rectangle_exact(points, width=args.width, height=args.height,
+                                       weights=weights)
+    elif args.shape == "disk":
+        result = maxrs_disk_exact(points, radius=args.radius, weights=weights)
+    elif args.shape == "ball-approx":
+        result = max_range_sum_ball(points, radius=args.radius, epsilon=args.epsilon,
+                                    weights=weights, seed=args.seed)
+    elif args.shape == "colored-disk":
+        if colors is None:
+            print("colored solvers need a 'color' column in the input CSV", file=sys.stderr)
+            return 2
+        if args.exact:
+            result = colored_maxrs_disk_sweep(points, radius=args.radius, colors=colors)
+        else:
+            result = colored_maxrs_disk(points, radius=args.radius, epsilon=args.epsilon,
+                                        colors=colors, seed=args.seed)
+    elif args.shape == "colored-box":
+        if colors is None:
+            print("colored solvers need a 'color' column in the input CSV", file=sys.stderr)
+            return 2
+        result = colored_maxrs_box(points, width=args.width, height=args.height,
+                                   epsilon=args.epsilon, colors=colors, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        print("unknown shape %r" % args.shape, file=sys.stderr)
+        return 2
+
+    placement = "none" if result.center is None else ", ".join("%.4f" % c for c in result.center)
+    print("shape:     %s" % result.shape)
+    print("value:     %g" % result.value)
+    print("placement: (%s)" % placement)
+    print("exact:     %s" % result.exact)
+    if result.meta:
+        interesting = {k: v for k, v in result.meta.items() if k not in ("io",)}
+        print("meta:      %s" % interesting)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maximum range sum (MaxRS) reproduction toolkit (PODS 2025).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="list or run the reproduction experiments E1-E15")
+    experiments.add_argument("action", choices=["list", "run"])
+    experiments.add_argument("ids", nargs="*", help="experiment ids to run, e.g. E1 E11")
+    experiments.add_argument("--all", action="store_true", help="run every experiment")
+    experiments.add_argument("--json", help="archive all reports into one JSON file")
+    experiments.add_argument("--csv-dir", help="archive one CSV table per experiment")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    generate = subparsers.add_parser("generate", help="synthesise a workload and write it to CSV")
+    generate.add_argument("kind", choices=["uniform", "clustered", "hotspot", "trajectory"])
+    generate.add_argument("--output", required=True, help="destination CSV path")
+    generate.add_argument("--n", type=int, default=200, help="number of points")
+    generate.add_argument("--dim", type=int, default=2, help="dimension")
+    generate.add_argument("--extent", type=float, default=10.0, help="side of the bounding cube")
+    generate.add_argument("--clusters", type=int, default=3, help="clusters (clustered only)")
+    generate.add_argument("--entities", type=int, default=10, help="entities (trajectory only)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    solve = subparsers.add_parser("solve", help="run a MaxRS solver over a CSV point file")
+    solve.add_argument("shape", choices=["interval", "rectangle", "disk", "ball-approx",
+                                         "colored-disk", "colored-box"])
+    solve.add_argument("--input", required=True, help="CSV file of points")
+    solve.add_argument("--radius", type=float, default=1.0)
+    solve.add_argument("--width", type=float, default=1.0)
+    solve.add_argument("--height", type=float, default=1.0)
+    solve.add_argument("--length", type=float, default=1.0)
+    solve.add_argument("--epsilon", type=float, default=0.25)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--exact", action="store_true",
+                       help="use the exact solver where both exist (colored-disk)")
+    solve.set_defaults(func=_cmd_solve)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro``; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,46 @@
+"""(min,+)-style convolutions and the hardness-reduction chains (Sections 5 and 6).
+
+:mod:`repro.convolution.naive` implements every convolution variant the paper
+uses as a quadratic-time reference; :mod:`repro.convolution.reductions`
+implements the two reduction chains of Figure 6 and Section 6, so that a
+(min,+)-convolution can be computed *through* the batched-MaxRS oracle or the
+batched smallest-k-enclosing-interval oracle.  Executing those chains
+end-to-end and comparing against the naive reference is how the conditional
+lower bounds (Theorems 1.3 and 1.4) are validated empirically.
+"""
+
+from .naive import (
+    max_plus_convolution,
+    max_plus_convolution_at_indices,
+    min_plus_convolution,
+    min_plus_convolution_at_indices,
+    monotone_min_plus_convolution,
+)
+from .reductions import (
+    batched_maxrs_instance_from_sequences,
+    bsei_instance_from_monotone_sequences,
+    max_plus_indexed_via_positive_oracle,
+    min_plus_indexed_via_max_plus_oracle,
+    min_plus_via_batched_maxrs,
+    min_plus_via_bsei,
+    min_plus_via_indexed_oracle,
+    monotone_min_plus_via_bsei,
+    positive_max_plus_indexed_via_batched_maxrs,
+)
+
+__all__ = [
+    "min_plus_convolution",
+    "max_plus_convolution",
+    "min_plus_convolution_at_indices",
+    "max_plus_convolution_at_indices",
+    "monotone_min_plus_convolution",
+    "min_plus_via_indexed_oracle",
+    "min_plus_indexed_via_max_plus_oracle",
+    "max_plus_indexed_via_positive_oracle",
+    "positive_max_plus_indexed_via_batched_maxrs",
+    "batched_maxrs_instance_from_sequences",
+    "min_plus_via_batched_maxrs",
+    "monotone_min_plus_via_bsei",
+    "bsei_instance_from_monotone_sequences",
+    "min_plus_via_bsei",
+]

@@ -1,0 +1,96 @@
+"""Naive (quadratic) implementations of the convolution problems of Sections 5-6.
+
+The paper's lower bounds are *conditional* on the conjecture that
+(min,+)-convolution has no truly sub-quadratic algorithm [CMWW19].  The
+functions here are the straightforward quadratic references; the reduction
+chains in :mod:`repro.convolution.reductions` are checked against them.
+
+Conventions follow the paper: for length-``n`` inputs the output is indexed by
+``k in {0, ..., n - 1}`` and ``C_k = min (or max) over i + j = k with
+0 <= i, j <= n - 1`` of ``A_i + B_j``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "min_plus_convolution",
+    "max_plus_convolution",
+    "min_plus_convolution_at_indices",
+    "max_plus_convolution_at_indices",
+    "monotone_min_plus_convolution",
+    "is_strictly_decreasing",
+]
+
+
+def _validate_pair(a: Sequence[float], b: Sequence[float]) -> int:
+    if len(a) != len(b):
+        raise ValueError("sequences must have equal length, got %d and %d" % (len(a), len(b)))
+    if not a:
+        raise ValueError("sequences must be non-empty")
+    return len(a)
+
+
+def min_plus_convolution(a: Sequence[float], b: Sequence[float]) -> List[float]:
+    """``C_k = min_{i + j = k} (A_i + B_j)`` for ``k = 0 .. n - 1``."""
+    n = _validate_pair(a, b)
+    return [
+        min(a[i] + b[k - i] for i in range(max(0, k - n + 1), min(k, n - 1) + 1))
+        for k in range(n)
+    ]
+
+
+def max_plus_convolution(a: Sequence[float], b: Sequence[float]) -> List[float]:
+    """``C_k = max_{i + j = k} (A_i + B_j)`` for ``k = 0 .. n - 1``."""
+    n = _validate_pair(a, b)
+    return [
+        max(a[i] + b[k - i] for i in range(max(0, k - n + 1), min(k, n - 1) + 1))
+        for k in range(n)
+    ]
+
+
+def _validate_indices(indices: Sequence[int], n: int) -> List[int]:
+    index_list = [int(k) for k in indices]
+    if len(set(index_list)) != len(index_list):
+        raise ValueError("target indices must be distinct")
+    for k in index_list:
+        if not 0 <= k < n:
+            raise ValueError("target index %d out of range [0, %d)" % (k, n))
+    return index_list
+
+
+def min_plus_convolution_at_indices(
+    a: Sequence[float], b: Sequence[float], indices: Sequence[int]
+) -> List[float]:
+    """The (min,+,M)-convolution: ``C_k`` only for the requested indices ``M``."""
+    n = _validate_pair(a, b)
+    index_list = _validate_indices(indices, n)
+    return [
+        min(a[i] + b[k - i] for i in range(max(0, k - n + 1), min(k, n - 1) + 1))
+        for k in index_list
+    ]
+
+
+def max_plus_convolution_at_indices(
+    a: Sequence[float], b: Sequence[float], indices: Sequence[int]
+) -> List[float]:
+    """The (max,+,M)-convolution: ``C_k`` only for the requested indices ``M``."""
+    n = _validate_pair(a, b)
+    index_list = _validate_indices(indices, n)
+    return [
+        max(a[i] + b[k - i] for i in range(max(0, k - n + 1), min(k, n - 1) + 1))
+        for k in index_list
+    ]
+
+
+def is_strictly_decreasing(values: Sequence[float]) -> bool:
+    """Whether a sequence is strictly decreasing (monotone convolution precondition)."""
+    return all(earlier > later for earlier, later in zip(values, values[1:]))
+
+
+def monotone_min_plus_convolution(d: Sequence[float], e: Sequence[float]) -> List[float]:
+    """(min,+)-convolution restricted to strictly decreasing inputs (Definition 6.1)."""
+    if not is_strictly_decreasing(d) or not is_strictly_decreasing(e):
+        raise ValueError("monotone (min,+)-convolution requires strictly decreasing inputs")
+    return min_plus_convolution(d, e)

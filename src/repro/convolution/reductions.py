@@ -1,0 +1,300 @@
+"""The hardness-reduction chains of Sections 5 and 6, executable end-to-end.
+
+Theorem 1.3 (batched MaxRS) is proved by the chain of Figure 6::
+
+    (min,+)-convolution
+        -> (min,+,M)-convolution          (Section 5.1: partition the indices)
+        -> (max,+,M)-convolution          (Section 5.2: negate)
+        -> positive (max,+,M)-convolution (Section 5.3: shift to non-negative)
+        -> batched MaxRS in R^1           (Section 5.4: guard-point construction)
+
+Theorem 1.4 (batched smallest k-enclosing interval) uses::
+
+    (min,+)-convolution
+        -> monotone (min,+)-convolution   (Section 6.1: subtract i * Delta)
+        -> batched SEI                    (Section 6.2: mirrored point construction)
+
+Every step below is an honest, linear-time (plus oracle calls) reduction; the
+composed functions :func:`min_plus_via_batched_maxrs` and
+:func:`min_plus_via_bsei` therefore compute a (min,+)-convolution *through*
+the geometric oracles.  Experiments E6/E7 verify the outputs against the
+naive quadratic convolution and measure the oracle cost, which is how the
+conditional lower bounds are validated empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..batched.maxrs import batched_maxrs_1d
+from ..batched.sei import batched_smallest_enclosing_intervals
+
+__all__ = [
+    "min_plus_via_indexed_oracle",
+    "min_plus_indexed_via_max_plus_oracle",
+    "max_plus_indexed_via_positive_oracle",
+    "batched_maxrs_instance_from_sequences",
+    "positive_max_plus_indexed_via_batched_maxrs",
+    "min_plus_via_batched_maxrs",
+    "monotone_sequences_from_arbitrary",
+    "min_plus_via_monotone_oracle",
+    "bsei_instance_from_monotone_sequences",
+    "monotone_min_plus_via_bsei",
+    "min_plus_via_bsei",
+]
+
+IndexedOracle = Callable[[Sequence[float], Sequence[float], Sequence[int]], List[float]]
+
+
+# --------------------------------------------------------------------------- #
+# Section 5.1: (min,+) -> (min,+,M)
+# --------------------------------------------------------------------------- #
+
+def min_plus_via_indexed_oracle(
+    a: Sequence[float],
+    b: Sequence[float],
+    indexed_oracle: IndexedOracle,
+    batch_size: Optional[int] = None,
+) -> List[float]:
+    """Compute a full (min,+)-convolution through a (min,+,M)-oracle.
+
+    The index set ``{0, ..., n-1}`` is split into ``ceil(n / m)`` batches of at
+    most ``m = batch_size`` indices and the oracle is called once per batch.
+    """
+    n = len(a)
+    if len(b) != n or n == 0:
+        raise ValueError("sequences must be non-empty and of equal length")
+    m = n if batch_size is None else max(1, int(batch_size))
+    result: List[float] = []
+    for start in range(0, n, m):
+        batch = list(range(start, min(start + m, n)))
+        result.extend(indexed_oracle(a, b, batch))
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Section 5.2: (min,+,M) -> (max,+,M)
+# --------------------------------------------------------------------------- #
+
+def min_plus_indexed_via_max_plus_oracle(
+    d: Sequence[float],
+    e: Sequence[float],
+    indices: Sequence[int],
+    max_plus_oracle: IndexedOracle,
+) -> List[float]:
+    """Answer a (min,+,M)-convolution with a (max,+,M)-oracle by negating the inputs."""
+    negated_a = [-value for value in d]
+    negated_b = [-value for value in e]
+    oracle_values = max_plus_oracle(negated_a, negated_b, indices)
+    return [-value for value in oracle_values]
+
+
+# --------------------------------------------------------------------------- #
+# Section 5.3: (max,+,M) -> positive (max,+,M)
+# --------------------------------------------------------------------------- #
+
+def max_plus_indexed_via_positive_oracle(
+    a: Sequence[float],
+    b: Sequence[float],
+    indices: Sequence[int],
+    positive_oracle: IndexedOracle,
+) -> List[float]:
+    """Answer a (max,+,M)-convolution with an oracle that requires non-negative inputs."""
+    delta = min(min(a), min(b))
+    if delta >= 0:
+        return list(positive_oracle(a, b, indices))
+    shifted_a = [value - delta for value in a]
+    shifted_b = [value - delta for value in b]
+    oracle_values = positive_oracle(shifted_a, shifted_b, indices)
+    return [value + 2 * delta for value in oracle_values]
+
+
+# --------------------------------------------------------------------------- #
+# Section 5.4: positive (max,+,M) -> batched MaxRS in R^1
+# --------------------------------------------------------------------------- #
+
+def batched_maxrs_instance_from_sequences(
+    a: Sequence[float], b: Sequence[float]
+) -> Tuple[List[float], List[float]]:
+    """The guard-point construction of Section 5.4 (plus two sentinel blockers).
+
+    Returns ``(positions, weights)`` of the ``4n + 2`` points: for every
+    ``A_i`` a point of weight ``A_i`` at coordinate ``i`` and a guard of
+    weight ``-A_i`` at ``i - 0.5``; for every ``B_j`` a point of weight
+    ``B_j`` at ``2n - 1 - j`` and a guard of weight ``-B_j`` at
+    ``2n - 1 - j + 0.5``.
+
+    Deviation from the paper (documented in DESIGN.md): the construction as
+    written admits one family of stray placements.  An interval whose left
+    endpoint lies at or below ``-0.5`` covers *every* A-point together with
+    its guard (net weight zero) and can still end inside ``[2n-1-b, 2n-1-b+0.5)``
+    for some ``b > k``, picking up ``B_b`` unguarded; when ``B_b > C_k`` the
+    oracle would overshoot (symmetrically on the right with ``A_a``).  Two
+    sentinel points of strongly negative weight at ``-0.5`` and ``2n - 0.5``
+    eliminate exactly those placements: every legitimate interval
+    ``[i, 2n-1-j]`` with ``0 <= i, j <= n-1`` avoids both sentinels, so
+    Claim 5.2 and Lemma 5.1 are unaffected.
+    """
+    n = len(a)
+    if len(b) != n or n == 0:
+        raise ValueError("sequences must be non-empty and of equal length")
+    x_offset = 2 * n - 1
+    positions: List[float] = []
+    weights: List[float] = []
+    for i, value in enumerate(a):
+        positions.append(float(i))
+        weights.append(float(value))
+        positions.append(i - 0.5)
+        weights.append(-float(value))
+    for j, value in enumerate(b):
+        positions.append(float(x_offset - j))
+        weights.append(float(value))
+        positions.append(x_offset - j + 0.5)
+        weights.append(-float(value))
+    blocker = 1.0 + max(a) + max(b)
+    positions.append(-0.5)
+    weights.append(-blocker)
+    positions.append(x_offset + 0.5)
+    weights.append(-blocker)
+    return positions, weights
+
+
+def positive_max_plus_indexed_via_batched_maxrs(
+    a: Sequence[float],
+    b: Sequence[float],
+    indices: Sequence[int],
+    batched_maxrs_oracle=None,
+) -> List[float]:
+    """Answer a positive (max,+,M)-convolution with a batched-MaxRS oracle.
+
+    ``batched_maxrs_oracle(positions, lengths, weights=...)`` must return, for
+    every query length, an object with a ``value`` attribute (the library's
+    :func:`repro.batched.maxrs.batched_maxrs_1d` is the default).  For target
+    index ``k`` the query interval length is ``2n - 1 - k`` and the returned
+    maximum weight equals ``C_k`` (Lemma 5.1).
+    """
+    if any(value < 0 for value in a) or any(value < 0 for value in b):
+        raise ValueError("positive (max,+,M)-convolution requires non-negative inputs")
+    n = len(a)
+    positions, weights = batched_maxrs_instance_from_sequences(a, b)
+    lengths = [2 * n - 1 - int(k) for k in indices]
+    oracle = batched_maxrs_oracle if batched_maxrs_oracle is not None else batched_maxrs_1d
+    results = oracle(positions, lengths, weights=weights)
+    return [float(result.value) for result in results]
+
+
+def min_plus_via_batched_maxrs(
+    a: Sequence[float],
+    b: Sequence[float],
+    batch_size: Optional[int] = None,
+    batched_maxrs_oracle=None,
+) -> List[float]:
+    """Full Theorem 1.3 chain: (min,+)-convolution computed through batched MaxRS."""
+
+    def positive_oracle(pa, pb, idx):
+        return positive_max_plus_indexed_via_batched_maxrs(
+            pa, pb, idx, batched_maxrs_oracle=batched_maxrs_oracle
+        )
+
+    def max_plus_oracle(ma, mb, idx):
+        return max_plus_indexed_via_positive_oracle(ma, mb, idx, positive_oracle)
+
+    def indexed_oracle(da, db, idx):
+        return min_plus_indexed_via_max_plus_oracle(da, db, idx, max_plus_oracle)
+
+    return min_plus_via_indexed_oracle(a, b, indexed_oracle, batch_size=batch_size)
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.1: (min,+) -> monotone (min,+)
+# --------------------------------------------------------------------------- #
+
+def monotone_sequences_from_arbitrary(
+    a: Sequence[float], b: Sequence[float]
+) -> Tuple[List[float], List[float], float]:
+    """Strictly decreasing sequences ``D, E`` plus the offset ``Delta`` of Section 6.1."""
+    n = len(a)
+    if len(b) != n or n == 0:
+        raise ValueError("sequences must be non-empty and of equal length")
+    if n == 1:
+        delta = 1.0
+    else:
+        max_increase = max(
+            max(a[i] - a[i - 1] for i in range(1, n)),
+            max(b[i] - b[i - 1] for i in range(1, n)),
+        )
+        delta = 1.0 + max(0.0, max_increase)
+    d = [a[i] - i * delta for i in range(n)]
+    e = [b[i] - i * delta for i in range(n)]
+    return d, e, delta
+
+
+def min_plus_via_monotone_oracle(
+    a: Sequence[float],
+    b: Sequence[float],
+    monotone_oracle: Callable[[Sequence[float], Sequence[float]], Sequence[float]],
+) -> List[float]:
+    """Compute a (min,+)-convolution through a monotone (min,+)-oracle (Section 6.1)."""
+    d, e, delta = monotone_sequences_from_arbitrary(a, b)
+    f = monotone_oracle(d, e)
+    return [f[k] + k * delta for k in range(len(d))]
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.2: monotone (min,+) -> batched smallest k-enclosing interval
+# --------------------------------------------------------------------------- #
+
+def bsei_instance_from_monotone_sequences(
+    d: Sequence[float], e: Sequence[float]
+) -> List[float]:
+    """The ``2n``-point construction of Section 6.2.
+
+    ``P_i = -D_i + (D_{n-1} - 1)`` for ``i < n`` (all negative) and
+    ``P_{n+i} = E_{(n-1)-i} + (1 - E_{n-1})`` (all positive).
+    """
+    n = len(d)
+    if len(e) != n or n == 0:
+        raise ValueError("sequences must be non-empty and of equal length")
+    d_last = d[n - 1]
+    e_last = e[n - 1]
+    first_half = [-d[i] + (d_last - 1.0) for i in range(n)]
+    second_half = [e[(n - 1) - i] + (1.0 - e_last) for i in range(n)]
+    return first_half + second_half
+
+
+def monotone_min_plus_via_bsei(
+    d: Sequence[float],
+    e: Sequence[float],
+    bsei_oracle: Callable[[Sequence[float]], Sequence[float]] = None,
+) -> List[float]:
+    """Answer a monotone (min,+)-convolution with a batched-SEI oracle (Section 6.2).
+
+    ``bsei_oracle(points)`` must return, for every ``k`` in ``1..2n``, the
+    length of the smallest interval containing ``k`` of the points (the
+    library's :func:`repro.batched.sei.batched_smallest_enclosing_intervals`
+    is the default).  The answer is recovered as
+    ``F_k = G_{2n-k} + D_{n-1} + E_{n-1} - 2``.
+    """
+    n = len(d)
+    if len(e) != n or n == 0:
+        raise ValueError("sequences must be non-empty and of equal length")
+    points = bsei_instance_from_monotone_sequences(d, e)
+    oracle = bsei_oracle if bsei_oracle is not None else batched_smallest_enclosing_intervals
+    lengths = list(oracle(points))
+    if len(lengths) != 2 * n:
+        raise ValueError("BSEI oracle must return one length per k in 1..2n")
+    d_last, e_last = d[n - 1], e[n - 1]
+    return [lengths[2 * n - k - 1] + d_last + e_last - 2.0 for k in range(n)]
+
+
+def min_plus_via_bsei(
+    a: Sequence[float],
+    b: Sequence[float],
+    bsei_oracle: Callable[[Sequence[float]], Sequence[float]] = None,
+) -> List[float]:
+    """Full Theorem 1.4 chain: (min,+)-convolution computed through batched SEI."""
+
+    def monotone_oracle(d, e):
+        return monotone_min_plus_via_bsei(d, e, bsei_oracle=bsei_oracle)
+
+    return min_plus_via_monotone_oracle(a, b, monotone_oracle)

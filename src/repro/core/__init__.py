@@ -1,0 +1,42 @@
+"""Core algorithms: the paper's two general techniques and their substrates."""
+
+from .geometry import (
+    Ball,
+    Box,
+    ColoredPoint,
+    Interval,
+    Point,
+    WeightedPoint,
+)
+from .result import MaxRSResult
+from .depth import colored_depth, covering_colors, coverage_count, weighted_depth
+from .technique1 import estimate_opt_ball, max_range_sum_ball
+from .dynamic import DynamicMaxRS
+from .colored import colored_maxrs_ball, estimate_colored_opt_ball
+from .technique2 import (
+    colored_maxrs_disk,
+    colored_maxrs_disk_arrangement,
+    colored_maxrs_disk_output_sensitive,
+)
+
+__all__ = [
+    "Point",
+    "WeightedPoint",
+    "ColoredPoint",
+    "Ball",
+    "Box",
+    "Interval",
+    "MaxRSResult",
+    "weighted_depth",
+    "colored_depth",
+    "covering_colors",
+    "coverage_count",
+    "max_range_sum_ball",
+    "estimate_opt_ball",
+    "DynamicMaxRS",
+    "colored_maxrs_ball",
+    "estimate_colored_opt_ball",
+    "colored_maxrs_disk",
+    "colored_maxrs_disk_arrangement",
+    "colored_maxrs_disk_output_sensitive",
+]

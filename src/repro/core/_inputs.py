@@ -1,0 +1,97 @@
+"""Input normalisation shared by the public solvers.
+
+The public API accepts points in whichever form is most convenient for the
+caller: :class:`~repro.core.geometry.WeightedPoint` /
+:class:`~repro.core.geometry.ColoredPoint` instances, bare coordinate tuples
+(with weights or colors supplied separately), or numpy arrays.  The helpers
+here convert everything into parallel Python lists of coordinate tuples plus
+weights / colors, validating dimensions along the way.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from .geometry import ColoredPoint, Point, WeightedPoint, validate_dimension
+
+__all__ = ["normalize_weighted", "normalize_colored", "normalize_coords"]
+
+Coords = Tuple[float, ...]
+
+
+def _extract_coords(item) -> Coords:
+    if isinstance(item, (WeightedPoint, ColoredPoint, Point)):
+        return item.coords
+    return tuple(float(v) for v in item)
+
+
+def normalize_coords(points: Sequence) -> List[Coords]:
+    """Convert a heterogeneous point sequence into a list of coordinate tuples."""
+    return [_extract_coords(p) for p in points]
+
+
+def normalize_weighted(
+    points: Sequence,
+    weights: Optional[Sequence[float]] = None,
+    *,
+    require_positive: bool = True,
+) -> Tuple[List[Coords], List[float], int]:
+    """Normalise weighted input points.
+
+    Returns ``(coords, weights, dim)``.  When ``points`` contains
+    :class:`WeightedPoint` instances their weights are used unless an explicit
+    ``weights`` sequence is also given (which then takes precedence).
+    """
+    coords: List[Coords] = []
+    inherent_weights: List[float] = []
+    for p in points:
+        coords.append(_extract_coords(p))
+        if isinstance(p, WeightedPoint):
+            inherent_weights.append(p.weight)
+        else:
+            inherent_weights.append(1.0)
+
+    if weights is not None:
+        weight_list = [float(w) for w in weights]
+        if len(weight_list) != len(coords):
+            raise ValueError(
+                "got %d weights for %d points" % (len(weight_list), len(coords))
+            )
+    else:
+        weight_list = inherent_weights
+
+    if require_positive and any(w <= 0 for w in weight_list):
+        raise ValueError(
+            "weights must be strictly positive for this solver; "
+            "negative or zero weights would void the approximation guarantee"
+        )
+
+    dim = validate_dimension(coords) if coords else 0
+    return coords, weight_list, dim
+
+
+def normalize_colored(
+    points: Sequence,
+    colors: Optional[Sequence[Hashable]] = None,
+) -> Tuple[List[Coords], List[Hashable], int]:
+    """Normalise colored input points; returns ``(coords, colors, dim)``."""
+    coords: List[Coords] = []
+    inherent_colors: List[Hashable] = []
+    for p in points:
+        coords.append(_extract_coords(p))
+        if isinstance(p, ColoredPoint):
+            inherent_colors.append(p.color)
+        else:
+            inherent_colors.append(0)
+
+    if colors is not None:
+        color_list = list(colors)
+        if len(color_list) != len(coords):
+            raise ValueError(
+                "got %d colors for %d points" % (len(color_list), len(coords))
+            )
+    else:
+        color_list = inherent_colors
+
+    dim = validate_dimension(coords) if coords else 0
+    return coords, color_list, dim

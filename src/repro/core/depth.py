@@ -1,0 +1,73 @@
+"""Depth computations in the dual setting (Section 1.4 of the paper).
+
+After scaling so the query ball has unit radius, MaxRS with a ``d``-ball is
+equivalent to replacing every input point by a unit ball centered at it and
+finding the point of ``R^d`` with maximum *weighted depth*; colored MaxRS
+becomes maximum *colored depth* (number of distinct colors among the balls
+containing the point).
+
+The functions here are the straightforward ``O(n)`` evaluators.  They serve
+three purposes: reporting the true objective of a placement produced by an
+approximate solver, acting as correctness oracles in tests, and providing the
+inner loop of the small brute-force baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Set
+
+from .geometry import squared_distance
+
+__all__ = ["weighted_depth", "colored_depth", "covering_colors", "coverage_count"]
+
+
+def weighted_depth(
+    point: Sequence[float],
+    centers: Sequence[Sequence[float]],
+    weights: Sequence[float],
+    radius: float = 1.0,
+) -> float:
+    """Total weight of the balls (of the given radius) containing ``point``."""
+    r2 = radius * radius + 1e-12
+    total = 0.0
+    for center, weight in zip(centers, weights):
+        if squared_distance(point, center) <= r2:
+            total += weight
+    return total
+
+
+def coverage_count(
+    point: Sequence[float],
+    centers: Sequence[Sequence[float]],
+    radius: float = 1.0,
+) -> int:
+    """Number of balls (of the given radius) containing ``point``."""
+    r2 = radius * radius + 1e-12
+    return sum(1 for center in centers if squared_distance(point, center) <= r2)
+
+
+def covering_colors(
+    point: Sequence[float],
+    centers: Sequence[Sequence[float]],
+    colors: Sequence[Hashable],
+    radius: float = 1.0,
+) -> Set[Hashable]:
+    """The set of distinct colors whose balls contain ``point``."""
+    r2 = radius * radius + 1e-12
+    found = set()
+    for center, color in zip(centers, colors):
+        if color in found:
+            continue
+        if squared_distance(point, center) <= r2:
+            found.add(color)
+    return found
+
+
+def colored_depth(
+    point: Sequence[float],
+    centers: Sequence[Sequence[float]],
+    colors: Sequence[Hashable],
+    radius: float = 1.0,
+) -> int:
+    """Number of distinct colors among the balls containing ``point``."""
+    return len(covering_colors(point, centers, colors, radius))

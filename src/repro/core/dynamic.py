@@ -1,0 +1,274 @@
+"""Dynamic MaxRS with a ``d``-ball under insertions and deletions (Theorem 1.1).
+
+The structure maintains, in the dual setting, a pool of probe points sampled
+on the circumspheres of the non-empty grid cells (see
+:mod:`repro.core.technique1`) together with the weighted depth of every probe.
+A query reports the probe of maximum depth, which is a ``(1/2 - eps)``
+approximation of the optimum with high probability.
+
+Updates follow Section 3.1.1:
+
+* the structure proceeds in *epochs*; an epoch starting with ``|B_j|`` balls
+  ends as soon as the number of live balls leaves ``[|B_j| / 2, 2 |B_j|]``;
+* at the start of an epoch every non-empty cell is (re)sampled with
+  ``t = Theta(eps^-2 log |B_j|)`` probes and all depths are recomputed
+  (the cost is charged to the at least ``|B_j| / 2`` updates of the previous
+  epoch, Lemma 3.4);
+* during an epoch an insertion adds the ball's weight to the probes of every
+  intersected cell (sampling cells that were empty until now), and a deletion
+  subtracts it.
+
+Every ball intersects ``O(eps^-d)`` cells in each of the ``O(eps^-d)`` grids
+and every cell holds ``O(eps^-2 log n)`` probes, so the amortised update time
+is ``O(eps^{-2d-2} log n)`` -- Theorem 1.1.  Queries are answered from a lazy
+max-heap over the per-cell maxima, so they cost ``O(log N)`` amortised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..structures.lazy_heap import LazyMaxHeap
+from .geometry import validate_dimension
+from .result import MaxRSResult
+from .sampling import default_rng, sample_size
+from .technique1 import CellKey, Technique1Grids, sample_sphere_array
+
+__all__ = ["DynamicMaxRS"]
+
+
+@dataclass
+class _CellSamples:
+    """Probe points of one non-empty cell together with their current depths."""
+
+    points: np.ndarray          # shape (t, d)
+    depths: np.ndarray          # shape (t,)
+
+    @classmethod
+    def empty(cls, points: np.ndarray) -> "_CellSamples":
+        return cls(points=points, depths=np.zeros(len(points), dtype=float))
+
+    @property
+    def max_depth(self) -> float:
+        return float(self.depths.max()) if len(self.depths) else 0.0
+
+    def best_probe(self) -> Tuple[float, Tuple[float, ...]]:
+        pos = int(np.argmax(self.depths))
+        return float(self.depths[pos]), tuple(float(v) for v in self.points[pos])
+
+
+class DynamicMaxRS:
+    """Dynamic (1/2 - eps)-approximate MaxRS for ``d``-ball queries.
+
+    Parameters
+    ----------
+    dim:
+        Ambient dimension of the points.
+    radius:
+        Radius of the query ball (fixed for the lifetime of the structure).
+    epsilon:
+        Approximation parameter in ``(0, 1/2)``.
+    seed:
+        Seed or numpy Generator for the probe sampling.
+    sample_constant:
+        Constant of the ``t = c * eps^-2 * log n`` per-cell sample size.
+    shift_cap:
+        Optional cap on grid shifts per axis (ablation experiments only).
+
+    Examples
+    --------
+    >>> structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.3, seed=7)
+    >>> ids = [structure.insert((0.1 * i, 0.0)) for i in range(5)]
+    >>> structure.query().value >= 1
+    True
+    >>> structure.delete(ids[0])
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        radius: float = 1.0,
+        epsilon: float = 0.25,
+        *,
+        seed=None,
+        sample_constant: float = 1.0,
+        shift_cap: Optional[int] = None,
+    ):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.dim = int(dim)
+        self.radius = float(radius)
+        self.epsilon = float(epsilon)
+        self.sample_constant = float(sample_constant)
+        self._rng = default_rng(seed)
+        self._grids = Technique1Grids(dim=self.dim, epsilon=self.epsilon, shift_cap=shift_cap)
+
+        self._balls: Dict[int, Tuple[Tuple[float, ...], float]] = {}
+        self._next_id = 0
+        self._cells: Dict[CellKey, _CellSamples] = {}
+        # Lazy max-heap over per-cell maximum depths; queries peek it.
+        self._heap = LazyMaxHeap()
+
+        # Epoch bookkeeping (Section 3.1.1).
+        self._epoch_base: Optional[int] = None
+        self._epoch_sample_size: int = 1
+
+        # Diagnostics used by tests and the E2/E9 experiments.
+        self.stats = {
+            "insertions": 0,
+            "deletions": 0,
+            "rebuilds": 0,
+            "cells_touched": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # public interface
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._balls)
+
+    def insert(self, point: Sequence[float], weight: float = 1.0) -> int:
+        """Insert a weighted point; returns an id usable with :meth:`delete`."""
+        if weight <= 0:
+            raise ValueError("weights must be strictly positive")
+        coords = tuple(float(c) for c in point)
+        validate_dimension([coords], self.dim)
+        scaled = tuple(c / self.radius for c in coords)
+
+        ball_id = self._next_id
+        self._next_id += 1
+        self._balls[ball_id] = (scaled, float(weight))
+        self.stats["insertions"] += 1
+
+        if self._epoch_needs_restart():
+            self._rebuild()
+        else:
+            self._apply_ball(scaled, float(weight))
+        return ball_id
+
+    def delete(self, ball_id: int) -> None:
+        """Delete a previously inserted point by id."""
+        if ball_id not in self._balls:
+            raise KeyError("unknown point id %r" % ball_id)
+        scaled, weight = self._balls.pop(ball_id)
+        self.stats["deletions"] += 1
+
+        if not self._balls:
+            self._clear_probes()
+            self._epoch_base = None
+            return
+
+        if self._epoch_needs_restart():
+            self._rebuild()
+        else:
+            self._apply_ball(scaled, -weight)
+
+    def query(self) -> MaxRSResult:
+        """Current (approximate) best placement of the query ball."""
+        if not self._balls:
+            return MaxRSResult(value=0.0, center=None, shape="ball", exact=False,
+                               meta={"epsilon": self.epsilon, "n": 0})
+        best = self._best_probe()
+        if best is None:
+            # Should not happen while balls exist, but stay safe.
+            any_center = next(iter(self._balls.values()))[0]
+            best = (0.0, any_center)
+        value, point = best
+        return MaxRSResult(
+            value=value,
+            center=tuple(c * self.radius for c in point),
+            shape="ball",
+            exact=False,
+            meta={
+                "epsilon": self.epsilon,
+                "n": len(self._balls),
+                "epoch_base": self._epoch_base,
+                "samples_per_cell": self._epoch_sample_size,
+                "non_empty_cells": len(self._cells),
+                "guarantee": 0.5 - self.epsilon,
+            },
+        )
+
+    def points(self) -> Dict[int, Tuple[Tuple[float, ...], float]]:
+        """Live points as ``{id: (coords, weight)}`` in original coordinates."""
+        return {
+            ball_id: (tuple(c * self.radius for c in scaled), weight)
+            for ball_id, (scaled, weight) in self._balls.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _epoch_needs_restart(self) -> bool:
+        size = len(self._balls)
+        if self._epoch_base is None:
+            return size > 0
+        return size < self._epoch_base / 2.0 or size > 2.0 * self._epoch_base
+
+    def _clear_probes(self) -> None:
+        self._cells.clear()
+        self._heap.clear()
+
+    def _rebuild(self) -> None:
+        """Sampling step at the start of a new epoch (two passes, as in Section 3.1.1)."""
+        self.stats["rebuilds"] += 1
+        self._clear_probes()
+        size = len(self._balls)
+        self._epoch_base = size
+        self._epoch_sample_size = sample_size(self.epsilon, max(2, size), self.sample_constant)
+        if size == 0:
+            return
+
+        cell_to_balls: Dict[CellKey, list] = {}
+        for ball_id, (center, _weight) in self._balls.items():
+            for key in self._grids.cells_for_unit_ball(center):
+                cell_to_balls.setdefault(key, []).append(ball_id)
+
+        for key, ids in cell_to_balls.items():
+            center, circumradius = self._grids.cell_circumsphere(key)
+            probes = sample_sphere_array(center, circumradius, self._epoch_sample_size, self._rng)
+            cell = _CellSamples.empty(probes)
+            for ball_id in ids:
+                ball_center, weight = self._balls[ball_id]
+                diff = probes - np.asarray(ball_center)
+                inside = (diff * diff).sum(axis=1) <= 1.0 + 1e-12
+                cell.depths[inside] += weight
+            self._cells[key] = cell
+            self._heap.set(key, cell.max_depth)
+
+    def _apply_ball(self, center: Tuple[float, ...], signed_weight: float) -> None:
+        """Add (or subtract) one ball's weight to the probes of every intersected cell."""
+        center_array = np.asarray(center, dtype=float)
+        for key in self._grids.cells_for_unit_ball(center):
+            cell = self._cells.get(key)
+            if cell is None:
+                if signed_weight < 0:
+                    # Deleting a ball from a cell never sampled in this epoch:
+                    # the cell was empty when the epoch started and the ball
+                    # predates the epoch, so there is nothing to undo.
+                    continue
+                cell_center, circumradius = self._grids.cell_circumsphere(key)
+                probes = sample_sphere_array(
+                    cell_center, circumradius, self._epoch_sample_size, self._rng
+                )
+                cell = _CellSamples.empty(probes)
+                self._cells[key] = cell
+            diff = cell.points - center_array
+            inside = (diff * diff).sum(axis=1) <= 1.0 + 1e-12
+            if inside.any():
+                cell.depths[inside] += signed_weight
+            self._heap.set(key, cell.max_depth)
+            self.stats["cells_touched"] += 1
+
+    def _best_probe(self) -> Optional[Tuple[float, Tuple[float, ...]]]:
+        """Probe of maximum current depth via the lazy max-heap."""
+        top = self._heap.peek()
+        if top is None:
+            return None
+        key, _cell_max = top
+        return self._cells[key].best_probe()

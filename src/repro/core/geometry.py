@@ -1,0 +1,266 @@
+"""Geometric primitives shared by every MaxRS algorithm in the library.
+
+The paper works with weighted or colored points in ``R^d`` and with two kinds
+of query ranges: axis-aligned boxes and Euclidean balls.  The primitives here
+are deliberately lightweight -- coordinates are plain tuples of floats -- so
+that the hot loops of the sampling-based algorithms (Technique 1) and of the
+sweep-based exact baselines stay cheap to call.
+
+All helpers treat ranges as *closed* sets, matching the paper's convention
+that a point on the boundary of the query range is covered by it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+Coord = Tuple[float, ...]
+
+__all__ = [
+    "Coord",
+    "Point",
+    "WeightedPoint",
+    "ColoredPoint",
+    "Ball",
+    "Box",
+    "Interval",
+    "as_coord",
+    "squared_distance",
+    "distance",
+    "point_in_ball",
+    "point_in_box",
+    "ball_intersects_box",
+    "box_distance_to_point",
+    "bounding_box",
+    "validate_dimension",
+]
+
+
+def as_coord(values: Sequence[float]) -> Coord:
+    """Normalise a sequence of numbers into an immutable coordinate tuple."""
+    return tuple(float(v) for v in values)
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in ``R^d`` with no weight or color attached."""
+
+    coords: Coord
+
+    def __init__(self, coords: Sequence[float]):
+        object.__setattr__(self, "coords", as_coord(coords))
+
+    @property
+    def dim(self) -> int:
+        return len(self.coords)
+
+    def __iter__(self):
+        return iter(self.coords)
+
+    def __getitem__(self, index: int) -> float:
+        return self.coords[index]
+
+
+@dataclass(frozen=True)
+class WeightedPoint:
+    """A point together with a (positive, unless noted otherwise) weight.
+
+    The batched MaxRS reduction of Section 5.4 deliberately uses *negative*
+    weights for guard points, so the class itself does not reject them;
+    individual algorithms validate what they support.
+    """
+
+    coords: Coord
+    weight: float = 1.0
+
+    def __init__(self, coords: Sequence[float], weight: float = 1.0):
+        object.__setattr__(self, "coords", as_coord(coords))
+        object.__setattr__(self, "weight", float(weight))
+
+    @property
+    def dim(self) -> int:
+        return len(self.coords)
+
+
+@dataclass(frozen=True)
+class ColoredPoint:
+    """A point with a color label from ``{0, 1, ..., m - 1}`` (any hashable works)."""
+
+    coords: Coord
+    color: object = 0
+
+    def __init__(self, coords: Sequence[float], color: object = 0):
+        object.__setattr__(self, "coords", as_coord(coords))
+        object.__setattr__(self, "color", color)
+
+    @property
+    def dim(self) -> int:
+        return len(self.coords)
+
+
+@dataclass(frozen=True)
+class Ball:
+    """A closed Euclidean ball (disk when ``d == 2``)."""
+
+    center: Coord
+    radius: float
+
+    def __init__(self, center: Sequence[float], radius: float):
+        if radius < 0:
+            raise ValueError("ball radius must be non-negative, got %r" % radius)
+        object.__setattr__(self, "center", as_coord(center))
+        object.__setattr__(self, "radius", float(radius))
+
+    @property
+    def dim(self) -> int:
+        return len(self.center)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return point_in_ball(point, self.center, self.radius)
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box given by its lower and upper corners."""
+
+    lower: Coord
+    upper: Coord
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]):
+        lower = as_coord(lower)
+        upper = as_coord(upper)
+        if len(lower) != len(upper):
+            raise ValueError("box corners must have matching dimensions")
+        if any(lo > hi for lo, hi in zip(lower, upper)):
+            raise ValueError("box lower corner must not exceed upper corner")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @property
+    def dim(self) -> int:
+        return len(self.lower)
+
+    @property
+    def side_lengths(self) -> Coord:
+        return tuple(hi - lo for lo, hi in zip(self.lower, self.upper))
+
+    @property
+    def center(self) -> Coord:
+        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.lower, self.upper))
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return point_in_box(point, self.lower, self.upper)
+
+    def corners(self) -> Iterable[Coord]:
+        """Yield the ``2^d`` corners of the box."""
+        dims = self.dim
+        for mask in range(1 << dims):
+            yield tuple(
+                self.upper[i] if (mask >> i) & 1 else self.lower[i]
+                for i in range(dims)
+            )
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval on the real line, the ``d == 1`` query range."""
+
+    low: float
+    high: float
+
+    def __init__(self, low: float, high: float):
+        low = float(low)
+        high = float(high)
+        if low > high:
+            raise ValueError("interval low must not exceed high")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    @property
+    def length(self) -> float:
+        return self.high - self.low
+
+    def contains(self, x: float) -> bool:
+        return self.low <= x <= self.high
+
+
+def squared_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance between two coordinate sequences."""
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+def distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two coordinate sequences."""
+    return math.sqrt(squared_distance(a, b))
+
+
+def point_in_ball(point: Sequence[float], center: Sequence[float], radius: float) -> bool:
+    """Whether ``point`` lies in the closed ball of the given center and radius."""
+    return squared_distance(point, center) <= radius * radius + 1e-12
+
+
+def point_in_box(point: Sequence[float], lower: Sequence[float], upper: Sequence[float]) -> bool:
+    """Whether ``point`` lies in the closed axis-aligned box ``[lower, upper]``."""
+    return all(lo - 1e-12 <= x <= hi + 1e-12 for x, lo, hi in zip(point, lower, upper))
+
+
+def box_distance_to_point(point: Sequence[float], lower: Sequence[float], upper: Sequence[float]) -> float:
+    """Euclidean distance from ``point`` to the closed box ``[lower, upper]``.
+
+    Zero when the point lies inside the box.
+    """
+    total = 0.0
+    for x, lo, hi in zip(point, lower, upper):
+        if x < lo:
+            diff = lo - x
+        elif x > hi:
+            diff = x - hi
+        else:
+            diff = 0.0
+        total += diff * diff
+    return math.sqrt(total)
+
+
+def ball_intersects_box(
+    center: Sequence[float],
+    radius: float,
+    lower: Sequence[float],
+    upper: Sequence[float],
+) -> bool:
+    """Whether the closed ball intersects the closed axis-aligned box."""
+    return box_distance_to_point(center, lower, upper) <= radius + 1e-12
+
+
+def bounding_box(points: Sequence[Sequence[float]]) -> Box:
+    """Axis-aligned bounding box of a non-empty collection of coordinates."""
+    if not points:
+        raise ValueError("bounding_box requires at least one point")
+    dims = len(points[0])
+    lower = [math.inf] * dims
+    upper = [-math.inf] * dims
+    for p in points:
+        for i in range(dims):
+            if p[i] < lower[i]:
+                lower[i] = p[i]
+            if p[i] > upper[i]:
+                upper[i] = p[i]
+    return Box(lower, upper)
+
+
+def validate_dimension(points: Sequence[Sequence[float]], expected: int = None) -> int:
+    """Check that all coordinate sequences share one dimension and return it."""
+    if not points:
+        if expected is None:
+            raise ValueError("cannot infer dimension from an empty point set")
+        return expected
+    dims = {len(p) for p in points}
+    if len(dims) != 1:
+        raise ValueError("points have inconsistent dimensions: %s" % sorted(dims))
+    dim = dims.pop()
+    if expected is not None and dim != expected:
+        raise ValueError("expected dimension %d but points have dimension %d" % (expected, dim))
+    if dim < 1:
+        raise ValueError("points must live in dimension >= 1")
+    return dim

@@ -1,0 +1,55 @@
+"""Result objects returned by the MaxRS solvers.
+
+Every solver in the library -- exact or approximate, static or dynamic,
+weighted or colored -- reports its answer through :class:`MaxRSResult` so that
+examples, tests and the benchmark harness can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["MaxRSResult"]
+
+
+@dataclass(frozen=True)
+class MaxRSResult:
+    """Placement returned by a MaxRS solver.
+
+    Attributes
+    ----------
+    value:
+        The objective achieved by the placement: total weight of covered
+        points for weighted MaxRS, or number of distinct colors covered for
+        colored MaxRS.
+    center:
+        The placement of the range in the *primal* setting.  For a ``d``-ball
+        query this is the ball center; for a rectangle it is the lower-left
+        corner of the optimal rectangle; for an interval it is the left
+        endpoint.  ``None`` when the input was empty.
+    shape:
+        A short label describing the query range (``"ball"``, ``"rectangle"``,
+        ``"interval"``).
+    exact:
+        Whether the value is exact (``True``) or an approximation guarantee
+        applies (``False``).
+    meta:
+        Free-form diagnostics such as the number of sample points used, the
+        epsilon that was requested, or the opt estimate used internally.
+    """
+
+    value: float
+    center: Optional[Tuple[float, ...]]
+    shape: str = "ball"
+    exact: bool = True
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.center is not None:
+            object.__setattr__(self, "center", tuple(float(c) for c in self.center))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the solver ran on an empty input."""
+        return self.center is None

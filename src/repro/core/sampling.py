@@ -1,0 +1,88 @@
+"""Random sampling utilities used by Technique 1.
+
+The sampling step of Section 3.1 draws points independently and uniformly at
+random from the circumscribed sphere of a grid cell.  Uniform sampling on a
+``(d-1)``-sphere uses Muller's method [Mul59]: draw a standard Gaussian vector
+and normalise it.
+
+The module also provides the sample-size rule ``t = c * eps^-2 * log n`` from
+Lemma 3.1 and a couple of helpers shared by the static, dynamic and colored
+variants of Technique 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "sample_on_sphere",
+    "sample_points_on_sphere",
+    "sample_size",
+    "default_rng",
+]
+
+
+def default_rng(seed=None) -> np.random.Generator:
+    """Create a numpy random generator; accepts ``None``, an int, or a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def sample_on_sphere(
+    center: Sequence[float], radius: float, rng: np.random.Generator
+) -> Tuple[float, ...]:
+    """Draw one point uniformly at random from the sphere ``∂B(center, radius)``.
+
+    Implements Muller's method: a standard Gaussian vector normalised to unit
+    length is uniform on the unit sphere.
+    """
+    dim = len(center)
+    vec = rng.standard_normal(dim)
+    norm = math.sqrt(float(np.dot(vec, vec)))
+    while norm == 0.0:
+        vec = rng.standard_normal(dim)
+        norm = math.sqrt(float(np.dot(vec, vec)))
+    scale = radius / norm
+    return tuple(center[i] + vec[i] * scale for i in range(dim))
+
+
+def sample_points_on_sphere(
+    center: Sequence[float], radius: float, count: int, rng: np.random.Generator
+) -> List[Tuple[float, ...]]:
+    """Draw ``count`` independent uniform points from a sphere.
+
+    Vectorised version of :func:`sample_on_sphere` used for the per-cell
+    samples of Technique 1.
+    """
+    if count <= 0:
+        return []
+    dim = len(center)
+    vecs = rng.standard_normal((count, dim))
+    norms = np.linalg.norm(vecs, axis=1)
+    # Regenerate the (measure-zero) degenerate rows, if any.
+    bad = norms == 0.0
+    while bad.any():
+        vecs[bad] = rng.standard_normal((int(bad.sum()), dim))
+        norms = np.linalg.norm(vecs, axis=1)
+        bad = norms == 0.0
+    pts = np.asarray(center, dtype=float) + vecs * (radius / norms)[:, None]
+    return [tuple(float(x) for x in row) for row in pts]
+
+
+def sample_size(epsilon: float, n: int, constant: float = 1.0) -> int:
+    """Per-cell sample size ``t = Theta(eps^-2 log n)`` from Lemma 3.1.
+
+    ``constant`` is the (theoretically "sufficiently large") constant ``c``;
+    it is exposed so the ablation experiment E9 can sweep it.  The value is
+    clamped to at least 1 so degenerate inputs still draw a sample.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1), got %r" % epsilon)
+    if constant <= 0:
+        raise ValueError("sample-size constant must be positive")
+    n = max(2, int(n))
+    return max(1, int(math.ceil(constant * (epsilon ** -2) * math.log(n))))

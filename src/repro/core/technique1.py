@@ -1,0 +1,291 @@
+"""Technique 1: sampling points in ``R^d`` (Section 3 of the paper).
+
+The technique works in the dual setting: every input point of weight ``w``
+becomes a unit ball of weight ``w`` (after rescaling so the query ball has
+unit radius), and MaxRS becomes the problem of finding a point of maximum
+weighted depth.  Instead of sampling the *input* (as prior (1-eps) schemes
+do), Technique 1 samples a set of *probe points* in ``R^d``:
+
+1. Build the Lemma 2.1 collection of shifted grids with cell side
+   ``s = 2 * eps / sqrt(d)`` and nearness parameter ``Delta = eps^2``;
+   the circumsphere of every cell then has radius exactly ``eps``.
+2. For every non-empty cell (a cell intersected by at least one ball) draw
+   ``t = Theta(eps^-2 log n)`` points uniformly at random from the cell's
+   circumsphere (Lemma 3.1).
+3. Report the sampled point of maximum weighted depth, where the depth of a
+   sample only counts balls intersecting the sample's cell -- exactly as the
+   paper's update rule does.
+
+Lemmas 3.1--3.3 show the reported point has depth at least ``(1/2 - eps) opt``
+with high probability, and Lemma 3.4 bounds the work per ball by
+``O(eps^{-2d-2} log n)``, which is the source of Theorem 1.2's
+``O(eps^{-2d-2} n log n)`` running time.
+
+This module implements the static algorithm (Theorem 1.2).  The dynamic
+variant (Theorem 1.1) lives in :mod:`repro.core.dynamic` and the colored
+variant (Theorem 1.5) in :mod:`repro.core.colored`; all three share the
+:class:`Technique1Grids` helper defined here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ._inputs import normalize_weighted
+from .grids import GridCollection, ShiftedGrid
+from .result import MaxRSResult
+from .sampling import default_rng, sample_size
+
+__all__ = ["Technique1Grids", "max_range_sum_ball", "estimate_opt_ball"]
+
+CellKey = Tuple[int, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class Technique1Parameters:
+    """Derived parameters of Technique 1 for a given ``(d, eps)`` pair."""
+
+    dim: int
+    epsilon: float
+    side: float
+    delta: float
+    circumradius: float
+
+    @classmethod
+    def for_epsilon(cls, dim: int, epsilon: float) -> "Technique1Parameters":
+        if dim < 1:
+            raise ValueError("dimension must be >= 1")
+        if not 0 < epsilon < 0.5:
+            raise ValueError("Technique 1 requires 0 < epsilon < 1/2, got %r" % epsilon)
+        side = 2.0 * epsilon / math.sqrt(dim)
+        delta = epsilon * epsilon
+        return cls(
+            dim=dim,
+            epsilon=epsilon,
+            side=side,
+            delta=delta,
+            circumradius=side * math.sqrt(dim) / 2.0,
+        )
+
+
+class Technique1Grids:
+    """The Lemma 2.1 grid family specialised to Technique 1's parameters.
+
+    Provides enumeration of the cells (across all grids in the family) that a
+    unit ball intersects, and geometry of each cell's circumsphere.  These two
+    operations are all the static, dynamic and colored variants need.
+    """
+
+    def __init__(self, dim: int, epsilon: float, shift_cap: Optional[int] = None):
+        self.params = Technique1Parameters.for_epsilon(dim, epsilon)
+        self.collection = GridCollection(
+            dim=dim,
+            side=self.params.side,
+            delta=self.params.delta,
+            shift_cap=shift_cap,
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.params.dim
+
+    @property
+    def epsilon(self) -> float:
+        return self.params.epsilon
+
+    @property
+    def circumradius(self) -> float:
+        return self.params.circumradius
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    def cells_for_unit_ball(self, center: Sequence[float]) -> Iterator[CellKey]:
+        """All ``(grid index, cell index)`` pairs whose cell intersects the unit ball."""
+        for grid_index, grid in enumerate(self.collection):
+            for cell in grid.cells_intersecting_ball(center, 1.0):
+                yield grid_index, cell
+
+    def cell_circumsphere(self, key: CellKey) -> Tuple[Tuple[float, ...], float]:
+        """Center and radius of the circumsphere of the cell identified by ``key``."""
+        grid_index, cell = key
+        grid: ShiftedGrid = self.collection[grid_index]
+        return grid.cell_center(cell), grid.circumradius
+
+
+def sample_sphere_array(
+    center: Sequence[float], radius: float, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``count`` uniform points on a sphere as a ``(count, d)`` numpy array.
+
+    Vectorised Muller sampling shared by the static, dynamic and colored
+    variants of Technique 1.
+    """
+    dim = len(center)
+    vecs = rng.standard_normal((count, dim))
+    norms = np.linalg.norm(vecs, axis=1)
+    bad = norms == 0.0
+    while bad.any():
+        vecs[bad] = rng.standard_normal((int(bad.sum()), dim))
+        norms = np.linalg.norm(vecs, axis=1)
+        bad = norms == 0.0
+    return np.asarray(center, dtype=float) + vecs * (radius / norms)[:, None]
+
+
+def _best_sample_for_cell(
+    samples: np.ndarray,
+    ball_indices: Sequence[int],
+    coords: np.ndarray,
+    weights: np.ndarray,
+) -> Tuple[float, Optional[Tuple[float, ...]]]:
+    """Maximum weighted depth among ``samples`` counting only the listed balls."""
+    if samples.size == 0 or not ball_indices:
+        return -math.inf, None
+    centers = coords[np.asarray(ball_indices, dtype=int)]
+    cell_weights = weights[np.asarray(ball_indices, dtype=int)]
+    # Pairwise squared distances: (num samples, num balls).
+    diff = samples[:, None, :] - centers[None, :, :]
+    inside = (diff * diff).sum(axis=2) <= 1.0 + 1e-12
+    depths = inside @ cell_weights
+    best_pos = int(np.argmax(depths))
+    return float(depths[best_pos]), tuple(float(v) for v in samples[best_pos])
+
+
+def max_range_sum_ball(
+    points: Sequence,
+    radius: float = 1.0,
+    epsilon: float = 0.25,
+    *,
+    weights: Optional[Sequence[float]] = None,
+    seed=None,
+    sample_constant: float = 1.0,
+    shift_cap: Optional[int] = None,
+) -> MaxRSResult:
+    """Static (1/2 - eps)-approximate MaxRS with a ``d``-ball query (Theorem 1.2).
+
+    Parameters
+    ----------
+    points:
+        Input points (``WeightedPoint`` instances or coordinate sequences).
+    radius:
+        Radius of the query ball in the original coordinates.
+    epsilon:
+        Approximation parameter in ``(0, 1/2)``; the returned placement covers
+        at least ``(1/2 - eps) * opt`` total weight with high probability.
+    weights:
+        Optional explicit weights (must be positive).
+    seed:
+        Seed (or numpy Generator) controlling the sampling randomness.
+    sample_constant:
+        Constant ``c`` of the per-cell sample size ``t = c * eps^-2 * log n``.
+    shift_cap:
+        Optional cap on grid shifts per axis (ablation experiments only).
+
+    Returns
+    -------
+    MaxRSResult
+        ``center`` is the placement of the ball center in the original
+        (unscaled) coordinates and ``value`` the total weight it covers,
+        evaluated with respect to the balls intersecting the winning cell.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    coords, weight_list, dim = normalize_weighted(points, weights)
+    if not coords:
+        return MaxRSResult(value=0.0, center=None, shape="ball", exact=False,
+                           meta={"epsilon": epsilon, "n": 0})
+
+    rng = default_rng(seed)
+    scale = 1.0 / radius
+    scaled = [tuple(c * scale for c in p) for p in coords]
+    scaled_array = np.asarray(scaled, dtype=float)
+    weight_array = np.asarray(weight_list, dtype=float)
+
+    grids = Technique1Grids(dim=dim, epsilon=epsilon, shift_cap=shift_cap)
+    t = sample_size(epsilon, len(scaled), sample_constant)
+
+    # Pass 1: bucket ball indices by the cells they intersect.
+    cell_to_balls: Dict[CellKey, List[int]] = {}
+    for index, center in enumerate(scaled):
+        for key in grids.cells_for_unit_ball(center):
+            cell_to_balls.setdefault(key, []).append(index)
+
+    # Pass 2: sample each non-empty cell's circumsphere and evaluate depths.
+    # Cells are visited in decreasing order of their trivial upper bound (the
+    # total weight of the balls intersecting them); once the bound drops to
+    # the best value found so far no further cell can improve the answer, so
+    # the loop stops.  The (1/2 - eps) guarantee is unaffected: if the
+    # optimum's cell is skipped, the current best already dominates the best
+    # sample that cell could have produced.
+    cell_items = sorted(
+        cell_to_balls.items(),
+        key=lambda item: sum(weight_list[i] for i in item[1]),
+        reverse=True,
+    )
+    best_value = 0.0
+    best_point: Optional[Tuple[float, ...]] = None
+    cells_evaluated = 0
+    for key, ball_indices in cell_items:
+        upper_bound = sum(weight_list[i] for i in ball_indices)
+        if upper_bound <= best_value:
+            break
+        cells_evaluated += 1
+        center, circumradius = grids.cell_circumsphere(key)
+        samples = sample_sphere_array(center, circumradius, t, rng)
+        value, point = _best_sample_for_cell(samples, ball_indices, scaled_array, weight_array)
+        if point is not None and value > best_value:
+            best_value = value
+            best_point = point
+
+    if best_point is None:
+        # Degenerate fall-back: report the heaviest input point as the center.
+        heaviest = max(range(len(coords)), key=lambda i: weight_list[i])
+        best_point = scaled[heaviest]
+        best_value = weight_list[heaviest]
+
+    original_center = tuple(c * radius for c in best_point)
+    return MaxRSResult(
+        value=best_value,
+        center=original_center,
+        shape="ball",
+        exact=False,
+        meta={
+            "epsilon": epsilon,
+            "n": len(coords),
+            "samples_per_cell": t,
+            "non_empty_cells": len(cell_to_balls),
+            "cells_evaluated": cells_evaluated,
+            "grids": len(grids),
+            "guarantee": 0.5 - epsilon,
+        },
+    )
+
+
+def estimate_opt_ball(
+    points: Sequence,
+    radius: float = 1.0,
+    *,
+    weights: Optional[Sequence[float]] = None,
+    seed=None,
+    sample_constant: float = 1.0,
+    shift_cap: Optional[int] = None,
+) -> float:
+    """Constant-factor estimate of ``opt`` used as a subroutine by other algorithms.
+
+    Runs Theorem 1.2 with ``eps = 1/4`` so the returned value ``opt'``
+    satisfies ``opt / 4 <= opt' <= opt`` with high probability.
+    """
+    result = max_range_sum_ball(
+        points,
+        radius=radius,
+        epsilon=0.25,
+        weights=weights,
+        seed=seed,
+        sample_constant=sample_constant,
+        shift_cap=shift_cap,
+    )
+    return result.value

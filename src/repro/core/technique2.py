@@ -1,0 +1,337 @@
+"""Technique 2: output-sensitivity and color sampling (Section 4 of the paper).
+
+All algorithms here solve *colored disk MaxRS* in the plane (the dual view:
+``n`` colored unit disks, find a point covered by the maximum number of
+distinct colors).  Three levels are provided, mirroring Section 4:
+
+``colored_maxrs_disk_arrangement``
+    The *first algorithm* (Lemma 4.2): merge the disks of each color into a
+    union region, decompose the plane by the boundary arcs and find the
+    deepest cell.  Exact; expected time ``O(n log n + k)`` where ``k`` is the
+    number of bichromatic boundary intersections.
+
+``colored_maxrs_disk_output_sensitive``
+    The *second algorithm* (Theorem 4.6): a Lemma 2.1 grid with unit cells
+    localises the problem; inside every cell the disks that do not contain a
+    cell corner are discarded (Lemma 4.3), bounding the number of colors per
+    cell by ``4 * opt`` and hence the total work by ``O(n log n + n * opt)``.
+    Exact.
+
+``colored_maxrs_disk``
+    The *final algorithm* (Theorem 1.6): estimate ``opt`` with Technique 1,
+    randomly sample colors with probability ``~ log n / (eps^2 opt')``, and
+    run the output-sensitive algorithm on the sampled colors.  Returns a
+    ``(1 - eps)``-approximation with high probability in expected
+    ``O(eps^-2 n log n)`` time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..arrangement.decomposition import (
+    bichromatic_intersection_points,
+    max_colored_depth_from_arcs,
+)
+from ..arrangement.union import union_boundary_arcs
+from ._inputs import normalize_colored
+from .colored import estimate_colored_opt_ball
+from .depth import colored_depth
+from .geometry import point_in_ball
+from .grids import GridCollection
+from .result import MaxRSResult
+from .sampling import default_rng
+
+__all__ = [
+    "colored_maxrs_disk_arrangement",
+    "colored_maxrs_disk_output_sensitive",
+    "colored_maxrs_disk",
+]
+
+
+# --------------------------------------------------------------------------- #
+# The first algorithm (Lemma 4.2)
+# --------------------------------------------------------------------------- #
+
+def _group_by_color(
+    coords: Sequence[Tuple[float, float]], colors: Sequence[Hashable]
+) -> Dict[Hashable, List[Tuple[float, float]]]:
+    groups: Dict[Hashable, List[Tuple[float, float]]] = {}
+    for point, color in zip(coords, colors):
+        groups.setdefault(color, []).append(point)
+    return groups
+
+
+def _arrangement_best_point(
+    coords: Sequence[Tuple[float, float]],
+    colors: Sequence[Hashable],
+    radius: float,
+) -> Tuple[int, Optional[Tuple[float, float]], int]:
+    """Core of Lemma 4.2: returns ``(depth, witness point, k)``.
+
+    ``k`` is the number of bichromatic boundary intersections (the
+    output-sensitivity parameter measured by experiment E4).  Besides the
+    deepest open cell of the decomposition, the arrangement *vertices* are
+    also evaluated: with closed disks a degenerate input (several circles
+    through one point) can attain its maximum only there, and the exact
+    sweep baseline counts such points, so this keeps the two exact solvers
+    in agreement even off general position.
+    """
+    if not coords:
+        return 0, None, 0
+    arcs = []
+    for color, members in _group_by_color(coords, colors).items():
+        arcs.extend(union_boundary_arcs(members, radius, color))
+    vertices = bichromatic_intersection_points(arcs)
+    k = len(vertices)
+    depth, witness = max_colored_depth_from_arcs(arcs)
+    best_depth = depth if witness is not None else 0
+    best_point = witness
+    for vertex in vertices:
+        vertex_depth = colored_depth(vertex, coords, colors, radius)
+        if vertex_depth > best_depth:
+            best_depth = vertex_depth
+            best_point = vertex
+    return best_depth, best_point, k
+
+
+def colored_maxrs_disk_arrangement(
+    points: Sequence,
+    radius: float = 1.0,
+    *,
+    colors: Optional[Sequence[Hashable]] = None,
+) -> MaxRSResult:
+    """Exact colored disk MaxRS through the union/trapezoidal-map route (Lemma 4.2)."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    coords, color_list, dim = normalize_colored(points, colors)
+    if coords and dim != 2:
+        raise ValueError("colored_maxrs_disk_arrangement expects points in the plane")
+    if not coords:
+        return MaxRSResult(value=0, center=None, shape="ball", exact=True,
+                           meta={"radius": radius, "n": 0})
+
+    depth, witness, k = _arrangement_best_point(coords, color_list, radius)
+    if witness is None:
+        witness = coords[0]
+    # Report the true colored depth of the witness with respect to the full
+    # input; under general position this equals the cell depth found above.
+    value = colored_depth(witness, coords, color_list, radius)
+    return MaxRSResult(
+        value=value,
+        center=witness,
+        shape="ball",
+        exact=True,
+        meta={
+            "radius": radius,
+            "n": len(coords),
+            "colors": len(set(color_list)),
+            "bichromatic_intersections": k,
+            "cell_depth": depth,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The second algorithm (Theorem 4.6)
+# --------------------------------------------------------------------------- #
+
+def colored_maxrs_disk_output_sensitive(
+    points: Sequence,
+    radius: float = 1.0,
+    *,
+    colors: Optional[Sequence[Hashable]] = None,
+    shift_cap: Optional[int] = None,
+) -> MaxRSResult:
+    """Exact colored disk MaxRS in ``O(n log n + n * opt)`` expected time (Theorem 4.6).
+
+    A Lemma 2.1 grid family with cell side 1 and nearness 0.25 (in units of
+    the disk radius) localises the problem.  Within every non-empty cell only
+    the disks containing at least one cell corner are kept (Lemma 4.3 shows
+    this never discards a disk containing the optimum in the grid where the
+    optimum is 0.25-near, and bounds the surviving colors by ``4 * opt``);
+    Lemma 4.2's algorithm then solves each cell.
+
+    ``shift_cap`` limits the number of grid shifts per axis (ablations only;
+    the faithful Lemma 2.1 family uses ``ceil(sqrt(2) / 0.25) = 6`` shifts).
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    coords, color_list, dim = normalize_colored(points, colors)
+    if coords and dim != 2:
+        raise ValueError("colored_maxrs_disk_output_sensitive expects points in the plane")
+    if not coords:
+        return MaxRSResult(value=0, center=None, shape="ball", exact=True,
+                           meta={"radius": radius, "n": 0})
+
+    scale = 1.0 / radius
+    scaled = [(x * scale, y * scale) for x, y in coords]
+    grid_family = GridCollection(dim=2, side=1.0, delta=0.25, shift_cap=shift_cap)
+
+    best_depth = 0
+    best_witness: Optional[Tuple[float, float]] = None
+    cells_solved = 0
+    max_k = 0
+    for grid_index, grid in enumerate(grid_family):
+        # Bucket disks by the cells they intersect (each unit disk meets O(1) cells).
+        cell_to_disks: Dict[Tuple[int, ...], List[int]] = {}
+        for index, center in enumerate(scaled):
+            for cell in grid.cells_intersecting_ball(center, 1.0):
+                cell_to_disks.setdefault(cell, []).append(index)
+
+        for cell, disk_indices in cell_to_disks.items():
+            corners = list(grid.cell_corners(cell))
+            kept = [
+                i for i in disk_indices
+                if any(point_in_ball(corner, scaled[i], 1.0) for corner in corners)
+            ]
+            if not kept:
+                continue
+            cell_colors = [color_list[i] for i in kept]
+            if len(set(cell_colors)) <= best_depth:
+                # This cell cannot beat the best subproblem found so far; the
+                # skip never discards the optimum because the winning cell's
+                # distinct-color count is at least its depth.
+                continue
+            cells_solved += 1
+            cell_coords = [scaled[i] for i in kept]
+            depth, witness, k = _arrangement_best_point(cell_coords, cell_colors, 1.0)
+            max_k = max(max_k, k)
+            if depth > best_depth and witness is not None:
+                best_depth = depth
+                best_witness = witness
+
+    if best_witness is None:
+        best_witness = scaled[0]
+    original_witness = (best_witness[0] * radius, best_witness[1] * radius)
+    value = colored_depth(original_witness, coords, color_list, radius)
+    return MaxRSResult(
+        value=value,
+        center=original_witness,
+        shape="ball",
+        exact=True,
+        meta={
+            "radius": radius,
+            "n": len(coords),
+            "colors": len(set(color_list)),
+            "grids": len(grid_family),
+            "cells_solved": cells_solved,
+            "max_bichromatic_intersections": max_k,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The final algorithm (Theorem 1.6)
+# --------------------------------------------------------------------------- #
+
+def colored_maxrs_disk(
+    points: Sequence,
+    radius: float = 1.0,
+    epsilon: float = 0.2,
+    *,
+    colors: Optional[Sequence[Hashable]] = None,
+    seed=None,
+    sampling_constant: float = 2.0,
+    estimator_sample_constant: float = 1.0,
+    shift_cap: Optional[int] = None,
+) -> MaxRSResult:
+    """(1 - eps)-approximate colored disk MaxRS via color sampling (Theorem 1.6).
+
+    Parameters
+    ----------
+    points:
+        Colored points in the plane.
+    radius:
+        Disk radius.
+    epsilon:
+        Approximation parameter in ``(0, 1)``.
+    colors:
+        Optional explicit colors (otherwise taken from ``ColoredPoint`` inputs).
+    seed:
+        Seed or numpy Generator driving both the opt estimation and the color
+        sampling.
+    sampling_constant:
+        The constant ``c_1`` in the color-sampling probability
+        ``lambda = c_1 log n / (eps^2 opt')`` and in the "small opt" cut-off.
+    estimator_sample_constant:
+        Sample-size constant forwarded to the Theorem 1.5 estimator.
+    shift_cap:
+        Optional cap forwarded to the output-sensitive solver (ablations).
+
+    Returns
+    -------
+    MaxRSResult
+        ``value`` is the true colored depth (w.r.t. the full input) of the
+        returned center, which is at least ``(1 - eps) * opt`` with high
+        probability.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+    coords, color_list, dim = normalize_colored(points, colors)
+    if coords and dim != 2:
+        raise ValueError("colored_maxrs_disk expects points in the plane")
+    if not coords:
+        return MaxRSResult(value=0, center=None, shape="ball", exact=False,
+                           meta={"radius": radius, "n": 0, "epsilon": epsilon})
+
+    rng = default_rng(seed)
+    n = len(coords)
+
+    # Phase 0: constant-factor estimate opt' with opt/4 <= opt' <= opt (Theorem 1.5).
+    opt_estimate = max(1, estimate_colored_opt_ball(
+        coords,
+        radius=radius,
+        colors=color_list,
+        seed=rng,
+        sample_constant=estimator_sample_constant,
+    ))
+
+    threshold = sampling_constant * (epsilon ** -2) * math.log(max(2, n))
+    if opt_estimate <= threshold:
+        exact = colored_maxrs_disk_output_sensitive(
+            coords, radius=radius, colors=color_list, shift_cap=shift_cap
+        )
+        meta = dict(exact.meta)
+        meta.update({"epsilon": epsilon, "opt_estimate": opt_estimate, "branch": "exact"})
+        return MaxRSResult(value=exact.value, center=exact.center, shape="ball",
+                           exact=True, meta=meta)
+
+    # Phase 1: sample colors independently with probability lambda.
+    lam = min(1.0, sampling_constant * math.log(max(2, n)) / (epsilon ** 2 * opt_estimate))
+    distinct_colors = sorted(set(color_list), key=repr)
+    chosen = {color for color in distinct_colors if rng.random() < lam}
+    sampled_indices = [i for i, color in enumerate(color_list) if color in chosen]
+    if not sampled_indices:
+        # Degenerate (tiny lambda): fall back to the full exact algorithm.
+        sampled_indices = list(range(n))
+
+    sample_coords = [coords[i] for i in sampled_indices]
+    sample_colors = [color_list[i] for i in sampled_indices]
+
+    # Phase 2: exact output-sensitive algorithm on the sampled colors.
+    sampled_result = colored_maxrs_disk_output_sensitive(
+        sample_coords, radius=radius, colors=sample_colors, shift_cap=shift_cap
+    )
+    center = sampled_result.center if sampled_result.center is not None else coords[0]
+    value = colored_depth(center, coords, color_list, radius)
+    return MaxRSResult(
+        value=value,
+        center=center,
+        shape="ball",
+        exact=False,
+        meta={
+            "radius": radius,
+            "n": n,
+            "epsilon": epsilon,
+            "opt_estimate": opt_estimate,
+            "branch": "sampled",
+            "lambda": lam,
+            "sampled_colors": len(chosen),
+            "sampled_points": len(sampled_indices),
+            "guarantee": 1.0 - epsilon,
+        },
+    )

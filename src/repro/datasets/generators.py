@@ -1,0 +1,109 @@
+"""Point-cloud generators: uniform background noise and Gaussian hotspots.
+
+All generators are deterministic given a seed and return plain coordinate
+tuples (plus separate weight lists where applicable), which every solver in
+the library accepts directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.sampling import default_rng
+
+__all__ = [
+    "uniform_points",
+    "uniform_weighted_points",
+    "clustered_points",
+    "weighted_hotspot_points",
+]
+
+Coords = Tuple[float, ...]
+
+
+def uniform_points(
+    n: int,
+    dim: int = 2,
+    extent: float = 10.0,
+    seed=None,
+) -> List[Coords]:
+    """``n`` points drawn uniformly from the cube ``[0, extent]^dim``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    rng = default_rng(seed)
+    pts = rng.uniform(0.0, extent, size=(n, dim))
+    return [tuple(float(v) for v in row) for row in pts]
+
+
+def uniform_weighted_points(
+    n: int,
+    dim: int = 2,
+    extent: float = 10.0,
+    weight_range: Tuple[float, float] = (0.5, 2.0),
+    seed=None,
+) -> Tuple[List[Coords], List[float]]:
+    """Uniform points with i.i.d. uniform weights in ``weight_range``."""
+    low, high = weight_range
+    if low <= 0 or high < low:
+        raise ValueError("weight_range must satisfy 0 < low <= high")
+    rng = default_rng(seed)
+    coords = uniform_points(n, dim=dim, extent=extent, seed=rng)
+    weights = [float(w) for w in rng.uniform(low, high, size=n)]
+    return coords, weights
+
+
+def clustered_points(
+    n: int,
+    dim: int = 2,
+    extent: float = 10.0,
+    clusters: int = 3,
+    cluster_std: float = 0.5,
+    background_fraction: float = 0.3,
+    seed=None,
+) -> List[Coords]:
+    """Gaussian hotspots over a uniform background (the COVID / retail scenario).
+
+    ``clusters`` Gaussian blobs of standard deviation ``cluster_std`` receive
+    ``(1 - background_fraction)`` of the points; the rest are uniform noise.
+    """
+    if clusters < 1:
+        raise ValueError("clusters must be >= 1")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise ValueError("background_fraction must lie in [0, 1]")
+    rng = default_rng(seed)
+    background = int(round(n * background_fraction))
+    clustered = n - background
+    centers = rng.uniform(extent * 0.2, extent * 0.8, size=(clusters, dim))
+    assignments = rng.integers(0, clusters, size=clustered)
+    points: List[Coords] = []
+    for cluster_index in assignments:
+        sample = centers[cluster_index] + rng.normal(0.0, cluster_std, size=dim)
+        points.append(tuple(float(v) for v in sample))
+    points.extend(uniform_points(background, dim=dim, extent=extent, seed=rng))
+    return points
+
+
+def weighted_hotspot_points(
+    n: int,
+    dim: int = 2,
+    extent: float = 10.0,
+    clusters: int = 3,
+    cluster_std: float = 0.5,
+    seed=None,
+) -> Tuple[List[Coords], List[float]]:
+    """Hotspot points where cluster members carry larger weights than noise.
+
+    Models the retail scenario of Section 1: customers near a hotspot are more
+    valuable to cover, so a weighted MaxRS placement should land there.
+    """
+    rng = default_rng(seed)
+    coords = clustered_points(
+        n, dim=dim, extent=extent, clusters=clusters,
+        cluster_std=cluster_std, background_fraction=0.4, seed=rng,
+    )
+    boundary = int(round(n * 0.6))
+    weights = [float(w) for w in rng.uniform(1.5, 3.0, size=boundary)]
+    weights.extend(float(w) for w in rng.uniform(0.5, 1.0, size=n - boundary))
+    return coords, weights

@@ -1,0 +1,111 @@
+"""CSV import/export of point workloads.
+
+The command-line interface (``python -m repro``) reads and writes point sets
+as plain CSV so workloads can be exchanged with spreadsheets, GIS exports or
+other tools.  The format is deliberately small:
+
+* one header row;
+* coordinate columns named ``x1, x2, ..., xd`` (aliases ``x, y, z`` are
+  accepted on input);
+* an optional ``weight`` column;
+* an optional ``color`` column.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["PointTable", "write_points_csv", "read_points_csv"]
+
+Coords = Tuple[float, ...]
+
+_COORD_ALIASES = {"x": "x1", "y": "x2", "z": "x3"}
+
+
+@dataclass
+class PointTable:
+    """A point workload loaded from (or destined for) a CSV file."""
+
+    points: List[Coords]
+    weights: Optional[List[float]] = None
+    colors: Optional[List[str]] = None
+
+    @property
+    def dim(self) -> int:
+        return len(self.points[0]) if self.points else 0
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def write_points_csv(
+    path: str,
+    points: Sequence[Sequence[float]],
+    *,
+    weights: Optional[Sequence[float]] = None,
+    colors: Optional[Sequence[object]] = None,
+) -> None:
+    """Write a point set (plus optional weights / colors) to ``path``."""
+    points = [tuple(float(v) for v in p) for p in points]
+    if weights is not None and len(weights) != len(points):
+        raise ValueError("got %d weights for %d points" % (len(weights), len(points)))
+    if colors is not None and len(colors) != len(points):
+        raise ValueError("got %d colors for %d points" % (len(colors), len(points)))
+    dim = len(points[0]) if points else 0
+    header = ["x%d" % (i + 1) for i in range(dim)]
+    if weights is not None:
+        header.append("weight")
+    if colors is not None:
+        header.append("color")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for index, point in enumerate(points):
+            row: List[object] = list(point)
+            if weights is not None:
+                row.append(weights[index])
+            if colors is not None:
+                row.append(colors[index])
+            writer.writerow(row)
+
+
+def read_points_csv(path: str) -> PointTable:
+    """Read a point set written by :func:`write_points_csv` (or compatible)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return PointTable(points=[])
+        normalized = [_COORD_ALIASES.get(name.strip().lower(), name.strip().lower())
+                      for name in header]
+        coord_columns = [
+            (index, name) for index, name in enumerate(normalized)
+            if name.startswith("x") and name[1:].isdigit()
+        ]
+        coord_columns.sort(key=lambda item: int(item[1][1:]))
+        if not coord_columns:
+            raise ValueError(
+                "no coordinate columns found in %r; expected headers like x1, x2 or x, y" % path
+            )
+        weight_index = normalized.index("weight") if "weight" in normalized else None
+        color_index = normalized.index("color") if "color" in normalized else None
+
+        points: List[Coords] = []
+        weights: List[float] = []
+        colors: List[str] = []
+        for row in reader:
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            points.append(tuple(float(row[index]) for index, _ in coord_columns))
+            if weight_index is not None:
+                weights.append(float(row[weight_index]))
+            if color_index is not None:
+                colors.append(row[color_index])
+    return PointTable(
+        points=points,
+        weights=weights if weight_index is not None else None,
+        colors=colors if color_index is not None else None,
+    )

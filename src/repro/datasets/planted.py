@@ -1,0 +1,115 @@
+"""Instances whose exact optimum is known by construction.
+
+Exact MaxRS for ``d``-balls in ``d >= 3`` costs roughly ``O(n^d)`` (the paper
+only cites the arrangement bound), so the approximation guarantees of
+Theorems 1.1, 1.2 and 1.5 cannot be validated against an exact solver there.
+Planted instances sidestep this: a cluster of ``k`` points inside a ball of
+the query radius, placed far from sparse background noise whose points are
+pairwise farther than the query diameter, has optimum exactly ``k`` (a ball
+can cover the whole cluster, and no ball can cover two background points or a
+background point together with the cluster).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Hashable, List, Tuple
+
+from ..core.sampling import default_rng
+
+__all__ = ["planted_ball_instance", "planted_colored_instance"]
+
+Coords = Tuple[float, ...]
+
+
+def _sparse_background(
+    count: int,
+    dim: int,
+    spacing: float,
+    offset: float,
+    rng,
+) -> List[Coords]:
+    """Background points on a jittered lattice with pairwise distance > spacing."""
+    if count <= 0:
+        return []
+    per_axis = max(2, math.ceil(count ** (1.0 / dim)) + 1)
+    jitter = spacing * 0.05
+    points: List[Coords] = []
+    for index in itertools.product(range(per_axis), repeat=dim):
+        if len(points) >= count:
+            break
+        base = tuple(offset + i * spacing for i in index)
+        points.append(tuple(
+            float(b + rng.uniform(-jitter, jitter)) for b in base
+        ))
+    return points
+
+
+def planted_ball_instance(
+    n: int,
+    planted: int,
+    dim: int = 2,
+    radius: float = 1.0,
+    seed=None,
+) -> Tuple[List[Coords], int]:
+    """Unweighted instance with a planted cluster; returns ``(points, opt)``.
+
+    ``planted`` points are placed inside a ball of the query radius centered
+    at the origin; the remaining ``n - planted`` points form sparse background
+    noise.  The exact unweighted optimum for a query ball of the given radius
+    is ``max(planted, 1)`` provided ``planted >= 1``.
+    """
+    if planted < 1 or planted > n:
+        raise ValueError("planted must satisfy 1 <= planted <= n")
+    rng = default_rng(seed)
+    cluster: List[Coords] = []
+    for _ in range(planted):
+        direction = rng.standard_normal(dim)
+        norm = math.sqrt(float(sum(v * v for v in direction))) or 1.0
+        # Uniform radius in [0, 0.9 r]: strictly inside the query ball.
+        length = radius * 0.9 * float(rng.random()) ** (1.0 / dim)
+        cluster.append(tuple(float(length * v / norm) for v in direction))
+
+    spacing = 2.5 * radius
+    offset = 10.0 * radius
+    background = _sparse_background(n - planted, dim, spacing, offset, rng)
+    return cluster + background, planted
+
+
+def planted_colored_instance(
+    n: int,
+    planted_colors: int,
+    dim: int = 2,
+    radius: float = 1.0,
+    background_colors: int = 3,
+    seed=None,
+) -> Tuple[List[Coords], List[Hashable], int]:
+    """Colored instance with a planted rainbow cluster; returns ``(points, colors, opt)``.
+
+    A cluster of ``planted_colors`` distinctly colored points sits inside a
+    query ball at the origin; the background re-uses a small palette of
+    ``background_colors`` colors (all of which also appear in the cluster when
+    possible), so no far-away placement can beat the cluster.  The exact
+    colored optimum is ``planted_colors``.
+    """
+    if planted_colors < 1 or planted_colors > n:
+        raise ValueError("planted_colors must satisfy 1 <= planted_colors <= n")
+    if background_colors < 1:
+        raise ValueError("background_colors must be >= 1")
+    rng = default_rng(seed)
+    cluster_points, _ = planted_ball_instance(planted_colors, planted_colors,
+                                              dim=dim, radius=radius, seed=rng)
+    cluster_colors: List[Hashable] = list(range(planted_colors))
+
+    background_count = n - planted_colors
+    spacing = 2.5 * radius
+    offset = 10.0 * radius
+    background_points = _sparse_background(background_count, dim, spacing, offset, rng)
+    palette = min(background_colors, planted_colors)
+    background_color_list: List[Hashable] = [
+        int(rng.integers(0, palette)) for _ in background_points
+    ]
+    points = cluster_points + background_points
+    colors = cluster_colors + background_color_list
+    return points, colors, planted_colors

@@ -1,0 +1,135 @@
+"""Insert/delete update streams for dynamic MaxRS (the hotspot-monitoring scenario).
+
+Section 1.1 motivates dynamic MaxRS with real-time hotspot monitoring:
+locations of newly infected patients are inserted, locations of recovered
+patients are deleted, and the authorities continuously ask for the current
+hotspot.  :class:`UpdateStream` is a simple ordered list of
+:class:`UpdateEvent` objects that :class:`repro.core.dynamic.DynamicMaxRS`
+(and the exact re-computation baseline used in experiment E2) can replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.sampling import default_rng
+from .generators import clustered_points
+
+__all__ = ["UpdateEvent", "UpdateStream", "hotspot_monitoring_stream", "sliding_window_stream"]
+
+Coords = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One update: an insertion of a weighted point or a deletion by stream index.
+
+    ``kind`` is ``"insert"`` or ``"delete"``.  For insertions ``point`` and
+    ``weight`` are set; for deletions ``target`` refers to the position (in
+    the stream) of the insertion being undone.
+    """
+
+    kind: str
+    point: Optional[Coords] = None
+    weight: float = 1.0
+    target: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in ("insert", "delete"):
+            raise ValueError("event kind must be 'insert' or 'delete'")
+        if self.kind == "insert" and self.point is None:
+            raise ValueError("insert events need a point")
+        if self.kind == "delete" and self.target is None:
+            raise ValueError("delete events need the index of the insertion to undo")
+
+
+class UpdateStream:
+    """An ordered sequence of update events, replayable against any structure."""
+
+    def __init__(self, events: Sequence[UpdateEvent]):
+        self.events: List[UpdateEvent] = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[UpdateEvent]:
+        return iter(self.events)
+
+    def live_points_after(self, prefix: int) -> List[Tuple[Coords, float]]:
+        """Points alive after the first ``prefix`` events (for exact baselines)."""
+        alive = {}
+        for index, event in enumerate(self.events[:prefix]):
+            if event.kind == "insert":
+                alive[index] = (event.point, event.weight)
+            else:
+                alive.pop(event.target, None)
+        return list(alive.values())
+
+
+def hotspot_monitoring_stream(
+    updates: int,
+    dim: int = 2,
+    extent: float = 10.0,
+    clusters: int = 3,
+    delete_fraction: float = 0.35,
+    seed=None,
+) -> UpdateStream:
+    """A COVID-style stream: clustered insertions interleaved with random deletions."""
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError("delete_fraction must lie in [0, 1)")
+    rng = default_rng(seed)
+    insert_count = max(1, int(round(updates * (1.0 - delete_fraction))))
+    points = clustered_points(insert_count, dim=dim, extent=extent,
+                              clusters=clusters, seed=rng)
+    events: List[UpdateEvent] = []
+    live_insert_indices: List[int] = []
+    inserted = 0
+    while len(events) < updates:
+        remaining_inserts = insert_count - inserted
+        if remaining_inserts == 0 and not live_insert_indices:
+            break
+        want_delete = bool(
+            live_insert_indices
+            and (remaining_inserts == 0 or rng.random() < delete_fraction)
+        )
+        if want_delete:
+            position = int(rng.integers(0, len(live_insert_indices)))
+            target = live_insert_indices.pop(position)
+            events.append(UpdateEvent(kind="delete", target=target))
+        else:
+            events.append(UpdateEvent(kind="insert", point=points[inserted], weight=1.0))
+            live_insert_indices.append(len(events) - 1)
+            inserted += 1
+    return UpdateStream(events)
+
+
+def sliding_window_stream(
+    total_points: int,
+    window: int,
+    dim: int = 2,
+    extent: float = 10.0,
+    clusters: int = 3,
+    seed=None,
+) -> UpdateStream:
+    """A sliding-window stream: every insertion beyond ``window`` expires the oldest point.
+
+    This matches monitoring scenarios where only the most recent ``window``
+    observations matter (e.g. infections within the last two weeks).
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    rng = default_rng(seed)
+    points = clustered_points(total_points, dim=dim, extent=extent,
+                              clusters=clusters, seed=rng)
+    events: List[UpdateEvent] = []
+    insert_event_indices: List[int] = []
+    for point in points:
+        # Expire the oldest observation first so the live set never exceeds
+        # the window, then insert the new one.
+        if len(insert_event_indices) == window:
+            oldest = insert_event_indices.pop(0)
+            events.append(UpdateEvent(kind="delete", target=oldest))
+        events.append(UpdateEvent(kind="insert", point=point, weight=1.0))
+        insert_event_indices.append(len(events) - 1)
+    return UpdateStream(events)

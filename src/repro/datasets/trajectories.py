@@ -1,0 +1,72 @@
+"""Trajectory workloads for colored MaxRS (the wildlife-monitoring scenario).
+
+Section 1.3 motivates colored MaxRS with trajectory data [ZGH+22]: each
+monitored animal contributes a trajectory, points are sampled from each
+trajectory and colored by the animal's identity, and the goal is to place a
+tracking device covering as many distinct animals as possible.  The generator
+here produces exactly that: one bounded random walk per entity, with all of
+its sampled positions sharing one color.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from ..core.sampling import default_rng
+
+__all__ = ["trajectory_colored_points"]
+
+Coords = Tuple[float, ...]
+
+
+def trajectory_colored_points(
+    entities: int,
+    samples_per_entity: int = 20,
+    dim: int = 2,
+    extent: float = 10.0,
+    step_std: float = 0.3,
+    seed=None,
+) -> Tuple[List[Coords], List[Hashable]]:
+    """Sampled positions of ``entities`` random-walk trajectories, colored by entity.
+
+    Parameters
+    ----------
+    entities:
+        Number of monitored entities (= number of colors).
+    samples_per_entity:
+        Number of positions sampled along each trajectory.
+    dim:
+        Ambient dimension (2 for the paper's use case, higher supported).
+    extent:
+        Trajectories start uniformly inside ``[0, extent]^dim`` and are
+        reflected back into that box.
+    step_std:
+        Standard deviation of each random-walk step.
+    seed:
+        Seed or numpy Generator.
+
+    Returns
+    -------
+    (points, colors)
+        Parallel lists; ``colors[i]`` is the integer id of the entity whose
+        trajectory produced ``points[i]``.
+    """
+    if entities < 0 or samples_per_entity < 1:
+        raise ValueError("entities must be >= 0 and samples_per_entity >= 1")
+    rng = default_rng(seed)
+    points: List[Coords] = []
+    colors: List[Hashable] = []
+    for entity in range(entities):
+        position = rng.uniform(0.0, extent, size=dim)
+        for _ in range(samples_per_entity):
+            step = rng.normal(0.0, step_std, size=dim)
+            position = position + step
+            # Reflect back into the bounding box so trajectories stay comparable.
+            for axis in range(dim):
+                if position[axis] < 0.0:
+                    position[axis] = -position[axis]
+                elif position[axis] > extent:
+                    position[axis] = 2.0 * extent - position[axis]
+            points.append(tuple(float(v) for v in position))
+            colors.append(entity)
+    return points, colors

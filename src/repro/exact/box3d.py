@@ -1,0 +1,158 @@
+"""Exact MaxRS for axis-aligned boxes in R^3 (and a d-dimensional brute force).
+
+Section 1 of the paper cites the extension of exact box MaxRS to ``d >= 3``
+[Cha10] with running time ``~O(n^{d/2})``.  That algorithm rests on Chan's
+machinery for Klee's measure problem; re-implementing it robustly is out of
+scope for this reproduction (see DESIGN.md), so this module provides the
+standard simpler baselines instead:
+
+* :func:`maxrs_box3d_exact` -- a sweep over the candidate bottom z-faces that
+  reduces each slab to the planar Imai--Asano / Nandy--Bhattacharya sweep;
+  ``O(n^2 log n)`` time, exact.
+* :func:`maxrs_box_bruteforce` -- the ``O(n^{d+1})``-ish enumeration of
+  candidate corners for any constant dimension, used as a cross-check on tiny
+  instances.
+
+Both serve as correctness oracles for the d >= 3 experiments and as the
+"exact is polynomial but slow" comparison point of the approximate d-ball
+algorithms (which is the regime Theorem 1.2 targets).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core._inputs import normalize_weighted
+from ..core.result import MaxRSResult
+from .rectangle2d import maxrs_rectangle_exact
+
+__all__ = ["maxrs_box3d_exact", "maxrs_box_bruteforce"]
+
+_EPS = 1e-9
+
+
+def maxrs_box3d_exact(
+    points: Sequence,
+    side_lengths: Sequence[float],
+    *,
+    weights: Optional[Sequence[float]] = None,
+) -> MaxRSResult:
+    """Optimal placement of an axis-aligned box in R^3 (exact).
+
+    Parameters
+    ----------
+    points:
+        Points in R^3 (coordinate triples or ``WeightedPoint``).
+    side_lengths:
+        The box dimensions ``(wx, wy, wz)``; all must be positive.
+    weights:
+        Optional non-negative weights.
+
+    Returns
+    -------
+    MaxRSResult
+        ``center`` holds the lower corner ``(a, b, c)`` of an optimal box.
+
+    Notes
+    -----
+    An optimal box can be shifted so its top z-face passes through an input
+    point, so it suffices to try the ``n`` candidate bottom faces
+    ``c = z_i - wz`` and solve the induced planar problem on the points whose
+    z-coordinate falls in ``[c, c + wz]`` -- ``O(n^2 log n)`` total.
+    """
+    side_lengths = tuple(float(s) for s in side_lengths)
+    if len(side_lengths) != 3 or any(s <= 0 for s in side_lengths):
+        raise ValueError("side_lengths must be three positive numbers, got %r" % (side_lengths,))
+    wx, wy, wz = side_lengths
+    coords, weight_list, dim = normalize_weighted(points, weights, require_positive=False)
+    if any(w < 0 for w in weight_list):
+        raise ValueError("maxrs_box3d_exact requires non-negative weights")
+    if coords and dim != 3:
+        raise ValueError("maxrs_box3d_exact expects points in R^3, got dim=%d" % dim)
+    if not coords:
+        return MaxRSResult(value=0.0, center=None, shape="box", exact=True,
+                           meta={"side_lengths": side_lengths, "n": 0})
+
+    zs = [c[2] for c in coords]
+    best_value = -math.inf
+    best_corner: Optional[Tuple[float, float, float]] = None
+    for anchor_z in sorted(set(zs)):
+        c = anchor_z - wz
+        slab_indices = [i for i, z in enumerate(zs) if c - _EPS <= z <= anchor_z + _EPS]
+        if not slab_indices:
+            continue
+        slab_weight = sum(weight_list[i] for i in slab_indices)
+        if slab_weight <= best_value:
+            continue
+        slab_points = [(coords[i][0], coords[i][1]) for i in slab_indices]
+        slab_weights = [weight_list[i] for i in slab_indices]
+        planar = maxrs_rectangle_exact(slab_points, width=wx, height=wy, weights=slab_weights)
+        if planar.center is not None and planar.value > best_value:
+            best_value = planar.value
+            best_corner = (planar.center[0], planar.center[1], c)
+
+    return MaxRSResult(
+        value=best_value,
+        center=best_corner,
+        shape="box",
+        exact=True,
+        meta={
+            "side_lengths": side_lengths,
+            "n": len(coords),
+            "method": "z-slab sweep + planar sweep",
+        },
+    )
+
+
+def maxrs_box_bruteforce(
+    points: Sequence,
+    side_lengths: Sequence[float],
+    *,
+    weights: Optional[Sequence[float]] = None,
+) -> MaxRSResult:
+    """Brute-force exact box MaxRS in any constant dimension.
+
+    An optimal axis-aligned box can be translated until, in every dimension
+    ``j``, its upper face passes through some input point; the candidate
+    upper corners are therefore the ``n^d`` combinations of per-dimension
+    input coordinates.  Intended only for tiny cross-check instances.
+    """
+    side_lengths = tuple(float(s) for s in side_lengths)
+    if not side_lengths or any(s <= 0 for s in side_lengths):
+        raise ValueError("side_lengths must be positive, got %r" % (side_lengths,))
+    coords, weight_list, dim = normalize_weighted(points, weights, require_positive=False)
+    if any(w < 0 for w in weight_list):
+        raise ValueError("maxrs_box_bruteforce requires non-negative weights")
+    if coords and dim != len(side_lengths):
+        raise ValueError(
+            "side_lengths has %d entries but points have dimension %d"
+            % (len(side_lengths), dim)
+        )
+    if not coords:
+        return MaxRSResult(value=0.0, center=None, shape="box", exact=True,
+                           meta={"side_lengths": side_lengths, "n": 0})
+
+    per_dim_candidates: List[List[float]] = [
+        sorted({c[j] for c in coords}) for j in range(dim)
+    ]
+    best_value = -math.inf
+    best_lower: Optional[Tuple[float, ...]] = None
+    for upper in itertools.product(*per_dim_candidates):
+        lower = tuple(upper[j] - side_lengths[j] for j in range(dim))
+        value = 0.0
+        for coord, weight in zip(coords, weight_list):
+            if all(lower[j] - _EPS <= coord[j] <= upper[j] + _EPS for j in range(dim)):
+                value += weight
+        if value > best_value:
+            best_value = value
+            best_lower = lower
+
+    return MaxRSResult(
+        value=best_value,
+        center=best_lower,
+        shape="box",
+        exact=True,
+        meta={"side_lengths": side_lengths, "n": len(coords), "method": "bruteforce"},
+    )

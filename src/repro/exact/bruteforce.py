@@ -1,0 +1,97 @@
+"""Small brute-force evaluators used as independent oracles in tests.
+
+For disks in the plane the classical candidate argument says an optimal
+center can be chosen among (a) the input points themselves and (b) the
+intersection points of pairs of circles of radius ``r`` centered at input
+points.  Enumerating all ``O(n^2)`` candidates and evaluating the depth of
+each in ``O(n)`` costs ``O(n^3)`` -- far too slow for real use, but a
+completely independent implementation against which both the angular sweep
+baselines and the arrangement-based Technique 2 algorithms are validated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from ..core._inputs import normalize_colored, normalize_weighted
+from ..core.depth import colored_depth, weighted_depth
+
+__all__ = [
+    "circle_circle_intersections",
+    "disk_candidate_centers",
+    "maxrs_disk_bruteforce",
+    "colored_maxrs_disk_bruteforce",
+]
+
+
+def circle_circle_intersections(
+    a: Tuple[float, float],
+    b: Tuple[float, float],
+    radius: float,
+) -> List[Tuple[float, float]]:
+    """Intersection points of two circles of equal ``radius`` centered at ``a`` and ``b``."""
+    dx = b[0] - a[0]
+    dy = b[1] - a[1]
+    dist = math.hypot(dx, dy)
+    if dist <= 1e-12 or dist > 2.0 * radius:
+        return []
+    half = dist / 2.0
+    height_sq = radius * radius - half * half
+    if height_sq < 0:
+        return []
+    height = math.sqrt(max(0.0, height_sq))
+    mid = (a[0] + dx / 2.0, a[1] + dy / 2.0)
+    ux, uy = dx / dist, dy / dist
+    return [
+        (mid[0] - uy * height, mid[1] + ux * height),
+        (mid[0] + uy * height, mid[1] - ux * height),
+    ]
+
+
+def disk_candidate_centers(
+    coords: Sequence[Tuple[float, float]], radius: float
+) -> List[Tuple[float, float]]:
+    """Candidate optimal centers: input points plus pairwise circle intersections."""
+    candidates = [tuple(c) for c in coords]
+    n = len(coords)
+    for i in range(n):
+        for j in range(i + 1, n):
+            candidates.extend(circle_circle_intersections(coords[i], coords[j], radius))
+    return candidates
+
+
+def maxrs_disk_bruteforce(
+    points: Sequence,
+    radius: float = 1.0,
+    *,
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Exact weighted disk MaxRS value by candidate enumeration (testing only)."""
+    coords, weight_list, dim = normalize_weighted(points, weights, require_positive=False)
+    if not coords:
+        return 0.0
+    if dim != 2:
+        raise ValueError("brute-force disk MaxRS is only implemented in the plane")
+    best = 0.0
+    for candidate in disk_candidate_centers(coords, radius):
+        best = max(best, weighted_depth(candidate, coords, weight_list, radius))
+    return best
+
+
+def colored_maxrs_disk_bruteforce(
+    points: Sequence,
+    radius: float = 1.0,
+    *,
+    colors: Optional[Sequence[Hashable]] = None,
+) -> int:
+    """Exact colored disk MaxRS value by candidate enumeration (testing only)."""
+    coords, color_list, dim = normalize_colored(points, colors)
+    if not coords:
+        return 0
+    if dim != 2:
+        raise ValueError("brute-force colored disk MaxRS is only implemented in the plane")
+    best = 0
+    for candidate in disk_candidate_centers(coords, radius):
+        best = max(best, colored_depth(candidate, coords, color_list, radius))
+    return best

@@ -1,0 +1,116 @@
+"""Exact MaxRS for axis-aligned rectangles in the plane (Imai--Asano / Nandy--Bhattacharya).
+
+The classical ``O(n log n)`` sweepline algorithm [IA83, NB95]: a rectangle of
+width ``W`` and height ``H`` placed with lower-left corner ``(a, b)`` covers
+the point ``(x, y)`` iff ``a in [x - W, x]`` and ``b in [y - H, y]``, so the
+problem becomes computing the deepest point in an arrangement of ``n``
+weighted boxes in the ``(a, b)`` parameter plane.  Sweeping ``a`` from left to
+right and maintaining the weighted coverage over ``b`` in a segment tree with
+range-add / global-max gives the optimum.
+
+For non-negative weights an optimal rectangle can always be shifted so that
+its right edge and top edge each pass through an input point, hence it
+suffices to evaluate candidate corners ``a = x_j - W`` and ``b = y_i - H``;
+the implementation relies on this and therefore requires non-negative weights.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from typing import List, Optional, Sequence, Tuple
+
+from ..core._inputs import normalize_weighted
+from ..core.result import MaxRSResult
+from ..structures.segment_tree import MaxAddSegmentTree
+
+__all__ = ["maxrs_rectangle_exact"]
+
+
+def maxrs_rectangle_exact(
+    points: Sequence,
+    width: float,
+    height: float,
+    *,
+    weights: Optional[Sequence[float]] = None,
+) -> MaxRSResult:
+    """Optimal placement of a ``width x height`` axis-aligned rectangle (exact).
+
+    Parameters
+    ----------
+    points:
+        Points in the plane (coordinate pairs or ``WeightedPoint``).
+    width, height:
+        Side lengths of the query rectangle; both must be positive.
+    weights:
+        Optional non-negative weights.
+
+    Returns
+    -------
+    MaxRSResult
+        ``center`` holds the lower-left corner ``(a, b)`` of an optimal
+        rectangle; ``meta["upper_right"]`` holds the opposite corner.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("rectangle side lengths must be positive")
+    coords, weight_list, dim = normalize_weighted(points, weights, require_positive=False)
+    if coords and dim != 2:
+        raise ValueError("maxrs_rectangle_exact expects points in the plane")
+    if any(w < 0 for w in weight_list):
+        raise ValueError("maxrs_rectangle_exact requires non-negative weights")
+    if not coords:
+        return MaxRSResult(value=0.0, center=None, shape="rectangle", exact=True,
+                           meta={"width": width, "height": height, "n": 0})
+
+    xs = [c[0] for c in coords]
+    ys = [c[1] for c in coords]
+
+    # Candidate b-coordinates: the bottom edge can be slid up until the top
+    # edge touches a point, i.e. b = y_i - height.
+    b_candidates = sorted({y - height for y in ys})
+    tree = MaxAddSegmentTree(len(b_candidates))
+
+    def b_range(y: float) -> Tuple[int, int]:
+        """Closed candidate-index range of b values for which the point at y is covered."""
+        lo = bisect_left(b_candidates, y - height - 1e-9)
+        hi = bisect_right(b_candidates, y + 1e-9) - 1
+        return lo, hi
+
+    # Sweep events on a: insert at a = x - width, remove after a = x.
+    insert_at = defaultdict(list)
+    remove_at = defaultdict(list)
+    for i, (x, y) in enumerate(coords):
+        insert_at[x - width].append(i)
+        remove_at[x].append(i)
+
+    coordinates = sorted(set(insert_at) | set(remove_at))
+    best_value = 0.0
+    best_corner: Optional[Tuple[float, float]] = None
+    for a in coordinates:
+        for i in insert_at.get(a, ()):  # insertions first: the interval is closed
+            lo, hi = b_range(ys[i])
+            tree.add(lo, hi, weight_list[i])
+        if a in insert_at:
+            value, arg = tree.max_with_argmax()
+            if value > best_value or best_corner is None:
+                best_value = value
+                best_corner = (a, b_candidates[arg])
+        for i in remove_at.get(a, ()):
+            lo, hi = b_range(ys[i])
+            tree.add(lo, hi, -weight_list[i])
+
+    if best_corner is None:
+        best_corner = (xs[0] - width, ys[0] - height)
+        best_value = weight_list[0]
+    return MaxRSResult(
+        value=best_value,
+        center=best_corner,
+        shape="rectangle",
+        exact=True,
+        meta={
+            "width": width,
+            "height": height,
+            "n": len(coords),
+            "upper_right": (best_corner[0] + width, best_corner[1] + height),
+        },
+    )

@@ -1,0 +1,45 @@
+"""External-memory (I/O model) substrate and external MaxRS algorithms.
+
+The MaxRS problem "has been extensively studied in the I/O-model"
+[CCT12, CCT14, THCC13] (Section 1.6 of the paper).  The authors' testbeds for
+that line of work are real disks; this package substitutes a *simulated*
+two-level memory hierarchy so the I/O behaviour of external MaxRS algorithms
+can be reproduced and measured on a laptop (see DESIGN.md, substitution
+notes):
+
+* :mod:`repro.io_model.blocks` -- the simulated disk: block-addressed
+  storage with read/write counters, external files made of fixed-size blocks,
+  and an explicit internal-memory budget whose violation raises
+  :class:`MemoryBudgetExceeded` (failure injection for tests).
+* :mod:`repro.io_model.external_sort` -- multiway external merge sort, the
+  workhorse whose ``O((n/B) log_{M/B}(n/B))`` I/O cost dominates the external
+  MaxRS algorithms.
+* :mod:`repro.io_model.external_maxrs` -- external MaxRS on the real line
+  (sort + synchronized scans) and for axis-aligned rectangles
+  (sort + sweep), plus the quadratic nested-scan baseline they are compared
+  against in experiment E12.
+"""
+
+from .blocks import (
+    BlockStorage,
+    ExternalFile,
+    IOStatistics,
+    MemoryBudgetExceeded,
+)
+from .external_sort import external_merge_sort
+from .external_maxrs import (
+    external_maxrs_interval,
+    external_maxrs_interval_nested_scan,
+    external_maxrs_rectangle,
+)
+
+__all__ = [
+    "IOStatistics",
+    "BlockStorage",
+    "ExternalFile",
+    "MemoryBudgetExceeded",
+    "external_merge_sort",
+    "external_maxrs_interval",
+    "external_maxrs_interval_nested_scan",
+    "external_maxrs_rectangle",
+]

@@ -1,0 +1,249 @@
+"""Simulated two-level memory hierarchy (the I/O model of Aggarwal--Vitter).
+
+The external-memory MaxRS literature the paper builds on [CCT12, CCT14]
+analyses algorithms by the number of *block transfers* between a disk of
+unbounded size and an internal memory holding ``M`` records, where each
+transfer moves a block of ``B`` records.  This module simulates exactly that
+cost model:
+
+* :class:`BlockStorage` is the disk.  It owns numbered blocks of at most
+  ``block_size`` records each and counts every block read and write.
+* :class:`ExternalFile` is a sequence of records laid out in consecutive
+  blocks of one storage.  Reading it streams block by block (1 read I/O per
+  block); appending buffers records and flushes full blocks (1 write I/O per
+  block).
+* The storage also tracks a declared internal-memory budget.  Algorithms
+  register how many records they hold in memory via
+  :meth:`BlockStorage.borrow_memory`; exceeding the budget raises
+  :class:`MemoryBudgetExceeded`, which the tests use for failure injection
+  and which keeps the external algorithms honest about their working set.
+
+Records are arbitrary Python objects; the simulator never copies them, so the
+cost of the simulation itself stays proportional to the number of records
+touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "IOStatistics",
+    "MemoryBudgetExceeded",
+    "BlockStorage",
+    "ExternalFile",
+]
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """Raised when an algorithm borrows more internal memory than the budget allows."""
+
+
+@dataclass
+class IOStatistics:
+    """Counters of the simulated disk traffic."""
+
+    block_reads: int = 0
+    block_writes: int = 0
+    blocks_allocated: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Total number of block transfers (reads plus writes)."""
+        return self.block_reads + self.block_writes
+
+    def snapshot(self) -> "IOStatistics":
+        """An independent copy of the current counters."""
+        return IOStatistics(self.block_reads, self.block_writes, self.blocks_allocated)
+
+    def delta_since(self, earlier: "IOStatistics") -> "IOStatistics":
+        """Counter differences relative to an earlier snapshot."""
+        return IOStatistics(
+            self.block_reads - earlier.block_reads,
+            self.block_writes - earlier.block_writes,
+            self.blocks_allocated - earlier.blocks_allocated,
+        )
+
+
+class BlockStorage:
+    """A simulated disk with block-granularity transfers and an internal-memory budget.
+
+    Parameters
+    ----------
+    block_size:
+        Number of records per block (the ``B`` of the I/O model).
+    memory_capacity:
+        Number of records the internal memory may hold (the ``M`` of the I/O
+        model).  Must be at least ``2 * block_size`` so that a merge of two
+        runs is possible at all; ``None`` disables memory accounting.
+    """
+
+    def __init__(self, block_size: int, memory_capacity: Optional[int] = None):
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1, got %d" % block_size)
+        if memory_capacity is not None and memory_capacity < 2 * block_size:
+            raise ValueError(
+                "memory_capacity must be at least 2 * block_size (%d), got %d"
+                % (2 * block_size, memory_capacity)
+            )
+        self._block_size = block_size
+        self._memory_capacity = memory_capacity
+        self._blocks: List[List[object]] = []
+        self._memory_in_use = 0
+        self.stats = IOStatistics()
+
+    # ------------------------------------------------------------------ #
+    # model parameters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def memory_capacity(self) -> Optional[int]:
+        return self._memory_capacity
+
+    @property
+    def merge_fan_in(self) -> int:
+        """How many runs a single merge pass can combine (``M / B - 1``, at least 2)."""
+        if self._memory_capacity is None:
+            return 64
+        return max(2, self._memory_capacity // self._block_size - 1)
+
+    # ------------------------------------------------------------------ #
+    # internal-memory accounting
+    # ------------------------------------------------------------------ #
+
+    def borrow_memory(self, records: int) -> None:
+        """Declare that ``records`` additional records are now held in memory."""
+        if records < 0:
+            raise ValueError("cannot borrow a negative number of records")
+        self._memory_in_use += records
+        if self._memory_capacity is not None and self._memory_in_use > self._memory_capacity:
+            overshoot = self._memory_in_use
+            self._memory_in_use -= records
+            raise MemoryBudgetExceeded(
+                "internal memory budget of %d records exceeded (would use %d)"
+                % (self._memory_capacity, overshoot)
+            )
+
+    def release_memory(self, records: int) -> None:
+        """Return previously borrowed internal memory."""
+        if records < 0:
+            raise ValueError("cannot release a negative number of records")
+        self._memory_in_use = max(0, self._memory_in_use - records)
+
+    @property
+    def memory_in_use(self) -> int:
+        return self._memory_in_use
+
+    # ------------------------------------------------------------------ #
+    # block operations
+    # ------------------------------------------------------------------ #
+
+    def allocate_block(self, records: Sequence[object]) -> int:
+        """Write a new block to disk and return its id (counts one write I/O)."""
+        if len(records) > self._block_size:
+            raise ValueError(
+                "block overflow: %d records in a block of size %d"
+                % (len(records), self._block_size)
+            )
+        self._blocks.append(list(records))
+        self.stats.block_writes += 1
+        self.stats.blocks_allocated += 1
+        return len(self._blocks) - 1
+
+    def read_block(self, block_id: int) -> List[object]:
+        """Read a block from disk (counts one read I/O)."""
+        if not 0 <= block_id < len(self._blocks):
+            raise IndexError("unknown block id %d" % block_id)
+        self.stats.block_reads += 1
+        return list(self._blocks[block_id])
+
+    def new_file(self) -> "ExternalFile":
+        """An empty external file backed by this storage."""
+        return ExternalFile(self)
+
+    def file_from_records(self, records: Iterable[object]) -> "ExternalFile":
+        """Materialise a file from an in-memory iterable (counts the write I/Os)."""
+        out = self.new_file()
+        with out.writer() as writer:
+            for record in records:
+                writer.append(record)
+        return out
+
+
+class _FileWriter:
+    """Buffered writer that flushes full blocks to the backing storage."""
+
+    def __init__(self, file: "ExternalFile"):
+        self._file = file
+        self._buffer: List[object] = []
+        self._closed = False
+
+    def append(self, record: object) -> None:
+        if self._closed:
+            raise RuntimeError("writer already closed")
+        self._buffer.append(record)
+        if len(self._buffer) == self._file.storage.block_size:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buffer:
+            block_id = self._file.storage.allocate_block(self._buffer)
+            self._file._block_ids.append(block_id)
+            self._file._length += len(self._buffer)
+            self._buffer = []
+
+    def close(self) -> None:
+        if not self._closed:
+            self._flush()
+            self._closed = True
+
+    def __enter__(self) -> "_FileWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ExternalFile:
+    """A sequence of records stored block by block on a :class:`BlockStorage`."""
+
+    def __init__(self, storage: BlockStorage):
+        self.storage = storage
+        self._block_ids: List[int] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def block_count(self) -> int:
+        return len(self._block_ids)
+
+    def writer(self) -> _FileWriter:
+        """A buffered appender; use as a context manager so partial blocks flush."""
+        return _FileWriter(self)
+
+    def scan(self) -> Iterator[object]:
+        """Stream all records front to back, one block read per block."""
+        for block_id in self._block_ids:
+            for record in self.storage.read_block(block_id):
+                yield record
+
+    def scan_blocks(self) -> Iterator[List[object]]:
+        """Stream whole blocks (used by algorithms that work block-at-a-time)."""
+        for block_id in self._block_ids:
+            yield self.storage.read_block(block_id)
+
+    def read_all(self) -> List[object]:
+        """Read the whole file into memory, charging the memory budget."""
+        self.storage.borrow_memory(self._length)
+        try:
+            return list(self.scan())
+        except Exception:
+            self.storage.release_memory(self._length)
+            raise

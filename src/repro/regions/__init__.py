@@ -1,0 +1,33 @@
+"""Region-search extensions built on the MaxRS solvers.
+
+The related-work section of the paper (Section 1.6) surveys two families of
+follow-on problems that spatial-database systems expose on top of a MaxRS
+kernel, and which downstream users of this library ask for almost
+immediately:
+
+* **top-k region search** [FCB+16, SSP18, SOP+20] -- instead of a single best
+  placement, report ``k`` high-value placements whose ranges do not overlap
+  (so they describe ``k`` genuinely different hotspots);
+* **time-decaying MaxRS** [TT22] -- observations lose importance over time,
+  so the hotspot should track recent activity without a hard sliding window.
+
+Both are implemented here as thin, well-specified layers over the exact and
+dynamic solvers of the core library:
+
+* :func:`top_k_maxrs_rectangle` / :func:`top_k_maxrs_disk` -- greedy disjoint
+  top-k placements with the standard (1 - 1/e)-style "peeling" heuristic
+  (find the best placement, remove the points it covers, repeat);
+* :class:`DecayingMaxRSMonitor` -- exponential weight decay on top of the
+  paper's dynamic structure, using the observation that a *uniform* rescaling
+  of all weights never changes the argmax, so decay costs O(1) per tick.
+"""
+
+from .topk import PlacementScore, top_k_maxrs_disk, top_k_maxrs_rectangle
+from .decay import DecayingMaxRSMonitor
+
+__all__ = [
+    "PlacementScore",
+    "top_k_maxrs_rectangle",
+    "top_k_maxrs_disk",
+    "DecayingMaxRSMonitor",
+]

@@ -1,0 +1,182 @@
+"""Time-decaying MaxRS: hotspots of exponentially discounted recent activity.
+
+[TT22] studies MaxRS for dynamically occurring objects whose weights decay
+over time -- newer observations matter more, older ones fade out instead of
+disappearing at a hard window boundary.  The key implementation observation
+is that *uniform* exponential decay never changes which placement is optimal:
+if every weight is multiplied by the same factor ``gamma`` per tick, every
+candidate placement's value scales by the same factor, so the argmax of the
+paper's dynamic structure (Theorem 1.1) is unaffected.
+
+:class:`DecayingMaxRSMonitor` therefore keeps a single global scale factor.
+A tick multiplies the scale by ``gamma`` in O(1); a new observation is
+inserted into the dynamic structure with weight ``w / scale`` so that its
+*effective* weight (structure weight times scale) is ``w`` at insertion time
+and decays thereafter.  Observations whose effective weight drops below
+``prune_below`` are physically deleted, which keeps the structure small and
+the internal weights bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dynamic import DynamicMaxRS
+from ..core.result import MaxRSResult
+
+__all__ = ["DecayingMaxRSMonitor"]
+
+Coords = Tuple[float, ...]
+
+
+class DecayingMaxRSMonitor:
+    """MaxRS over exponentially decaying weights (the [TT22] setting).
+
+    Parameters
+    ----------
+    decay:
+        Per-tick multiplicative decay factor ``gamma`` in ``(0, 1)``.
+    dim, radius, epsilon, seed:
+        Forwarded to the underlying :class:`repro.core.dynamic.DynamicMaxRS`.
+    prune_below:
+        Observations whose effective weight falls below this threshold are
+        deleted from the structure (set to 0 to keep everything forever).
+    """
+
+    def __init__(
+        self,
+        decay: float,
+        dim: int = 2,
+        radius: float = 1.0,
+        epsilon: float = 0.25,
+        *,
+        seed=None,
+        prune_below: float = 1e-3,
+    ):
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must lie strictly between 0 and 1, got %r" % decay)
+        if prune_below < 0:
+            raise ValueError("prune_below must be non-negative")
+        self.decay = float(decay)
+        self.prune_below = float(prune_below)
+        self._structure = DynamicMaxRS(dim=dim, radius=radius, epsilon=epsilon, seed=seed)
+        self._scale = 1.0
+        self._ticks = 0
+        # id -> (raw weight at insertion, insertion tick)
+        self._observations: Dict[int, Tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    @property
+    def ticks(self) -> int:
+        """Number of decay ticks applied so far."""
+        return self._ticks
+
+    def effective_weight(self, observation_id: int) -> float:
+        """Current (decayed) weight of a live observation."""
+        if observation_id not in self._observations:
+            raise KeyError("unknown observation id %r" % observation_id)
+        raw, inserted_at = self._observations[observation_id]
+        return raw * (self.decay ** (self._ticks - inserted_at))
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def observe(self, point: Sequence[float], weight: float = 1.0) -> int:
+        """Insert an observation with its full (undecayed) weight."""
+        if weight <= 0:
+            raise ValueError("observation weights must be positive")
+        # Stored weight is chosen so that stored * scale == weight right now.
+        stored = float(weight) / self._scale
+        observation_id = self._structure.insert(point, stored)
+        self._observations[observation_id] = (float(weight), self._ticks)
+        return observation_id
+
+    def forget(self, observation_id: int) -> None:
+        """Explicitly delete an observation before it decays away."""
+        if observation_id not in self._observations:
+            raise KeyError("unknown observation id %r" % observation_id)
+        del self._observations[observation_id]
+        self._structure.delete(observation_id)
+
+    def tick(self, steps: int = 1) -> None:
+        """Advance time: every live observation's weight decays by ``decay`` per step."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        self._ticks += steps
+        self._scale *= self.decay ** steps
+        if self.prune_below > 0:
+            self._prune()
+        if self._scale < 1e-9:
+            self._renormalize()
+
+    def _renormalize(self) -> None:
+        """Rebuild the structure with the current effective weights and reset the scale.
+
+        Keeps the internal (stored) weights bounded on very long runs, where
+        ``1 / scale`` would otherwise grow without limit.
+        """
+        snapshot = self._structure.points()
+        live = [
+            (observation_id, snapshot[observation_id][0],
+             raw * (self.decay ** (self._ticks - inserted_at)))
+            for observation_id, (raw, inserted_at) in self._observations.items()
+        ]
+        for observation_id, _, _ in live:
+            self._structure.delete(observation_id)
+        self._observations = {}
+        self._scale = 1.0
+        for _, point, effective in live:
+            if effective <= 0.0:
+                # Fully faded (numerically underflowed) observations carry no
+                # information; dropping them keeps the structure's weights valid.
+                continue
+            new_id = self._structure.insert(point, effective)
+            self._observations[new_id] = (effective, self._ticks)
+
+    def _prune(self) -> None:
+        stale: List[int] = [
+            observation_id
+            for observation_id, (raw, inserted_at) in self._observations.items()
+            if raw * (self.decay ** (self._ticks - inserted_at)) < self.prune_below
+        ]
+        for observation_id in stale:
+            del self._observations[observation_id]
+            self._structure.delete(observation_id)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def current(self) -> MaxRSResult:
+        """The hotspot of the decayed weights (same guarantee as Theorem 1.1).
+
+        The underlying structure reports values in its internal (undecayed)
+        scale; multiplying by the global scale converts them back to the
+        decayed weights the caller reasons about.
+        """
+        internal = self._structure.query()
+        if internal.center is None:
+            return internal
+        meta = dict(internal.meta)
+        meta.update({"scale": self._scale, "ticks": self._ticks, "decay": self.decay})
+        return MaxRSResult(
+            value=internal.value * self._scale,
+            center=internal.center,
+            shape=internal.shape,
+            exact=False,
+            meta=meta,
+        )
+
+    def total_effective_weight(self) -> float:
+        """Sum of the decayed weights of all live observations."""
+        return sum(
+            raw * (self.decay ** (self._ticks - inserted_at))
+            for raw, inserted_at in self._observations.values()
+        )

@@ -1,0 +1,32 @@
+"""Continuous MaxRS monitoring over update streams.
+
+Section 1.1 of the paper motivates dynamic MaxRS with real-time hotspot
+monitoring, and its related-work section points at the MaxRS *monitoring*
+literature for spatial data streams [AH16, AH17, MMH+17].  This package
+builds that application layer on top of the paper's dynamic structure
+(:class:`repro.core.dynamic.DynamicMaxRS`, Theorem 1.1):
+
+* :class:`ApproximateMaxRSMonitor` -- replays insert/delete streams against
+  the dynamic (1/2 - eps) structure and reports the hotspot after every
+  update (or every ``query_every`` updates);
+* :class:`SlidingWindowMaxRSMonitor` -- the count-based sliding-window
+  variant, where only the most recent ``window`` observations stay alive;
+* :class:`ExactRecomputeMonitor` -- the from-scratch baseline that recomputes
+  the exact planar disk optimum on the live set at every query, which is what
+  the dynamic structure's sub-linear update time is measured against in
+  experiment E13.
+"""
+
+from .monitor import (
+    ApproximateMaxRSMonitor,
+    ExactRecomputeMonitor,
+    HotspotSnapshot,
+    SlidingWindowMaxRSMonitor,
+)
+
+__all__ = [
+    "HotspotSnapshot",
+    "ApproximateMaxRSMonitor",
+    "SlidingWindowMaxRSMonitor",
+    "ExactRecomputeMonitor",
+]

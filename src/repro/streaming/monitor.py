@@ -1,0 +1,272 @@
+"""MaxRS monitors: continuous hotspot reporting over insert/delete streams.
+
+The monitors consume :class:`repro.datasets.streams.UpdateEvent` streams (or
+direct ``observe`` / ``expire`` calls) and report the current hotspot -- the
+placement of a fixed-radius ball maximising covered weight -- after every
+update.  Three monitors are provided:
+
+* :class:`ApproximateMaxRSMonitor` maintains the paper's dynamic structure
+  (Theorem 1.1): ``O_eps(log n)`` amortized work per update and a
+  ``(1/2 - eps)`` guarantee on every reported hotspot.
+* :class:`SlidingWindowMaxRSMonitor` keeps only the most recent ``window``
+  observations alive, the standard stream-monitoring setting [AH16, AH17].
+* :class:`ExactRecomputeMonitor` recomputes the exact planar disk optimum
+  from scratch at every query -- the accuracy reference and the cost baseline
+  the dynamic structure is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.dynamic import DynamicMaxRS
+from ..core.result import MaxRSResult
+from ..datasets.streams import UpdateEvent, UpdateStream
+from ..exact.disk2d import maxrs_disk_exact
+
+__all__ = [
+    "HotspotSnapshot",
+    "ApproximateMaxRSMonitor",
+    "SlidingWindowMaxRSMonitor",
+    "ExactRecomputeMonitor",
+]
+
+Coords = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class HotspotSnapshot:
+    """The hotspot reported after processing a prefix of the stream.
+
+    Attributes
+    ----------
+    step:
+        Number of stream events processed so far (1-based).
+    value:
+        Weight covered by the reported placement.
+    center:
+        Reported ball center (``None`` while the live set is empty).
+    live_points:
+        Size of the live point set at this step.
+    """
+
+    step: int
+    value: float
+    center: Optional[Coords]
+    live_points: int
+
+
+class ApproximateMaxRSMonitor:
+    """Continuous (1/2 - eps)-approximate hotspot monitoring (Theorem 1.1).
+
+    Parameters
+    ----------
+    dim, radius, epsilon, seed:
+        Forwarded to :class:`repro.core.dynamic.DynamicMaxRS`.
+
+    The monitor keeps the mapping from the caller's handles (stream event
+    indices, or the ids returned by :meth:`observe`) to the ids of the
+    underlying dynamic structure, so deletions can be expressed in the
+    caller's terms.
+    """
+
+    def __init__(self, dim: int = 2, radius: float = 1.0, epsilon: float = 0.25, *, seed=None):
+        self._structure = DynamicMaxRS(dim=dim, radius=radius, epsilon=epsilon, seed=seed)
+        self._handles: Dict[int, int] = {}
+        self._next_handle = 0
+        self._steps = 0
+
+    # ------------------------------------------------------------------ #
+    # direct interface
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._structure)
+
+    @property
+    def steps(self) -> int:
+        """Number of updates processed so far."""
+        return self._steps
+
+    def observe(self, point: Sequence[float], weight: float = 1.0) -> int:
+        """Insert an observation; returns a handle usable with :meth:`expire`."""
+        ball_id = self._structure.insert(point, weight)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._handles[handle] = ball_id
+        self._steps += 1
+        return handle
+
+    def expire(self, handle: int) -> None:
+        """Delete a previously observed point by its handle."""
+        if handle not in self._handles:
+            raise KeyError("unknown observation handle %r" % handle)
+        self._structure.delete(self._handles.pop(handle))
+        self._steps += 1
+
+    def current(self) -> MaxRSResult:
+        """The current (approximate) hotspot."""
+        return self._structure.query()
+
+    # ------------------------------------------------------------------ #
+    # stream interface
+    # ------------------------------------------------------------------ #
+
+    def apply(self, event: UpdateEvent, event_index: int) -> None:
+        """Apply one stream event; ``event_index`` is its position in the stream."""
+        if event.kind == "insert":
+            ball_id = self._structure.insert(event.point, event.weight)
+            self._handles[event_index] = ball_id
+            self._steps += 1
+        else:
+            ball_id = self._handles.pop(event.target, None)
+            if ball_id is None:
+                raise KeyError(
+                    "delete event targets stream index %r which is not alive" % event.target
+                )
+            self._structure.delete(ball_id)
+            self._steps += 1
+
+    def replay(
+        self,
+        stream: Iterable[UpdateEvent],
+        *,
+        query_every: int = 1,
+    ) -> List[HotspotSnapshot]:
+        """Replay a stream, reporting the hotspot every ``query_every`` events."""
+        if query_every < 1:
+            raise ValueError("query_every must be >= 1")
+        snapshots: List[HotspotSnapshot] = []
+        for index, event in enumerate(stream):
+            self.apply(event, index)
+            if (index + 1) % query_every == 0:
+                result = self.current()
+                snapshots.append(HotspotSnapshot(
+                    step=index + 1,
+                    value=result.value,
+                    center=result.center,
+                    live_points=len(self._structure),
+                ))
+        return snapshots
+
+
+class SlidingWindowMaxRSMonitor:
+    """Hotspot monitoring over the most recent ``window`` observations.
+
+    Every call to :meth:`observe` inserts the new point and, once the window
+    is full, expires the oldest live observation -- the count-based sliding
+    window of the stream-monitoring literature.  Queries report the hotspot
+    of the live window only.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        dim: int = 2,
+        radius: float = 1.0,
+        epsilon: float = 0.25,
+        *,
+        seed=None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._monitor = ApproximateMaxRSMonitor(dim=dim, radius=radius, epsilon=epsilon, seed=seed)
+        self._live_handles: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._live_handles)
+
+    def observe(self, point: Sequence[float], weight: float = 1.0) -> None:
+        """Insert an observation, expiring the oldest one if the window is full."""
+        if len(self._live_handles) == self.window:
+            self._monitor.expire(self._live_handles.pop(0))
+        self._live_handles.append(self._monitor.observe(point, weight))
+
+    def current(self) -> MaxRSResult:
+        """The hotspot over the current window contents."""
+        return self._monitor.current()
+
+    def replay_points(
+        self,
+        points: Sequence[Sequence[float]],
+        *,
+        weights: Optional[Sequence[float]] = None,
+        query_every: int = 1,
+    ) -> List[HotspotSnapshot]:
+        """Feed a point sequence through the window, reporting periodically."""
+        if query_every < 1:
+            raise ValueError("query_every must be >= 1")
+        weight_list = list(weights) if weights is not None else [1.0] * len(points)
+        if len(weight_list) != len(points):
+            raise ValueError("got %d weights for %d points" % (len(weight_list), len(points)))
+        snapshots: List[HotspotSnapshot] = []
+        for index, (point, weight) in enumerate(zip(points, weight_list)):
+            self.observe(point, weight)
+            if (index + 1) % query_every == 0:
+                result = self.current()
+                snapshots.append(HotspotSnapshot(
+                    step=index + 1,
+                    value=result.value,
+                    center=result.center,
+                    live_points=len(self._live_handles),
+                ))
+        return snapshots
+
+
+class ExactRecomputeMonitor:
+    """Baseline monitor: recompute the exact planar disk optimum at every query.
+
+    The live set is kept in a dictionary; every query runs the
+    ``O(n^2 log n)`` exact sweep from scratch.  Its answers are exact, which
+    makes it the accuracy reference for the approximate monitors, and its
+    per-query cost is what Theorem 1.1's ``O_eps(log n)`` update time is
+    contrasted with in experiment E13.
+    """
+
+    def __init__(self, radius: float = 1.0):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.radius = float(radius)
+        self._live: Dict[int, Tuple[Coords, float]] = {}
+        self._steps = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def apply(self, event: UpdateEvent, event_index: int) -> None:
+        if event.kind == "insert":
+            self._live[event_index] = (event.point, event.weight)
+        else:
+            self._live.pop(event.target, None)
+        self._steps += 1
+
+    def current(self) -> MaxRSResult:
+        if not self._live:
+            return MaxRSResult(value=0.0, center=None, shape="ball", exact=True,
+                               meta={"radius": self.radius, "n": 0})
+        coords = [point for point, _ in self._live.values()]
+        weights = [weight for _, weight in self._live.values()]
+        return maxrs_disk_exact(coords, radius=self.radius, weights=weights)
+
+    def replay(
+        self,
+        stream: Iterable[UpdateEvent],
+        *,
+        query_every: int = 1,
+    ) -> List[HotspotSnapshot]:
+        if query_every < 1:
+            raise ValueError("query_every must be >= 1")
+        snapshots: List[HotspotSnapshot] = []
+        for index, event in enumerate(stream):
+            self.apply(event, index)
+            if (index + 1) % query_every == 0:
+                result = self.current()
+                snapshots.append(HotspotSnapshot(
+                    step=index + 1,
+                    value=result.value,
+                    center=result.center,
+                    live_points=len(self._live),
+                ))
+        return snapshots

@@ -1,0 +1,8 @@
+"""Supporting data structures (substrates) used by the MaxRS algorithms."""
+
+from .segment_tree import MaxAddSegmentTree
+from .lazy_heap import LazyMaxHeap
+from .fenwick import FenwickTree
+from .grid_index import GridIndex
+
+__all__ = ["MaxAddSegmentTree", "LazyMaxHeap", "FenwickTree", "GridIndex"]

@@ -1,0 +1,51 @@
+"""Fenwick (binary indexed) tree for prefix sums.
+
+Used by the batched smallest-k-enclosing-interval experiments and by a few
+workload statistics helpers; kept small and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["FenwickTree"]
+
+
+class FenwickTree:
+    """Prefix-sum tree over ``size`` positions (0-indexed externally)."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("Fenwick tree size must be positive")
+        self._n = size
+        self._tree: List[float] = [0.0] * (size + 1)
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    def add(self, index: int, delta: float) -> None:
+        """Add ``delta`` at position ``index``."""
+        if not 0 <= index < self._n:
+            raise IndexError("index %d out of bounds for size %d" % (index, self._n))
+        i = index + 1
+        while i <= self._n:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> float:
+        """Sum of positions ``0..index`` inclusive; ``index = -1`` gives 0."""
+        if index >= self._n:
+            index = self._n - 1
+        total = 0.0
+        i = index + 1
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Sum of positions ``lo..hi`` inclusive."""
+        if lo > hi:
+            return 0.0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)

@@ -1,0 +1,178 @@
+"""Uniform grid index over weighted points in R^d.
+
+Technique 1 repeatedly needs to know which grid cells a unit ball intersects
+and which points fall where; the dynamic structure keeps that bookkeeping
+inline for performance, but several consumers outside the core (the streaming
+examples, workload inspection, and the ablation experiments) want the same
+ability as a reusable structure.  :class:`GridIndex` hashes points into cells
+of a fixed side length and answers ball and box coverage queries by visiting
+only the cells that can contribute.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.geometry import point_in_ball, point_in_box
+
+__all__ = ["GridIndex"]
+
+Coords = Tuple[float, ...]
+CellKey = Tuple[int, ...]
+
+
+class GridIndex:
+    """A uniform hash grid over weighted points.
+
+    Parameters
+    ----------
+    dim:
+        Dimension of the indexed points.
+    cell_side:
+        Side length of the (cubical) grid cells; typically set to the query
+        radius so a ball query touches ``3^d`` cells.
+    """
+
+    def __init__(self, dim: int, cell_side: float):
+        if dim < 1:
+            raise ValueError("dimension must be >= 1")
+        if cell_side <= 0:
+            raise ValueError("cell_side must be positive")
+        self.dim = int(dim)
+        self.cell_side = float(cell_side)
+        self._cells: Dict[CellKey, Dict[int, Tuple[Coords, float]]] = defaultdict(dict)
+        self._points: Dict[int, Tuple[Coords, float, CellKey]] = {}
+        self._next_id = 0
+        self._total_weight = 0.0
+
+    # ------------------------------------------------------------------ #
+    # basic bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def occupied_cells(self) -> int:
+        return sum(1 for members in self._cells.values() if members)
+
+    def cell_of(self, point: Sequence[float]) -> CellKey:
+        """The cell key containing ``point``."""
+        if len(point) != self.dim:
+            raise ValueError("expected a %d-dimensional point, got %r" % (self.dim, point))
+        return tuple(int(math.floor(float(x) / self.cell_side)) for x in point)
+
+    def insert(self, point: Sequence[float], weight: float = 1.0) -> int:
+        """Insert a weighted point; returns an id usable with :meth:`delete`."""
+        coords = tuple(float(x) for x in point)
+        key = self.cell_of(coords)
+        point_id = self._next_id
+        self._next_id += 1
+        self._cells[key][point_id] = (coords, float(weight))
+        self._points[point_id] = (coords, float(weight), key)
+        self._total_weight += float(weight)
+        return point_id
+
+    def delete(self, point_id: int) -> None:
+        """Remove a point by the id returned from :meth:`insert`."""
+        entry = self._points.pop(point_id, None)
+        if entry is None:
+            raise KeyError("unknown point id %r" % point_id)
+        coords, weight, key = entry
+        self._cells[key].pop(point_id, None)
+        if not self._cells[key]:
+            del self._cells[key]
+        self._total_weight -= weight
+
+    def bulk_load(self, points: Sequence[Sequence[float]],
+                  weights: Optional[Sequence[float]] = None) -> List[int]:
+        """Insert many points at once; returns their ids in input order."""
+        weight_list = list(weights) if weights is not None else [1.0] * len(points)
+        if len(weight_list) != len(points):
+            raise ValueError("got %d weights for %d points" % (len(weight_list), len(points)))
+        return [self.insert(p, w) for p, w in zip(points, weight_list)]
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def _cells_overlapping(self, lower: Coords, upper: Coords) -> Iterator[CellKey]:
+        ranges = [
+            range(int(math.floor(lo / self.cell_side)), int(math.floor(hi / self.cell_side)) + 1)
+            for lo, hi in zip(lower, upper)
+        ]
+
+        def recurse(prefix: Tuple[int, ...], depth: int) -> Iterator[CellKey]:
+            if depth == self.dim:
+                yield prefix
+                return
+            for index in ranges[depth]:
+                yield from recurse(prefix + (index,), depth + 1)
+
+        yield from recurse((), 0)
+
+    def points_in_ball(self, center: Sequence[float], radius: float) -> List[Tuple[Coords, float]]:
+        """All (point, weight) pairs inside the closed ball."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        center = tuple(float(x) for x in center)
+        if len(center) != self.dim:
+            raise ValueError("expected a %d-dimensional center" % self.dim)
+        lower = tuple(c - radius for c in center)
+        upper = tuple(c + radius for c in center)
+        found: List[Tuple[Coords, float]] = []
+        for key in self._cells_overlapping(lower, upper):
+            members = self._cells.get(key)
+            if not members:
+                continue
+            for coords, weight in members.values():
+                if point_in_ball(coords, center, radius):
+                    found.append((coords, weight))
+        return found
+
+    def weight_in_ball(self, center: Sequence[float], radius: float) -> float:
+        """Total weight inside the closed ball."""
+        return sum(weight for _, weight in self.points_in_ball(center, radius))
+
+    def count_in_ball(self, center: Sequence[float], radius: float) -> int:
+        """Number of points inside the closed ball."""
+        return len(self.points_in_ball(center, radius))
+
+    def points_in_box(self, lower: Sequence[float], upper: Sequence[float]) -> List[Tuple[Coords, float]]:
+        """All (point, weight) pairs inside the closed axis-aligned box."""
+        lower = tuple(float(x) for x in lower)
+        upper = tuple(float(x) for x in upper)
+        if len(lower) != self.dim or len(upper) != self.dim:
+            raise ValueError("box corners must be %d-dimensional" % self.dim)
+        if any(lo > hi for lo, hi in zip(lower, upper)):
+            raise ValueError("box lower corner must not exceed upper corner")
+        found: List[Tuple[Coords, float]] = []
+        for key in self._cells_overlapping(lower, upper):
+            members = self._cells.get(key)
+            if not members:
+                continue
+            for coords, weight in members.values():
+                if point_in_box(coords, lower, upper):
+                    found.append((coords, weight))
+        return found
+
+    def weight_in_box(self, lower: Sequence[float], upper: Sequence[float]) -> float:
+        """Total weight inside the closed axis-aligned box."""
+        return sum(weight for _, weight in self.points_in_box(lower, upper))
+
+    def heaviest_cell(self) -> Optional[Tuple[CellKey, float]]:
+        """The occupied cell of largest total weight (a crude hotspot indicator)."""
+        best: Optional[Tuple[CellKey, float]] = None
+        for key, members in self._cells.items():
+            if not members:
+                continue
+            weight = sum(w for _, w in members.values())
+            if best is None or weight > best[1]:
+                best = (key, weight)
+        return best

@@ -1,0 +1,62 @@
+"""Lazy max-heap over mutable keys.
+
+The dynamic MaxRS structure (Theorem 1.1) maintains the weighted depth of a
+large pool of sample points and must answer "which sample point currently has
+maximum depth" after every update.  Depths move up *and* down (deletions), so
+a plain heap would go stale; this heap keeps the authoritative value in a
+dictionary and lazily discards outdated heap entries at query time, giving
+amortised ``O(log N)`` per update/query.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = ["LazyMaxHeap"]
+
+
+class LazyMaxHeap:
+    """Max-priority queue keyed by hashable ids with updatable priorities."""
+
+    def __init__(self):
+        self._heap = []  # entries are (-value, key)
+        self._values: Dict[Hashable, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def set(self, key: Hashable, value: float) -> None:
+        """Insert ``key`` or update its priority to ``value``."""
+        self._values[key] = value
+        heapq.heappush(self._heap, (-value, key))
+
+    def adjust(self, key: Hashable, delta: float) -> float:
+        """Add ``delta`` to the priority of ``key`` (which must exist); return the new value."""
+        new_value = self._values[key] + delta
+        self.set(key, new_value)
+        return new_value
+
+    def get(self, key: Hashable, default: float = 0.0) -> float:
+        return self._values.get(key, default)
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` entirely; stale heap entries are dropped lazily."""
+        self._values.pop(key, None)
+
+    def peek(self) -> Optional[Tuple[Hashable, float]]:
+        """Return ``(key, value)`` of the current maximum, or ``None`` if empty."""
+        while self._heap:
+            neg_value, key = self._heap[0]
+            current = self._values.get(key)
+            if current is not None and current == -neg_value:
+                return key, current
+            heapq.heappop(self._heap)
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._values.clear()

@@ -1,0 +1,99 @@
+"""Segment tree with range-add and global-max queries.
+
+This is the classical substrate behind the Imai--Asano / Nandy--Bhattacharya
+``O(n log n)`` exact MaxRS algorithm for axis-aligned rectangles: sweeping the
+x-axis turns the problem into maintaining a set of weighted y-intervals under
+insertions and deletions while repeatedly asking for the point of maximum
+total weight.
+
+The tree is built over ``m`` elementary positions (after coordinate
+compression).  ``add(lo, hi, delta)`` adds ``delta`` to every position in the
+closed index range ``[lo, hi]``; ``max_value()`` and ``argmax()`` report the
+current maximum and one position attaining it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["MaxAddSegmentTree"]
+
+
+class MaxAddSegmentTree:
+    """Array-backed segment tree supporting range add and global max with argmax."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("segment tree size must be positive")
+        self._n = size
+        self._max: List[float] = [0.0] * (4 * size)
+        self._arg: List[int] = [0] * (4 * size)
+        self._lazy: List[float] = [0.0] * (4 * size)
+        self._build(1, 0, size - 1)
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    def _build(self, node: int, lo: int, hi: int) -> None:
+        self._arg[node] = lo
+        if lo == hi:
+            return
+        mid = (lo + hi) // 2
+        self._build(2 * node, lo, mid)
+        self._build(2 * node + 1, mid + 1, hi)
+
+    def add(self, lo: int, hi: int, delta: float) -> None:
+        """Add ``delta`` to every position in the closed range ``[lo, hi]``."""
+        if lo > hi:
+            return
+        if lo < 0 or hi >= self._n:
+            raise IndexError("range [%d, %d] out of bounds for size %d" % (lo, hi, self._n))
+        self._add(1, 0, self._n - 1, lo, hi, float(delta))
+
+    def _add(self, node: int, node_lo: int, node_hi: int, lo: int, hi: int, delta: float) -> None:
+        if hi < node_lo or node_hi < lo:
+            return
+        if lo <= node_lo and node_hi <= hi:
+            self._max[node] += delta
+            self._lazy[node] += delta
+            return
+        mid = (node_lo + node_hi) // 2
+        self._add(2 * node, node_lo, mid, lo, hi, delta)
+        self._add(2 * node + 1, mid + 1, node_hi, lo, hi, delta)
+        self._pull(node)
+
+    def _pull(self, node: int) -> None:
+        left, right = 2 * node, 2 * node + 1
+        if self._max[left] >= self._max[right]:
+            best, arg = self._max[left], self._arg[left]
+        else:
+            best, arg = self._max[right], self._arg[right]
+        self._max[node] = best + self._lazy[node]
+        self._arg[node] = arg
+
+    def max_value(self) -> float:
+        """Current maximum over all positions."""
+        return self._max[1]
+
+    def argmax(self) -> int:
+        """One position attaining the current maximum."""
+        return self._arg[1]
+
+    def max_with_argmax(self) -> Tuple[float, int]:
+        return self._max[1], self._arg[1]
+
+    def values(self) -> List[float]:
+        """Materialise all position values (testing / debugging helper)."""
+        out = [0.0] * self._n
+        self._collect(1, 0, self._n - 1, 0.0, out)
+        return out
+
+    def _collect(self, node: int, lo: int, hi: int, acc: float, out: List[float]) -> None:
+        if lo == hi:
+            out[lo] = acc + self._max[node]
+            return
+        acc += self._lazy[node]
+        mid = (lo + hi) // 2
+        self._collect(2 * node, lo, mid, acc, out)
+        self._collect(2 * node + 1, mid + 1, hi, acc, out)

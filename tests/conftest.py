@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite.
+
+Randomised algorithms are always run with fixed seeds so the suite is
+deterministic; fixtures provide small, quickly solvable instances of each
+workload family used throughout the tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    clustered_points,
+    trajectory_colored_points,
+    uniform_points,
+    uniform_weighted_points,
+)
+
+
+@pytest.fixture(scope="session")
+def small_uniform_points():
+    """60 uniform points in [0, 10]^2."""
+    return uniform_points(60, dim=2, extent=10.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_clustered_points():
+    """80 clustered points with three hotspots in [0, 10]^2."""
+    return clustered_points(80, dim=2, extent=10.0, clusters=3, seed=13)
+
+
+@pytest.fixture(scope="session")
+def small_weighted_points():
+    """50 uniform points with positive weights."""
+    return uniform_weighted_points(50, dim=2, extent=8.0, seed=17)
+
+
+@pytest.fixture(scope="session")
+def small_colored_points():
+    """Trajectory points of 10 entities (10 colors), ~8 samples each."""
+    return trajectory_colored_points(10, samples_per_entity=8, dim=2, extent=8.0, seed=19)

@@ -1,0 +1,226 @@
+"""Tests for the prior-work approximation baselines (repro.approx)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx import (
+    estimate_opt_disk_by_doubling,
+    maxrs_disk_grid_decomposition,
+    maxrs_disk_sampled,
+    maxrs_rectangle_grid_decomposition,
+    maxrs_rectangle_sampled,
+    sample_probability,
+)
+from repro.datasets import clustered_points, uniform_weighted_points
+from repro.exact import maxrs_disk_exact, maxrs_rectangle_exact
+
+
+# --------------------------------------------------------------------------- #
+# sample_probability
+# --------------------------------------------------------------------------- #
+
+class TestSampleProbability:
+    def test_clamped_to_one(self):
+        assert sample_probability(10, opt_estimate=1.0, epsilon=0.1) == 1.0
+
+    def test_decreases_with_opt(self):
+        p_small = sample_probability(10_000, opt_estimate=2_000.0, epsilon=0.2)
+        p_large = sample_probability(10_000, opt_estimate=20_000.0, epsilon=0.2)
+        assert p_large < p_small <= 1.0
+
+    def test_decreases_with_epsilon(self):
+        p_tight = sample_probability(10_000, opt_estimate=5_000.0, epsilon=0.1)
+        p_loose = sample_probability(10_000, opt_estimate=5_000.0, epsilon=0.4)
+        assert p_loose < p_tight
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            sample_probability(100, 10.0, epsilon=0.0)
+        with pytest.raises(ValueError):
+            sample_probability(100, 10.0, epsilon=1.0)
+
+    def test_degenerate_inputs_fall_back_to_one(self):
+        assert sample_probability(0, 10.0, epsilon=0.5) == 1.0
+        assert sample_probability(100, 0.0, epsilon=0.5) == 1.0
+
+    @given(
+        n=st.integers(min_value=1, max_value=100_000),
+        opt=st.floats(min_value=0.5, max_value=1e6),
+        eps=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_probability(self, n, opt, eps):
+        p = sample_probability(n, opt, eps)
+        assert 0.0 < p <= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# doubling opt estimation
+# --------------------------------------------------------------------------- #
+
+class TestDoublingEstimate:
+    def test_empty_input(self):
+        assert estimate_opt_disk_by_doubling([], radius=1.0) == 0.0
+
+    def test_is_a_lower_bound_on_opt(self):
+        points, weights = uniform_weighted_points(120, dim=2, extent=5.0, seed=7)
+        estimate = estimate_opt_disk_by_doubling(points, radius=1.0, weights=weights, seed=7)
+        exact = maxrs_disk_exact(points, radius=1.0, weights=weights).value
+        assert 0.0 < estimate <= exact + 1e-9
+
+    def test_within_constant_factor_on_clustered_data(self):
+        points = clustered_points(200, dim=2, extent=8.0, clusters=2, seed=3)
+        estimate = estimate_opt_disk_by_doubling(points, radius=1.0, seed=3)
+        exact = maxrs_disk_exact(points, radius=1.0).value
+        assert estimate >= exact / 8.0
+
+    def test_rejects_non_planar_input(self):
+        with pytest.raises(ValueError):
+            estimate_opt_disk_by_doubling([(0.0, 0.0, 0.0)], radius=1.0)
+
+
+# --------------------------------------------------------------------------- #
+# sampled disk MaxRS
+# --------------------------------------------------------------------------- #
+
+class TestSampledDisk:
+    def test_empty_input(self):
+        result = maxrs_disk_sampled([], radius=1.0, epsilon=0.3)
+        assert result.is_empty
+        assert result.value == 0.0
+        assert result.exact is False
+
+    def test_value_is_true_coverage(self):
+        points, weights = uniform_weighted_points(100, dim=2, extent=4.0, seed=11)
+        result = maxrs_disk_sampled(points, radius=1.0, epsilon=0.25, weights=weights, seed=11)
+        # Re-measure coverage by hand at the reported center.
+        expected = sum(
+            w for p, w in zip(points, weights)
+            if math.dist(p, result.center) <= 1.0 + 1e-9
+        )
+        assert result.value == pytest.approx(expected)
+
+    def test_never_exceeds_exact_optimum(self):
+        points, weights = uniform_weighted_points(100, dim=2, extent=4.0, seed=13)
+        exact = maxrs_disk_exact(points, radius=1.0, weights=weights).value
+        result = maxrs_disk_sampled(points, radius=1.0, epsilon=0.2, weights=weights, seed=13)
+        assert result.value <= exact + 1e-9
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_close_to_optimum_on_clustered_data(self, seed):
+        points = clustered_points(250, dim=2, extent=8.0, clusters=3, seed=seed)
+        exact = maxrs_disk_exact(points, radius=1.0).value
+        result = maxrs_disk_sampled(points, radius=1.0, epsilon=0.25, seed=seed)
+        # The scheme's guarantee is (1 - Theta(eps)) w.h.p.; allow generous slack.
+        assert result.value >= 0.5 * exact
+
+    def test_with_explicit_opt_estimate_skips_doubling(self):
+        points = clustered_points(150, dim=2, extent=6.0, clusters=2, seed=5)
+        result = maxrs_disk_sampled(points, radius=1.0, epsilon=0.3, opt_estimate=20.0, seed=5)
+        assert result.meta["opt_estimate"] == 20.0
+        assert result.meta["sample_size"] >= 1
+
+    def test_meta_reports_method_and_probability(self):
+        points = clustered_points(80, dim=2, extent=5.0, clusters=2, seed=9)
+        result = maxrs_disk_sampled(points, radius=1.0, epsilon=0.3, seed=9)
+        assert result.meta["method"] == "point-sampling"
+        assert 0.0 < result.meta["probability"] <= 1.0
+
+    def test_rejects_non_planar_input(self):
+        with pytest.raises(ValueError):
+            maxrs_disk_sampled([(0.0, 0.0, 0.0)], radius=1.0, epsilon=0.3)
+
+
+# --------------------------------------------------------------------------- #
+# sampled rectangle MaxRS
+# --------------------------------------------------------------------------- #
+
+class TestSampledRectangle:
+    def test_empty_input(self):
+        result = maxrs_rectangle_sampled([], width=1.0, height=1.0, epsilon=0.3)
+        assert result.is_empty
+        assert result.shape == "rectangle"
+
+    def test_rejects_bad_rectangle(self):
+        with pytest.raises(ValueError):
+            maxrs_rectangle_sampled([(0.0, 0.0)], width=0.0, height=1.0, epsilon=0.3)
+
+    def test_never_exceeds_exact_optimum(self):
+        points, weights = uniform_weighted_points(150, dim=2, extent=5.0, seed=21)
+        exact = maxrs_rectangle_exact(points, width=2.0, height=1.5, weights=weights).value
+        result = maxrs_rectangle_sampled(points, width=2.0, height=1.5, epsilon=0.25,
+                                         weights=weights, seed=21)
+        assert result.value <= exact + 1e-9
+
+    @pytest.mark.parametrize("seed", [4, 8])
+    def test_close_to_optimum_on_clustered_data(self, seed):
+        points = clustered_points(250, dim=2, extent=8.0, clusters=3, seed=seed)
+        exact = maxrs_rectangle_exact(points, width=2.0, height=2.0).value
+        result = maxrs_rectangle_sampled(points, width=2.0, height=2.0, epsilon=0.25, seed=seed)
+        assert result.value >= 0.5 * exact
+
+    def test_value_is_true_coverage(self):
+        points = clustered_points(120, dim=2, extent=6.0, clusters=2, seed=17)
+        result = maxrs_rectangle_sampled(points, width=2.0, height=2.0, epsilon=0.3, seed=17)
+        a, b = result.center
+        expected = sum(
+            1 for p in points
+            if a - 1e-9 <= p[0] <= a + 2.0 + 1e-9 and b - 1e-9 <= p[1] <= b + 2.0 + 1e-9
+        )
+        assert result.value == pytest.approx(expected)
+
+
+# --------------------------------------------------------------------------- #
+# shifted-grid decomposition
+# --------------------------------------------------------------------------- #
+
+class TestGridDecomposition:
+    def test_empty_input(self):
+        result = maxrs_disk_grid_decomposition([], radius=1.0)
+        assert result.is_empty
+
+    def test_disk_matches_exact_sweep(self):
+        points, weights = uniform_weighted_points(120, dim=2, extent=6.0, seed=31)
+        exact = maxrs_disk_exact(points, radius=1.0, weights=weights)
+        decomposed = maxrs_disk_grid_decomposition(points, radius=1.0, weights=weights)
+        assert decomposed.value == pytest.approx(exact.value)
+
+    def test_disk_matches_exact_sweep_more_shifts(self):
+        points = clustered_points(160, dim=2, extent=10.0, clusters=4, seed=33)
+        exact = maxrs_disk_exact(points, radius=1.0)
+        decomposed = maxrs_disk_grid_decomposition(points, radius=1.0, shifts=3)
+        assert decomposed.value == pytest.approx(exact.value)
+
+    def test_rectangle_matches_exact_sweep(self):
+        points, weights = uniform_weighted_points(150, dim=2, extent=7.0, seed=35)
+        exact = maxrs_rectangle_exact(points, width=1.5, height=1.0, weights=weights)
+        decomposed = maxrs_rectangle_grid_decomposition(points, width=1.5, height=1.0,
+                                                        weights=weights)
+        assert decomposed.value == pytest.approx(exact.value)
+
+    def test_meta_reports_cell_statistics(self):
+        points = clustered_points(100, dim=2, extent=12.0, clusters=5, seed=37)
+        result = maxrs_disk_grid_decomposition(points, radius=1.0)
+        assert result.meta["cells_solved"] >= 1
+        assert 1 <= result.meta["largest_cell"] <= len(points)
+
+    def test_rejects_single_shift(self):
+        with pytest.raises(ValueError):
+            maxrs_disk_grid_decomposition([(0.0, 0.0)], radius=1.0, shifts=1)
+        with pytest.raises(ValueError):
+            maxrs_rectangle_grid_decomposition([(0.0, 0.0)], width=1.0, height=1.0, shifts=1)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            maxrs_disk_grid_decomposition([(0.0, 0.0)], radius=1.0, weights=[-1.0])
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_disk_decomposition_matches_exact_on_random_instances(self, seed):
+        points, weights = uniform_weighted_points(40, dim=2, extent=5.0, seed=seed)
+        exact = maxrs_disk_exact(points, radius=0.8, weights=weights)
+        decomposed = maxrs_disk_grid_decomposition(points, radius=0.8, weights=weights)
+        assert decomposed.value == pytest.approx(exact.value)

@@ -1,0 +1,183 @@
+"""Tests for the circular-arc arrangement substrate of Technique 2."""
+
+import math
+
+import pytest
+
+from repro.arrangement.arcs import CircularArc, arc_intersections, circle_intersections
+from repro.arrangement.decomposition import (
+    count_bichromatic_intersections,
+    critical_xs,
+    max_colored_depth_from_arcs,
+    slab_depth_profile,
+)
+from repro.arrangement.union import angular_arcs_to_xmonotone, union_boundary_arcs
+from repro.core.depth import colored_depth
+
+
+def full_circle_arcs(center, radius, color):
+    """Upper and lower x-monotone arcs of a full circle (test helper)."""
+    return union_boundary_arcs([center], radius, color)
+
+
+class TestCircularArc:
+    def test_y_at_upper_and_lower(self):
+        upper = CircularArc(cx=0.0, cy=0.0, radius=1.0, side="upper", x_lo=-1.0, x_hi=1.0)
+        lower = CircularArc(cx=0.0, cy=0.0, radius=1.0, side="lower", x_lo=-1.0, x_hi=1.0)
+        assert upper.y_at(0.0) == pytest.approx(1.0)
+        assert lower.y_at(0.0) == pytest.approx(-1.0)
+        assert upper.y_at(1.0) == pytest.approx(0.0)
+
+    def test_spans_x(self):
+        arc = CircularArc(cx=0.0, cy=0.0, radius=1.0, side="upper", x_lo=-1.0, x_hi=0.5)
+        assert arc.spans_x(0.0)
+        assert not arc.spans_x(0.5)          # strict by default
+        assert arc.spans_x(0.5, strict=False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircularArc(cx=0.0, cy=0.0, radius=1.0, side="sideways", x_lo=0.0, x_hi=1.0)
+        with pytest.raises(ValueError):
+            CircularArc(cx=0.0, cy=0.0, radius=0.0, side="upper", x_lo=0.0, x_hi=1.0)
+        with pytest.raises(ValueError):
+            CircularArc(cx=0.0, cy=0.0, radius=1.0, side="upper", x_lo=1.0, x_hi=0.0)
+
+    def test_endpoints(self):
+        arc = CircularArc(cx=2.0, cy=3.0, radius=1.0, side="upper", x_lo=1.0, x_hi=3.0)
+        assert arc.left_endpoint == (1.0, pytest.approx(3.0))
+        assert arc.right_endpoint == (3.0, pytest.approx(3.0))
+
+
+class TestCircleIntersections:
+    def test_standard_two_point_case(self):
+        points = circle_intersections((0.0, 0.0), 1.0, (1.0, 0.0), 1.0)
+        assert len(points) == 2
+        for p in points:
+            assert math.dist(p, (0.0, 0.0)) == pytest.approx(1.0)
+            assert math.dist(p, (1.0, 0.0)) == pytest.approx(1.0)
+
+    def test_disjoint_and_nested(self):
+        assert circle_intersections((0.0, 0.0), 1.0, (5.0, 0.0), 1.0) == []
+        assert circle_intersections((0.0, 0.0), 3.0, (0.5, 0.0), 1.0) == []
+
+    def test_arc_intersections_respect_arc_extent(self):
+        a = CircularArc(cx=0.0, cy=0.0, radius=1.0, side="upper", x_lo=-1.0, x_hi=1.0, color="a")
+        b = CircularArc(cx=1.0, cy=0.0, radius=1.0, side="upper", x_lo=0.0, x_hi=2.0, color="b")
+        points = arc_intersections(a, b)
+        assert len(points) == 1
+        x, y = points[0]
+        assert x == pytest.approx(0.5)
+        assert y > 0
+
+
+class TestUnionBoundary:
+    def test_single_disk_boundary_is_full_circle(self):
+        arcs = union_boundary_arcs([(0.0, 0.0)], 1.0, color="c")
+        assert len(arcs) == 2
+        assert {arc.side for arc in arcs} == {"upper", "lower"}
+        assert all(arc.color == "c" for arc in arcs)
+
+    def test_duplicate_centers_deduplicated(self):
+        arcs = union_boundary_arcs([(0.0, 0.0), (0.0, 0.0)], 1.0)
+        assert len(arcs) == 2
+
+    def test_contained_configurations(self):
+        # Two overlapping unit disks: each circle contributes an uncovered arc.
+        arcs = union_boundary_arcs([(0.0, 0.0), (1.0, 0.0)], 1.0)
+        assert len(arcs) >= 2
+        # Points on returned arcs must not lie strictly inside the other disk.
+        for arc in arcs:
+            x_mid = (arc.x_lo + arc.x_hi) / 2.0
+            point = (x_mid, arc.y_at(x_mid))
+            for center in [(0.0, 0.0), (1.0, 0.0)]:
+                assert math.dist(point, center) >= 1.0 - 1e-9
+
+    def test_boundary_points_lie_on_union_boundary(self):
+        centers = [(0.0, 0.0), (0.8, 0.3), (1.5, -0.2), (0.4, 1.1)]
+        arcs = union_boundary_arcs(centers, 1.0)
+        for arc in arcs:
+            x_mid = (arc.x_lo + arc.x_hi) / 2.0
+            if not arc.spans_x(x_mid):
+                continue
+            point = (x_mid, arc.y_at(x_mid))
+            distances = [math.dist(point, c) for c in centers]
+            # On the boundary: on some circle, inside no disk strictly.
+            assert min(distances) >= 1.0 - 1e-9
+            assert any(abs(d - 1.0) <= 1e-9 for d in distances)
+
+    def test_angular_conversion_splits_at_extremes(self):
+        pieces = angular_arcs_to_xmonotone((0.0, 0.0), 1.0, [(0.5, math.pi + 0.5)], color=0)
+        assert len(pieces) == 2
+        assert {p.side for p in pieces} == {"upper", "lower"}
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            union_boundary_arcs([(0.0, 0.0)], 0.0)
+
+
+class TestDecomposition:
+    def test_no_arcs(self):
+        depth, witness = max_colored_depth_from_arcs([])
+        assert depth == 0 and witness is None
+
+    def test_single_disk(self):
+        arcs = full_circle_arcs((0.0, 0.0), 1.0, color="a")
+        depth, witness = max_colored_depth_from_arcs(arcs)
+        assert depth == 1
+        assert math.dist(witness, (0.0, 0.0)) <= 1.0
+
+    def test_two_overlapping_colors(self):
+        arcs = full_circle_arcs((0.0, 0.0), 1.0, "a") + full_circle_arcs((1.0, 0.0), 1.0, "b")
+        depth, witness = max_colored_depth_from_arcs(arcs)
+        assert depth == 2
+        assert colored_depth(witness, [(0.0, 0.0), (1.0, 0.0)], ["a", "b"], 1.0) == 2
+
+    def test_two_disjoint_colors(self):
+        arcs = full_circle_arcs((0.0, 0.0), 1.0, "a") + full_circle_arcs((5.0, 0.0), 1.0, "b")
+        depth, _ = max_colored_depth_from_arcs(arcs)
+        assert depth == 1
+
+    def test_same_color_overlap_counts_once(self):
+        arcs = union_boundary_arcs([(0.0, 0.0), (0.8, 0.0)], 1.0, color="a")
+        depth, _ = max_colored_depth_from_arcs(arcs)
+        assert depth == 1
+
+    def test_three_way_overlap(self):
+        centers = [(0.0, 0.0), (0.8, 0.0), (0.4, 0.7)]
+        colors = ["a", "b", "c"]
+        arcs = []
+        for center, color in zip(centers, colors):
+            arcs.extend(full_circle_arcs(center, 1.0, color))
+        depth, witness = max_colored_depth_from_arcs(arcs)
+        assert depth == 3
+        assert colored_depth(witness, centers, colors, 1.0) == 3
+
+    def test_witness_depth_matches_reported_depth(self):
+        centers = [(0.0, 0.0), (1.2, 0.3), (0.5, -0.8), (2.0, 0.0), (4.0, 4.0)]
+        colors = ["a", "b", "c", "a", "b"]
+        arcs = []
+        for color in set(colors):
+            members = [c for c, col in zip(centers, colors) if col == color]
+            arcs.extend(union_boundary_arcs(members, 1.0, color))
+        depth, witness = max_colored_depth_from_arcs(arcs)
+        assert colored_depth(witness, centers, colors, 1.0) == depth
+
+    def test_critical_xs_include_endpoints(self):
+        arcs = full_circle_arcs((0.0, 0.0), 1.0, "a")
+        xs = critical_xs(arcs)
+        assert xs[0] == pytest.approx(-1.0)
+        assert xs[-1] == pytest.approx(1.0)
+
+    def test_bichromatic_intersection_count(self):
+        arcs = full_circle_arcs((0.0, 0.0), 1.0, "a") + full_circle_arcs((1.0, 0.0), 1.0, "b")
+        assert count_bichromatic_intersections(arcs) == 2
+        same = full_circle_arcs((0.0, 0.0), 1.0, "a") + full_circle_arcs((1.0, 0.0), 1.0, "a")
+        assert count_bichromatic_intersections(same) == 0
+
+    def test_slab_depth_profile(self):
+        arcs = full_circle_arcs((0.0, 0.0), 1.0, "a") + full_circle_arcs((0.5, 0.0), 1.0, "b")
+        profile = slab_depth_profile(arcs, 0.25)
+        depths = [depth for _, depth in profile]
+        assert max(depths) == 2
+        # Walking off the top of the slab leaves every region.
+        assert depths[-1] == 0

@@ -1,0 +1,115 @@
+"""Tests for the batched MaxRS oracles and the (batched) smallest k-enclosing interval."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batched import (
+    batched_maxrs_1d,
+    batched_maxrs_rectangles,
+    batched_smallest_enclosing_intervals,
+    smallest_k_enclosing_interval,
+)
+from repro.exact import maxrs_interval_exact, maxrs_rectangle_exact
+
+
+class TestBatchedMaxRS1D:
+    def test_matches_single_queries(self):
+        points = [0.0, 0.5, 1.0, 4.0, 4.2, 9.0]
+        lengths = [0.5, 1.0, 3.0, 10.0]
+        batch = batched_maxrs_1d(points, lengths)
+        for length, result in zip(lengths, batch):
+            single = maxrs_interval_exact(points, length)
+            assert result.value == single.value
+
+    def test_monotone_in_length(self):
+        """With unit weights, longer intervals can never cover less."""
+        points = [0.0, 1.0, 2.5, 2.6, 7.0, 7.1, 7.2]
+        lengths = [0.5, 1.0, 2.0, 4.0, 8.0]
+        values = [r.value for r in batched_maxrs_1d(points, lengths)]
+        assert values == sorted(values)
+
+    def test_negative_weights_supported(self):
+        points = [0.0, -0.5, 2.0]
+        weights = [3.0, -3.0, 1.0]
+        results = batched_maxrs_1d(points, [2.0], weights=weights)
+        assert results[0].value == 4.0
+
+    def test_empty_queries(self):
+        assert batched_maxrs_1d([1.0, 2.0], []) == []
+
+
+class TestBatchedMaxRSRectangles:
+    def test_matches_single_queries(self):
+        points = [(0.0, 0.0), (0.5, 0.5), (0.9, 0.2), (4.0, 4.0)]
+        sizes = [(1.0, 1.0), (0.5, 0.5), (5.0, 5.0)]
+        batch = batched_maxrs_rectangles(points, sizes)
+        for (width, height), result in zip(sizes, batch):
+            single = maxrs_rectangle_exact(points, width, height)
+            assert result.value == single.value
+
+    def test_growing_rectangles_cover_more(self):
+        points = [(float(i), float(i % 3)) for i in range(10)]
+        sizes = [(1.0, 1.0), (3.0, 3.0), (20.0, 20.0)]
+        values = [r.value for r in batched_maxrs_rectangles(points, sizes)]
+        assert values == sorted(values)
+        assert values[-1] == 10.0
+
+
+class TestSmallestEnclosingInterval:
+    def test_single_k(self):
+        points = [0.0, 1.0, 1.2, 5.0]
+        length, window = smallest_k_enclosing_interval(points, 2)
+        assert length == pytest.approx(0.2)
+        assert window == (1.0, 1.2)
+
+    def test_k_equals_n(self):
+        points = [3.0, -1.0, 7.0]
+        length, window = smallest_k_enclosing_interval(points, 3)
+        assert length == pytest.approx(8.0)
+        assert window == (-1.0, 7.0)
+
+    def test_k_equals_one(self):
+        length, _ = smallest_k_enclosing_interval([2.0, 9.0], 1)
+        assert length == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            smallest_k_enclosing_interval([1.0, 2.0], 0)
+        with pytest.raises(ValueError):
+            smallest_k_enclosing_interval([1.0, 2.0], 3)
+
+    def test_accepts_one_tuples(self):
+        length, _ = smallest_k_enclosing_interval([(0.0,), (0.5,), (3.0,)], 2)
+        assert length == pytest.approx(0.5)
+
+    def test_rejects_planar_points(self):
+        with pytest.raises(ValueError):
+            smallest_k_enclosing_interval([(0.0, 1.0)], 1)
+
+
+class TestBatchedSEI:
+    def test_matches_single_queries(self):
+        points = [0.0, 0.3, 1.0, 1.1, 1.15, 6.0]
+        batch = batched_smallest_enclosing_intervals(points)
+        assert len(batch) == len(points)
+        for k, value in enumerate(batch, start=1):
+            single, _ = smallest_k_enclosing_interval(points, k)
+            assert value == pytest.approx(single)
+
+    def test_monotone_in_k(self):
+        points = [5.0, 1.0, 2.2, 9.0, 9.1, 3.3]
+        batch = batched_smallest_enclosing_intervals(points)
+        assert batch == sorted(batch)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_batched_matches_bruteforce(self, values):
+        """Property: the sliding-window answers match direct window enumeration."""
+        points = [v / 2.0 for v in values]
+        batch = batched_smallest_enclosing_intervals(points)
+        ordered = sorted(points)
+        n = len(ordered)
+        for k in range(1, n + 1):
+            expected = min(ordered[i + k - 1] - ordered[i] for i in range(n - k + 1))
+            assert batch[k - 1] == pytest.approx(expected)

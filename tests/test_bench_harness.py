@@ -1,0 +1,114 @@
+"""Tests for the benchmark harness utilities and (cheaply) the experiment drivers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentReport, Timer, format_table, geometric_sizes
+from repro.bench import experiments
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            total = sum(range(1000))
+        assert total == 499500
+        assert timer.elapsed >= 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["long-name", 123456.0]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.000123], [0.0], [3.14159], [12345.6]])
+        assert "0.000123" in table
+        assert "3.142" in table
+
+
+class TestExperimentReport:
+    def test_claims_and_render(self):
+        report = ExperimentReport(experiment_id="EX", title="demo", headers=["a", "b"])
+        report.add_row(1, 2.0)
+        report.add_claim("holds", True)
+        report.add_claim("fails", False)
+        report.add_note("a note")
+        rendered = report.render()
+        assert "[EX] demo" in rendered
+        assert "[ok] holds" in rendered
+        assert "[FAIL] fails" in rendered
+        assert "note: a note" in rendered
+        assert not report.all_claims_hold
+
+    def test_all_claims_hold_default(self):
+        report = ExperimentReport(experiment_id="EX", title="demo", headers=["a"])
+        assert report.all_claims_hold
+
+
+class TestGeometricSizes:
+    def test_progression(self):
+        assert geometric_sizes(10, 2.0, 3) == [10, 20, 40]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(0, 2.0, 3)
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 1.0, 3)
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 2.0, 0)
+
+
+class TestExperimentDriversSmall:
+    """Each driver is exercised once on a tiny instance so the harness stays healthy.
+
+    The full-size runs (whose tables EXPERIMENTS.md records) are executed via
+    ``python -m repro.bench.experiments``; here the goal is only that every
+    driver produces a well-formed report and that its claims hold at small scale.
+    """
+
+    def test_e1_small(self):
+        report = experiments.experiment_e1_static_ball(sizes=(40, 60), epsilons=(0.35,), seed=1)
+        assert report.rows and report.all_claims_hold
+
+    def test_e2_small(self):
+        report = experiments.experiment_e2_dynamic(stream_lengths=(60, 240), seed=2)
+        assert report.rows and report.all_claims_hold
+
+    def test_e3_small(self):
+        report = experiments.experiment_e3_colored_ball(entity_counts=(5, 8), seed=3)
+        assert report.rows and report.all_claims_hold
+
+    def test_e4_small(self):
+        report = experiments.experiment_e4_output_sensitive(opt_values=(3, 5), n=60, seed=4)
+        assert report.rows and report.all_claims_hold
+
+    def test_e5_small(self):
+        report = experiments.experiment_e5_colored_disk_eps(planted_opts=(4,), n=60,
+                                                            epsilons=(0.3,), seed=5)
+        assert report.rows and report.all_claims_hold
+
+    def test_e6_small(self):
+        report = experiments.experiment_e6_batched_maxrs(
+            sequence_lengths=(8, 12), point_counts=(50, 100), query_counts=(3, 5), seed=6,
+        )
+        assert report.rows and report.all_claims_hold
+
+    def test_e7_small(self):
+        report = experiments.experiment_e7_bsei(sequence_lengths=(8, 12),
+                                                point_counts=(50, 100), seed=7)
+        assert report.rows and report.all_claims_hold
+
+    def test_e8_small(self):
+        report = experiments.experiment_e8_baselines(n=60, seed=8)
+        assert report.rows and report.all_claims_hold
+
+    def test_e9_small(self):
+        report = experiments.experiment_e9_ablation(n=60, sample_constants=(0.5, 1.0),
+                                                    shift_caps=(1, None), seed=9)
+        assert report.rows and report.all_claims_hold
+
+    def test_e10_small(self):
+        report = experiments.experiment_e10_crossover(instance_sizes=(50, 80), seed=10)
+        assert report.rows and report.all_claims_hold

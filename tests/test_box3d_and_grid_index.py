@@ -1,0 +1,201 @@
+"""Tests for the exact 3-box baseline and the uniform grid index."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import maxrs_box3d_exact, maxrs_box_bruteforce, maxrs_rectangle_exact
+from repro.structures import GridIndex
+
+
+def _random_3d_points(n, seed, extent=6.0):
+    rng = random.Random(seed)
+    points = [
+        (rng.uniform(0.0, extent), rng.uniform(0.0, extent), rng.uniform(0.0, extent))
+        for _ in range(n)
+    ]
+    weights = [rng.uniform(0.5, 2.0) for _ in range(n)]
+    return points, weights
+
+
+# --------------------------------------------------------------------------- #
+# exact 3-box MaxRS
+# --------------------------------------------------------------------------- #
+
+class TestBox3dExact:
+    def test_empty_input(self):
+        result = maxrs_box3d_exact([], side_lengths=(1.0, 1.0, 1.0))
+        assert result.is_empty
+
+    def test_rejects_bad_side_lengths(self):
+        with pytest.raises(ValueError):
+            maxrs_box3d_exact([(0.0, 0.0, 0.0)], side_lengths=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            maxrs_box3d_exact([(0.0, 0.0, 0.0)], side_lengths=(1.0, 0.0, 1.0))
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            maxrs_box3d_exact([(0.0, 0.0)], side_lengths=(1.0, 1.0, 1.0))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            maxrs_box3d_exact([(0.0, 0.0, 0.0)], side_lengths=(1.0, 1.0, 1.0), weights=[-1.0])
+
+    def test_single_point(self):
+        result = maxrs_box3d_exact([(1.0, 2.0, 3.0)], side_lengths=(1.0, 1.0, 1.0))
+        assert result.value == pytest.approx(1.0)
+        a, b, c = result.center
+        assert a <= 1.0 <= a + 1.0 and b <= 2.0 <= b + 1.0 and c <= 3.0 <= c + 1.0
+
+    def test_cluster_is_found(self):
+        cluster = [(0.1 * i, 0.1 * i, 0.1 * i) for i in range(5)]
+        outliers = [(20.0, 20.0, 20.0), (-15.0, 3.0, 7.0)]
+        result = maxrs_box3d_exact(cluster + outliers, side_lengths=(1.0, 1.0, 1.0))
+        assert result.value == pytest.approx(5.0)
+
+    def test_degenerate_z_reduces_to_planar_problem(self):
+        """With all z equal, the 3-box answer must match the planar sweep."""
+        points, weights = _random_3d_points(60, seed=3)
+        flat = [(x, y, 0.0) for x, y, _ in points]
+        planar = maxrs_rectangle_exact([(x, y) for x, y, _ in flat], width=2.0, height=1.5,
+                                       weights=weights)
+        spatial = maxrs_box3d_exact(flat, side_lengths=(2.0, 1.5, 1.0), weights=weights)
+        assert spatial.value == pytest.approx(planar.value)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_bruteforce(self, seed):
+        points, weights = _random_3d_points(14, seed=seed, extent=3.0)
+        fast = maxrs_box3d_exact(points, side_lengths=(1.5, 1.0, 1.2), weights=weights)
+        slow = maxrs_box_bruteforce(points, side_lengths=(1.5, 1.0, 1.2), weights=weights)
+        assert fast.value == pytest.approx(slow.value)
+
+    @given(seed=st.integers(min_value=0, max_value=5_000),
+           n=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_bruteforce_property(self, seed, n):
+        points, weights = _random_3d_points(n, seed=seed, extent=3.0)
+        fast = maxrs_box3d_exact(points, side_lengths=(1.0, 1.0, 1.0), weights=weights)
+        slow = maxrs_box_bruteforce(points, side_lengths=(1.0, 1.0, 1.0), weights=weights)
+        assert fast.value == pytest.approx(slow.value)
+
+
+class TestBoxBruteforce:
+    def test_empty_input(self):
+        assert maxrs_box_bruteforce([], side_lengths=(1.0,)).is_empty
+
+    def test_works_in_one_dimension(self):
+        points = [(0.0,), (0.5,), (3.0,)]
+        result = maxrs_box_bruteforce(points, side_lengths=(1.0,))
+        assert result.value == pytest.approx(2.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            maxrs_box_bruteforce([(0.0, 0.0)], side_lengths=(1.0,))
+
+
+# --------------------------------------------------------------------------- #
+# grid index
+# --------------------------------------------------------------------------- #
+
+class TestGridIndex:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GridIndex(dim=0, cell_side=1.0)
+        with pytest.raises(ValueError):
+            GridIndex(dim=2, cell_side=0.0)
+
+    def test_insert_delete_roundtrip(self):
+        index = GridIndex(dim=2, cell_side=1.0)
+        point_id = index.insert((0.5, 0.5), weight=2.0)
+        assert len(index) == 1
+        assert index.total_weight == pytest.approx(2.0)
+        index.delete(point_id)
+        assert len(index) == 0
+        assert index.total_weight == pytest.approx(0.0)
+        with pytest.raises(KeyError):
+            index.delete(point_id)
+
+    def test_cell_of_validates_dimension(self):
+        index = GridIndex(dim=2, cell_side=1.0)
+        with pytest.raises(ValueError):
+            index.cell_of((1.0, 2.0, 3.0))
+
+    def test_ball_query_matches_linear_scan(self):
+        rng = random.Random(7)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(200)]
+        weights = [rng.uniform(0.5, 2.0) for _ in range(200)]
+        index = GridIndex(dim=2, cell_side=1.0)
+        index.bulk_load(points, weights)
+        center, radius = (4.3, 5.7), 1.5
+        expected = sum(
+            w for p, w in zip(points, weights)
+            if math.dist(p, center) <= radius + 1e-12
+        )
+        assert index.weight_in_ball(center, radius) == pytest.approx(expected)
+        assert index.count_in_ball(center, radius) == sum(
+            1 for p in points if math.dist(p, center) <= radius + 1e-12
+        )
+
+    def test_box_query_matches_linear_scan(self):
+        rng = random.Random(9)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(150)]
+        index = GridIndex(dim=2, cell_side=2.0)
+        index.bulk_load(points)
+        lower, upper = (2.0, 3.0), (5.5, 6.5)
+        expected = sum(
+            1 for x, y in points
+            if lower[0] <= x <= upper[0] and lower[1] <= y <= upper[1]
+        )
+        assert index.weight_in_box(lower, upper) == pytest.approx(expected)
+
+    def test_box_query_validates_corners(self):
+        index = GridIndex(dim=2, cell_side=1.0)
+        with pytest.raises(ValueError):
+            index.points_in_box((1.0, 1.0), (0.0, 0.0))
+
+    def test_ball_query_rejects_negative_radius(self):
+        index = GridIndex(dim=2, cell_side=1.0)
+        with pytest.raises(ValueError):
+            index.points_in_ball((0.0, 0.0), -1.0)
+
+    def test_bulk_load_validates_weights(self):
+        index = GridIndex(dim=2, cell_side=1.0)
+        with pytest.raises(ValueError):
+            index.bulk_load([(0.0, 0.0)], weights=[1.0, 2.0])
+
+    def test_heaviest_cell_identifies_the_cluster(self):
+        index = GridIndex(dim=2, cell_side=1.0)
+        for i in range(10):
+            index.insert((5.1 + 0.05 * i, 5.1))
+        index.insert((0.0, 0.0))
+        key, weight = index.heaviest_cell()
+        assert key == (5, 5)
+        assert weight == pytest.approx(10.0)
+
+    def test_heaviest_cell_empty(self):
+        assert GridIndex(dim=2, cell_side=1.0).heaviest_cell() is None
+
+    def test_works_in_three_dimensions(self):
+        rng = random.Random(11)
+        points = [(rng.uniform(0, 4), rng.uniform(0, 4), rng.uniform(0, 4)) for _ in range(100)]
+        index = GridIndex(dim=3, cell_side=1.0)
+        index.bulk_load(points)
+        center, radius = (2.0, 2.0, 2.0), 1.0
+        expected = sum(1 for p in points if math.dist(p, center) <= radius + 1e-12)
+        assert index.count_in_ball(center, radius) == expected
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           cell=st.floats(min_value=0.3, max_value=3.0),
+           radius=st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_ball_queries_are_scan_equivalent(self, seed, cell, radius):
+        rng = random.Random(seed)
+        points = [(rng.uniform(-5, 5), rng.uniform(-5, 5)) for _ in range(60)]
+        index = GridIndex(dim=2, cell_side=cell)
+        index.bulk_load(points)
+        center = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+        expected = sum(1 for p in points if math.dist(p, center) <= radius + 1e-12)
+        assert index.count_in_ball(center, radius) == expected

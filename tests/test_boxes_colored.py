@@ -1,0 +1,177 @@
+"""Tests for the colored box MaxRS extension (repro.boxes.colored)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boxes import (
+    colored_maxrs_box,
+    colored_maxrs_box_arrangement,
+    colored_maxrs_box_output_sensitive,
+    estimate_colored_opt_box,
+)
+from repro.datasets import planted_colored_instance, trajectory_colored_points
+from repro.exact import colored_maxrs_rectangle_exact
+
+
+def _coverage(points, colors, corner, width, height):
+    a, b = corner
+    return len({
+        c for (x, y), c in zip(points, colors)
+        if a - 1e-9 <= x <= a + width + 1e-9 and b - 1e-9 <= y <= b + height + 1e-9
+    })
+
+
+def _random_colored_points(n, color_count, seed, extent=6.0):
+    import random
+
+    rng = random.Random(seed)
+    points = [(rng.uniform(0.0, extent), rng.uniform(0.0, extent)) for _ in range(n)]
+    colors = [rng.randrange(color_count) for _ in range(n)]
+    return points, colors
+
+
+# --------------------------------------------------------------------------- #
+# exact arrangement solver
+# --------------------------------------------------------------------------- #
+
+class TestBoxArrangement:
+    def test_empty_input(self):
+        result = colored_maxrs_box_arrangement([], width=1.0, height=1.0)
+        assert result.is_empty
+        assert result.value == 0
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            colored_maxrs_box_arrangement([(0.0, 0.0)], width=0.0, height=1.0)
+        with pytest.raises(ValueError):
+            colored_maxrs_box_arrangement([(0.0, 0.0, 0.0)], width=1.0, height=1.0)
+
+    def test_single_point(self):
+        result = colored_maxrs_box_arrangement([(2.0, 3.0)], width=1.0, height=1.0, colors=["a"])
+        assert result.value == 1
+        a, b = result.center
+        assert a <= 2.0 <= a + 1.0 and b <= 3.0 <= b + 1.0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_zgh_baseline(self, seed):
+        points, colors = _random_colored_points(60, color_count=8, seed=seed)
+        baseline = colored_maxrs_rectangle_exact(points, width=1.5, height=1.0, colors=colors)
+        ours = colored_maxrs_box_arrangement(points, width=1.5, height=1.0, colors=colors)
+        assert ours.value == baseline.value
+
+    def test_reported_corner_achieves_reported_value(self):
+        points, colors = _random_colored_points(80, color_count=6, seed=9)
+        result = colored_maxrs_box_arrangement(points, width=2.0, height=1.5, colors=colors)
+        assert _coverage(points, colors, result.center, 2.0, 1.5) == result.value
+
+
+# --------------------------------------------------------------------------- #
+# output-sensitive solver
+# --------------------------------------------------------------------------- #
+
+class TestBoxOutputSensitive:
+    def test_empty_input(self):
+        result = colored_maxrs_box_output_sensitive([], width=1.0, height=1.0)
+        assert result.is_empty
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_matches_zgh_baseline(self, seed):
+        points, colors = _random_colored_points(70, color_count=10, seed=seed)
+        baseline = colored_maxrs_rectangle_exact(points, width=1.0, height=1.0, colors=colors)
+        ours = colored_maxrs_box_output_sensitive(points, width=1.0, height=1.0, colors=colors)
+        assert ours.value == baseline.value
+
+    def test_cell_color_bound_respects_four_opt(self):
+        """Every cell sees at most 4*opt distinct colors (the Lemma 4.3 analogue)."""
+        points, colors = _random_colored_points(120, color_count=15, seed=11)
+        exact = colored_maxrs_rectangle_exact(points, width=1.0, height=1.0, colors=colors)
+        ours = colored_maxrs_box_output_sensitive(points, width=1.0, height=1.0, colors=colors)
+        assert ours.meta["max_cell_colors"] <= 4 * exact.value
+
+    def test_matches_on_planted_instance(self):
+        points, colors, opt = planted_colored_instance(
+            120, planted_colors=7, dim=2, background_colors=3, seed=21)
+        ours = colored_maxrs_box_output_sensitive(points, width=2.0, height=2.0, colors=colors)
+        assert ours.value >= opt
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        color_count=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_sensitive_equals_arrangement(self, n, color_count, seed):
+        points, colors = _random_colored_points(n, color_count=color_count, seed=seed)
+        full = colored_maxrs_box_arrangement(points, width=1.2, height=0.8, colors=colors)
+        cellwise = colored_maxrs_box_output_sensitive(points, width=1.2, height=0.8, colors=colors)
+        assert cellwise.value == full.value
+
+
+# --------------------------------------------------------------------------- #
+# opt estimator
+# --------------------------------------------------------------------------- #
+
+class TestOptEstimator:
+    def test_empty_input(self):
+        assert estimate_colored_opt_box([], width=1.0, height=1.0) == 0
+
+    @pytest.mark.parametrize("seed", [1, 3, 5, 7])
+    def test_constant_factor_bracket(self, seed):
+        points, colors = _random_colored_points(90, color_count=12, seed=seed)
+        opt = colored_maxrs_rectangle_exact(points, width=1.0, height=1.0, colors=colors).value
+        estimate = estimate_colored_opt_box(points, width=1.0, height=1.0, colors=colors)
+        assert opt / 4.0 - 1e-9 <= estimate <= opt
+
+    def test_single_color_estimate_is_one(self):
+        points = [(0.1, 0.1), (0.2, 0.2), (0.3, 0.3)]
+        assert estimate_colored_opt_box(points, width=1.0, height=1.0, colors=["a"] * 3) == 1
+
+
+# --------------------------------------------------------------------------- #
+# (1 - eps) color sampling
+# --------------------------------------------------------------------------- #
+
+class TestColoredMaxRSBox:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            colored_maxrs_box([(0.0, 0.0)], width=1.0, height=1.0, epsilon=0.0)
+
+    def test_empty_input(self):
+        result = colored_maxrs_box([], width=1.0, height=1.0, epsilon=0.3)
+        assert result.is_empty
+        assert result.meta["branch"] == "empty"
+
+    def test_small_opt_takes_exact_branch(self):
+        points, colors = _random_colored_points(60, color_count=5, seed=31)
+        result = colored_maxrs_box(points, width=1.0, height=1.0, epsilon=0.2,
+                                   colors=colors, seed=31)
+        assert result.meta["branch"] == "exact"
+        baseline = colored_maxrs_rectangle_exact(points, width=1.0, height=1.0, colors=colors)
+        assert result.value == baseline.value
+
+    def test_large_opt_takes_sampled_branch(self):
+        # Many colors piled into a small region forces a large opt estimate.
+        points, colors = _random_colored_points(300, color_count=250, seed=33, extent=1.5)
+        result = colored_maxrs_box(points, width=2.0, height=2.0, epsilon=0.5,
+                                   colors=colors, seed=33)
+        assert result.meta["branch"] == "sampled"
+        exact = colored_maxrs_rectangle_exact(points, width=2.0, height=2.0, colors=colors)
+        assert result.value >= (1.0 - 0.5) * exact.value - 1e-9
+
+    @pytest.mark.parametrize("epsilon", [0.2, 0.4])
+    def test_guarantee_on_trajectory_workload(self, epsilon):
+        points, colors = trajectory_colored_points(15, samples_per_entity=6, extent=5.0, seed=41)
+        exact = colored_maxrs_rectangle_exact(points, width=2.0, height=2.0, colors=colors)
+        result = colored_maxrs_box(points, width=2.0, height=2.0, epsilon=epsilon,
+                                   colors=colors, seed=41)
+        assert result.value >= (1.0 - epsilon) * exact.value - 1e-9
+        assert result.value <= exact.value
+
+    def test_value_is_true_coverage(self):
+        points, colors = _random_colored_points(120, color_count=20, seed=43)
+        result = colored_maxrs_box(points, width=1.5, height=1.5, epsilon=0.3,
+                                   colors=colors, seed=43)
+        assert result.value == _coverage(points, colors, result.center, 1.5, 1.5)

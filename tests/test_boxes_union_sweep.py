@@ -1,0 +1,162 @@
+"""Tests for the axis-aligned union decomposition and colored box sweep (repro.boxes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boxes import (
+    max_colored_depth_boxes,
+    point_in_union,
+    rectangles_union_pieces,
+    union_area,
+)
+
+
+def _rect_strategy(max_coord=5.0):
+    coord = st.floats(min_value=0.0, max_value=max_coord, allow_nan=False, allow_infinity=False)
+    side = st.floats(min_value=0.1, max_value=2.0, allow_nan=False, allow_infinity=False)
+    return st.tuples(coord, coord, side, side).map(
+        lambda t: (t[0], t[1], t[0] + t[2], t[1] + t[3])
+    )
+
+
+# --------------------------------------------------------------------------- #
+# union decomposition
+# --------------------------------------------------------------------------- #
+
+class TestUnionPieces:
+    def test_empty(self):
+        assert rectangles_union_pieces([]) == []
+        assert union_area([]) == 0.0
+
+    def test_single_rectangle(self):
+        pieces = rectangles_union_pieces([(0.0, 0.0, 2.0, 1.0)])
+        assert pieces == [(0.0, 0.0, 2.0, 1.0)]
+        assert union_area([(0.0, 0.0, 2.0, 1.0)]) == pytest.approx(2.0)
+
+    def test_disjoint_rectangles_keep_their_area(self):
+        rects = [(0.0, 0.0, 1.0, 1.0), (5.0, 5.0, 7.0, 6.0)]
+        assert union_area(rects) == pytest.approx(1.0 + 2.0)
+
+    def test_nested_rectangles_collapse(self):
+        rects = [(0.0, 0.0, 4.0, 4.0), (1.0, 1.0, 2.0, 2.0)]
+        assert union_area(rects) == pytest.approx(16.0)
+
+    def test_overlapping_rectangles_inclusion_exclusion(self):
+        rects = [(0.0, 0.0, 2.0, 2.0), (1.0, 1.0, 3.0, 3.0)]
+        # |A| + |B| - |A ∩ B| = 4 + 4 - 1
+        assert union_area(rects) == pytest.approx(7.0)
+
+    def test_rejects_malformed_rectangles(self):
+        with pytest.raises(ValueError):
+            rectangles_union_pieces([(0.0, 0.0, -1.0, 1.0)])
+        with pytest.raises(ValueError):
+            rectangles_union_pieces([(0.0, 0.0, 1.0)])
+
+    def test_pieces_have_disjoint_interiors(self):
+        rects = [(0.0, 0.0, 2.0, 2.0), (1.0, 0.5, 3.0, 2.5), (0.5, 1.5, 2.5, 3.5)]
+        pieces = rectangles_union_pieces(rects)
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1:]:
+                overlap_x = min(a[2], b[2]) - max(a[0], b[0])
+                overlap_y = min(a[3], b[3]) - max(a[1], b[1])
+                assert overlap_x <= 1e-9 or overlap_y <= 1e-9
+
+    @given(st.lists(_rect_strategy(), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_pieces_cover_exactly_the_union(self, rects):
+        pieces = rectangles_union_pieces(rects)
+        # Probe the centers of every piece and of every input rectangle.
+        probes = [((p[0] + p[2]) / 2.0, (p[1] + p[3]) / 2.0) for p in pieces]
+        probes += [((r[0] + r[2]) / 2.0, (r[1] + r[3]) / 2.0) for r in rects]
+        for probe in probes:
+            assert point_in_union(probe, rects) == point_in_union(probe, pieces)
+
+    @given(st.lists(_rect_strategy(), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_union_area_bounds(self, rects):
+        total = sum((r[2] - r[0]) * (r[3] - r[1]) for r in rects)
+        largest = max((r[2] - r[0]) * (r[3] - r[1]) for r in rects)
+        area = union_area(rects)
+        assert largest - 1e-6 <= area <= total + 1e-6
+
+
+# --------------------------------------------------------------------------- #
+# colored depth sweep
+# --------------------------------------------------------------------------- #
+
+def _brute_force_colored_depth(rects, colors):
+    """Maximum distinct-color depth over all corner-candidate points."""
+    xs = sorted({r[0] for r in rects})
+    ys = sorted({r[1] for r in rects})
+    best = 0
+    for x in xs:
+        for y in ys:
+            covered = {
+                c for r, c in zip(rects, colors)
+                if r[0] - 1e-12 <= x <= r[2] + 1e-12 and r[1] - 1e-12 <= y <= r[3] + 1e-12
+            }
+            best = max(best, len(covered))
+    return best
+
+
+class TestColoredDepthSweep:
+    def test_empty(self):
+        depth, point = max_colored_depth_boxes([], [])
+        assert depth == 0 and point is None
+
+    def test_single_box(self):
+        depth, point = max_colored_depth_boxes([(0.0, 0.0, 1.0, 1.0)], ["a"])
+        assert depth == 1
+        assert 0.0 <= point[0] <= 1.0 and 0.0 <= point[1] <= 1.0
+
+    def test_same_color_never_double_counted(self):
+        rects = [(0.0, 0.0, 2.0, 2.0), (1.0, 1.0, 3.0, 3.0), (0.5, 0.5, 1.5, 1.5)]
+        depth, _ = max_colored_depth_boxes(rects, ["a", "a", "a"])
+        assert depth == 1
+
+    def test_distinct_colors_stack(self):
+        rects = [(0.0, 0.0, 2.0, 2.0), (1.0, 1.0, 3.0, 3.0), (1.2, 1.2, 1.8, 1.8)]
+        depth, point = max_colored_depth_boxes(rects, ["a", "b", "c"])
+        assert depth == 3
+        x, y = point
+        assert 1.2 <= x <= 1.8 and 1.2 <= y <= 1.8
+
+    def test_disjoint_colors_give_depth_one(self):
+        rects = [(0.0, 0.0, 1.0, 1.0), (5.0, 5.0, 6.0, 6.0)]
+        depth, _ = max_colored_depth_boxes(rects, ["a", "b"])
+        assert depth == 1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            max_colored_depth_boxes([(0.0, 0.0, 1.0, 1.0)], ["a", "b"])
+
+    @given(
+        count=st.integers(min_value=1, max_value=10),
+        color_count=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force_on_random_instances(self, count, color_count, seed):
+        # Continuous random coordinates keep the instance in general position,
+        # which is the setting the half-open sweep is exact for (see module
+        # docstring of repro.boxes.sweep).
+        import random
+
+        rng = random.Random(seed)
+        rects = []
+        for _ in range(count):
+            xlo = rng.uniform(0.0, 4.0)
+            ylo = rng.uniform(0.0, 4.0)
+            rects.append((xlo, ylo, xlo + rng.uniform(0.1, 2.0), ylo + rng.uniform(0.1, 2.0)))
+        colors = [rng.randrange(color_count) for _ in rects]
+        depth, point = max_colored_depth_boxes(rects, colors)
+        expected = _brute_force_colored_depth(rects, colors)
+        assert depth == expected
+        if point is not None:
+            covered = {
+                c for r, c in zip(rects, colors)
+                if r[0] - 1e-9 <= point[0] <= r[2] + 1e-9
+                and r[1] - 1e-9 <= point[1] <= r[3] + 1e-9
+            }
+            assert len(covered) >= depth

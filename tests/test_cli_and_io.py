@@ -1,0 +1,179 @@
+"""Tests for the command-line interface, CSV point I/O and the report recorder."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.harness import ExperimentReport
+from repro.bench.recorder import (
+    report_to_dict,
+    write_report_csv,
+    write_reports_csv_dir,
+    write_reports_json,
+)
+from repro.cli import build_parser, experiment_registry, main
+from repro.datasets import read_points_csv, write_points_csv
+
+
+# --------------------------------------------------------------------------- #
+# CSV point I/O
+# --------------------------------------------------------------------------- #
+
+class TestPointCsv:
+    def test_roundtrip_plain_points(self, tmp_path):
+        path = str(tmp_path / "points.csv")
+        points = [(0.0, 1.0), (2.5, 3.5), (4.0, 5.0)]
+        write_points_csv(path, points)
+        table = read_points_csv(path)
+        assert table.points == points
+        assert table.weights is None
+        assert table.colors is None
+        assert table.dim == 2
+        assert len(table) == 3
+
+    def test_roundtrip_with_weights_and_colors(self, tmp_path):
+        path = str(tmp_path / "points.csv")
+        points = [(0.0, 1.0, 2.0), (3.0, 4.0, 5.0)]
+        write_points_csv(path, points, weights=[1.5, 2.5], colors=["a", "b"])
+        table = read_points_csv(path)
+        assert table.points == points
+        assert table.weights == [1.5, 2.5]
+        assert table.colors == ["a", "b"]
+
+    def test_accepts_xy_aliases(self, tmp_path):
+        path = tmp_path / "alias.csv"
+        path.write_text("x,y,weight\n1.0,2.0,3.0\n4.0,5.0,6.0\n")
+        table = read_points_csv(str(path))
+        assert table.points == [(1.0, 2.0), (4.0, 5.0)]
+        assert table.weights == [3.0, 6.0]
+
+    def test_missing_coordinates_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("weight\n1.0\n")
+        with pytest.raises(ValueError):
+            read_points_csv(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert len(read_points_csv(str(path))) == 0
+
+    def test_mismatched_weights_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_points_csv(str(tmp_path / "x.csv"), [(0.0, 0.0)], weights=[1.0, 2.0])
+
+
+# --------------------------------------------------------------------------- #
+# report recorder
+# --------------------------------------------------------------------------- #
+
+def _sample_report(experiment_id="E99"):
+    report = ExperimentReport(experiment_id=experiment_id, title="sample",
+                              headers=["n", "value"])
+    report.add_row(10, 1.5)
+    report.add_row(20, 3.0)
+    report.add_claim("values grow", True)
+    report.add_note("synthetic report used by the recorder tests")
+    return report
+
+
+class TestRecorder:
+    def test_report_to_dict_is_json_serialisable(self):
+        payload = report_to_dict(_sample_report())
+        assert json.dumps(payload)
+        assert payload["all_claims_hold"] is True
+        assert payload["rows"] == [[10, 1.5], [20, 3.0]]
+
+    def test_write_report_csv(self, tmp_path):
+        path = str(tmp_path / "report.csv")
+        write_report_csv(_sample_report(), path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["n", "value"]
+        assert rows[1] == ["10", "1.5"]
+        assert ["claim", "holds"] in rows
+
+    def test_write_reports_json(self, tmp_path):
+        path = str(tmp_path / "reports.json")
+        write_reports_json([_sample_report("E98"), _sample_report("E99")], path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert [p["experiment_id"] for p in payload] == ["E98", "E99"]
+
+    def test_write_reports_csv_dir(self, tmp_path):
+        paths = write_reports_csv_dir([_sample_report("E98"), _sample_report("E99")],
+                                      str(tmp_path / "out"))
+        assert len(paths) == 2
+        assert all(p.endswith(".csv") for p in paths)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+
+class TestExperimentRegistry:
+    def test_contains_all_fifteen_experiments(self):
+        registry = experiment_registry()
+        assert list(registry) == ["E%d" % i for i in range(1, 16)]
+
+    def test_every_driver_is_callable(self):
+        for driver in experiment_registry().values():
+            assert callable(driver)
+
+
+class TestCli:
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1 " in out and "E15" in out
+
+    def test_experiments_run_unknown_id(self, capsys):
+        assert main(["experiments", "run", "E42"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+    def test_generate_and_solve_disk(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "workload.csv")
+        assert main(["generate", "clustered", "--output", csv_path,
+                     "--n", "60", "--seed", "3"]) == 0
+        table = read_points_csv(csv_path)
+        assert len(table) == 60
+
+        assert main(["solve", "disk", "--input", csv_path, "--radius", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "value:" in out and "placement:" in out
+
+    def test_generate_trajectory_and_solve_colored(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "trajectories.csv")
+        assert main(["generate", "trajectory", "--output", csv_path,
+                     "--n", "80", "--entities", "8", "--seed", "5"]) == 0
+        assert main(["solve", "colored-disk", "--input", csv_path,
+                     "--radius", "1.5", "--epsilon", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "value:" in out
+
+    def test_solve_colored_requires_color_column(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "plain.csv")
+        write_points_csv(csv_path, [(0.0, 0.0), (1.0, 1.0)])
+        assert main(["solve", "colored-disk", "--input", csv_path]) == 2
+        assert "color" in capsys.readouterr().err
+
+    def test_solve_empty_input_fails(self, tmp_path, capsys):
+        csv_path = tmp_path / "empty.csv"
+        csv_path.write_text("x1,x2\n")
+        assert main(["solve", "disk", "--input", str(csv_path)]) == 2
+
+    def test_solve_ball_approx_and_rectangle(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "hotspot.csv")
+        assert main(["generate", "hotspot", "--output", csv_path,
+                     "--n", "50", "--seed", "7"]) == 0
+        assert main(["solve", "ball-approx", "--input", csv_path,
+                     "--radius", "1.0", "--epsilon", "0.4"]) == 0
+        assert main(["solve", "rectangle", "--input", csv_path,
+                     "--width", "2.0", "--height", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("value:") == 2

@@ -1,0 +1,82 @@
+"""Tests for colored MaxRS with d-balls via Technique 1 (Theorem 1.5)."""
+
+import pytest
+
+from repro.core.colored import colored_maxrs_ball, estimate_colored_opt_ball
+from repro.core.depth import colored_depth
+from repro.core.geometry import ColoredPoint
+from repro.datasets import planted_colored_instance, trajectory_colored_points
+from repro.exact import colored_maxrs_disk_sweep
+
+
+class TestColoredBall:
+    def test_empty_input(self):
+        result = colored_maxrs_ball([], radius=1.0, epsilon=0.3)
+        assert result.is_empty
+        assert result.value == 0
+
+    def test_single_point(self):
+        result = colored_maxrs_ball([(1.0, 2.0)], radius=1.0, epsilon=0.3, colors=["a"], seed=0)
+        assert result.value == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            colored_maxrs_ball([(0.0, 0.0)], radius=-1.0)
+        with pytest.raises(ValueError):
+            colored_maxrs_ball([(0.0, 0.0)], radius=1.0, epsilon=0.9)
+
+    def test_colored_point_instances_supported(self):
+        points = [ColoredPoint((0.0, 0.0), "red"), ColoredPoint((0.1, 0.1), "blue"),
+                  ColoredPoint((0.2, 0.0), "red")]
+        result = colored_maxrs_ball(points, radius=1.0, epsilon=0.3, seed=1)
+        assert 1 <= result.value <= 2
+
+    def test_duplicate_colors_not_double_counted(self):
+        points = [(0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (0.0, 0.1)]
+        colors = ["x", "x", "x", "x"]
+        result = colored_maxrs_ball(points, radius=1.0, epsilon=0.3, colors=colors, seed=2)
+        assert result.value == 1
+
+    def test_guarantee_against_exact_sweep_in_2d(self):
+        points, colors = trajectory_colored_points(8, samples_per_entity=6, extent=6.0, seed=3)
+        epsilon = 0.3
+        exact = colored_maxrs_disk_sweep(points, radius=1.2, colors=colors)
+        approx = colored_maxrs_ball(points, radius=1.2, epsilon=epsilon, colors=colors, seed=4)
+        assert approx.value >= (0.5 - epsilon) * exact.value - 1e-9
+        assert approx.value <= exact.value
+
+    @pytest.mark.parametrize("dim,epsilon", [(2, 0.3), (3, 0.45)])
+    def test_planted_colored_instance(self, dim, epsilon):
+        points, colors, opt = planted_colored_instance(
+            30, planted_colors=8, dim=dim, radius=1.0, seed=dim,
+        )
+        result = colored_maxrs_ball(points, radius=1.0, epsilon=epsilon, colors=colors, seed=dim)
+        assert result.value >= (0.5 - epsilon) * opt
+        assert result.value <= opt
+
+    def test_reported_center_achieves_reported_value(self):
+        points, colors = trajectory_colored_points(6, samples_per_entity=5, extent=5.0, seed=5)
+        result = colored_maxrs_ball(points, radius=1.0, epsilon=0.35, colors=colors, seed=6)
+        achieved = colored_depth(result.center, points, colors, 1.0)
+        assert achieved >= result.value
+
+    def test_radius_scaling(self):
+        points = [(0.0, 0.0), (4.0, 0.0), (8.0, 0.0)]
+        colors = ["a", "b", "c"]
+        small = colored_maxrs_ball(points, radius=1.0, epsilon=0.3, colors=colors, seed=7)
+        large = colored_maxrs_ball(points, radius=10.0, epsilon=0.3, colors=colors, seed=7)
+        assert small.value <= large.value
+        assert large.value == 3
+
+    def test_meta_reports_color_count(self):
+        points, colors = trajectory_colored_points(5, samples_per_entity=4, seed=8)
+        result = colored_maxrs_ball(points, radius=1.0, epsilon=0.4, colors=colors, seed=9)
+        assert result.meta["colors"] == 5
+        assert result.meta["guarantee"] == pytest.approx(0.1)
+
+
+class TestColoredOptEstimate:
+    def test_estimate_within_constant_factor(self):
+        points, colors, opt = planted_colored_instance(40, planted_colors=12, dim=2, seed=10)
+        estimate = estimate_colored_opt_ball(points, radius=1.0, colors=colors, seed=11)
+        assert opt / 4.0 <= estimate <= opt

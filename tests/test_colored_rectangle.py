@@ -1,0 +1,115 @@
+"""Tests for the colored rectangle / interval exact baselines ([ZGH+22] comparison)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.depth import covering_colors
+from repro.exact import (
+    colored_maxrs_disk_sweep,
+    colored_maxrs_interval_exact,
+    colored_maxrs_rectangle_exact,
+)
+
+
+def colored_rectangle_bruteforce(points, width, height, colors):
+    """O(n^3) reference: candidate corners are (x_i - width, y_j - height)."""
+    if not points:
+        return 0
+    best = 0
+    for (px, _), (_, qy) in itertools.product(points, points):
+        a, b = px - width, qy - height
+        covered = {
+            c for (x, y), c in zip(points, colors)
+            if a - 1e-12 <= x <= a + width + 1e-12 and b - 1e-12 <= y <= b + height + 1e-12
+        }
+        best = max(best, len(covered))
+    return best
+
+
+class TestColoredInterval:
+    def test_empty(self):
+        assert colored_maxrs_interval_exact([], 1.0).is_empty
+
+    def test_single_color_cluster(self):
+        result = colored_maxrs_interval_exact([0.0, 0.1, 0.2], 1.0, colors=["a", "a", "a"])
+        assert result.value == 1
+
+    def test_distinct_colors(self):
+        result = colored_maxrs_interval_exact([0.0, 0.4, 0.9, 5.0], 1.0,
+                                              colors=["a", "b", "c", "d"])
+        assert result.value == 3
+
+    def test_window_is_closed(self):
+        result = colored_maxrs_interval_exact([0.0, 1.0], 1.0, colors=["a", "b"])
+        assert result.value == 2
+
+    def test_duplicate_colors_far_apart(self):
+        result = colored_maxrs_interval_exact([0.0, 10.0, 20.0], 1.0, colors=["a", "a", "a"])
+        assert result.value == 1
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            colored_maxrs_interval_exact([0.0], -1.0)
+
+
+class TestColoredRectangle:
+    def test_empty(self):
+        assert colored_maxrs_rectangle_exact([], 1.0, 1.0).is_empty
+
+    def test_rainbow_cluster(self):
+        points = [(0.0, 0.0), (0.5, 0.5), (0.9, 0.9), (5.0, 5.0)]
+        colors = ["a", "b", "c", "d"]
+        result = colored_maxrs_rectangle_exact(points, 1.0, 1.0, colors=colors)
+        assert result.value == 3
+
+    def test_color_multiplicity_ignored(self):
+        points = [(0.0, 0.0), (0.1, 0.1), (0.2, 0.0), (3.0, 3.0), (3.4, 3.4)]
+        colors = ["mono", "mono", "mono", "a", "b"]
+        result = colored_maxrs_rectangle_exact(points, 1.0, 1.0, colors=colors)
+        assert result.value == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            colored_maxrs_rectangle_exact([(0.0, 0.0)], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            colored_maxrs_rectangle_exact([(0.0, 0.0, 0.0)], 1.0, 1.0)
+
+    def test_reported_corner_achieves_value(self):
+        points = [(0.0, 0.0), (0.4, 1.1), (1.5, 0.2), (2.0, 2.0), (2.1, 2.2)]
+        colors = ["a", "b", "a", "c", "d"]
+        result = colored_maxrs_rectangle_exact(points, 1.5, 1.5, colors=colors)
+        a, b = result.center
+        covered = {
+            c for (x, y), c in zip(points, colors)
+            if a - 1e-9 <= x <= a + 1.5 + 1e-9 and b - 1e-9 <= y <= b + 1.5 + 1e-9
+        }
+        assert len(covered) == result.value
+
+    def test_square_dominates_inscribed_disk_colored(self):
+        points = [(0.0, 0.0), (0.5, 0.3), (1.2, 0.8), (4.0, 4.0), (4.3, 4.1)]
+        colors = ["a", "b", "c", "d", "e"]
+        disk = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors).value
+        square = colored_maxrs_rectangle_exact(points, 2.0, 2.0, colors=colors).value
+        assert square >= disk
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-10, 10), st.integers(-10, 10), st.integers(0, 3)),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(1, 8),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bruteforce(self, rows, width2, height2):
+        """Property: the sweep equals brute-force corner enumeration."""
+        points = [(x / 2.0, y / 2.0) for x, y, _ in rows]
+        colors = [c for _, _, c in rows]
+        width, height = width2 / 2.0, height2 / 2.0
+        sweep = colored_maxrs_rectangle_exact(points, width, height, colors=colors).value
+        brute = colored_rectangle_bruteforce(points, width, height, colors)
+        assert sweep == brute

@@ -1,0 +1,207 @@
+"""Tests for the naive convolutions and every step of the reduction chains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.convolution.naive import (
+    is_strictly_decreasing,
+    max_plus_convolution,
+    max_plus_convolution_at_indices,
+    min_plus_convolution,
+    min_plus_convolution_at_indices,
+    monotone_min_plus_convolution,
+)
+from repro.convolution.reductions import (
+    batched_maxrs_instance_from_sequences,
+    bsei_instance_from_monotone_sequences,
+    max_plus_indexed_via_positive_oracle,
+    min_plus_indexed_via_max_plus_oracle,
+    min_plus_via_batched_maxrs,
+    min_plus_via_bsei,
+    min_plus_via_indexed_oracle,
+    min_plus_via_monotone_oracle,
+    monotone_min_plus_via_bsei,
+    monotone_sequences_from_arbitrary,
+    positive_max_plus_indexed_via_batched_maxrs,
+)
+
+int_sequences = st.lists(st.integers(-20, 20), min_size=1, max_size=12)
+
+
+class TestNaiveConvolutions:
+    def test_min_plus_small_example(self):
+        a = [1, 5, 2]
+        b = [0, 3, 4]
+        # C_0 = 1+0, C_1 = min(1+3, 5+0), C_2 = min(1+4, 5+3, 2+0)
+        assert min_plus_convolution(a, b) == [1, 4, 2]
+
+    def test_max_plus_small_example(self):
+        a = [1, 5, 2]
+        b = [0, 3, 4]
+        assert max_plus_convolution(a, b) == [1, 5, 8]
+
+    def test_indexed_variants_subset_of_full(self):
+        a = [4, -2, 7, 0]
+        b = [1, 1, -5, 3]
+        full_min = min_plus_convolution(a, b)
+        full_max = max_plus_convolution(a, b)
+        indices = [3, 0, 2]
+        assert min_plus_convolution_at_indices(a, b, indices) == [full_min[k] for k in indices]
+        assert max_plus_convolution_at_indices(a, b, indices) == [full_max[k] for k in indices]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            min_plus_convolution([1, 2], [1])
+        with pytest.raises(ValueError):
+            min_plus_convolution([], [])
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            min_plus_convolution_at_indices([1, 2], [3, 4], [0, 0])
+        with pytest.raises(ValueError):
+            min_plus_convolution_at_indices([1, 2], [3, 4], [2])
+
+    def test_monotone_requires_decreasing(self):
+        assert is_strictly_decreasing([3, 2, 1])
+        assert not is_strictly_decreasing([3, 3, 1])
+        with pytest.raises(ValueError):
+            monotone_min_plus_convolution([1, 2], [2, 1])
+        assert monotone_min_plus_convolution([5, 1], [4, 2]) == [9, 5]
+
+    @given(int_sequences, int_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_min_plus_is_negated_max_plus(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        negated = [-v for v in max_plus_convolution([-x for x in a], [-x for x in b])]
+        assert min_plus_convolution(a, b) == negated
+
+
+class TestSection5Reductions:
+    def test_index_partitioning(self):
+        a = [3, 1, 4, 1, 5, 9]
+        b = [2, 6, 5, 3, 5, 8]
+        expected = min_plus_convolution(a, b)
+        for batch_size in (1, 2, 4, None):
+            got = min_plus_via_indexed_oracle(
+                a, b, min_plus_convolution_at_indices, batch_size=batch_size
+            )
+            assert got == expected
+
+    def test_negation_step(self):
+        a = [3, -1, 4]
+        b = [-2, 6, 0]
+        indices = [0, 2]
+        got = min_plus_indexed_via_max_plus_oracle(a, b, indices, max_plus_convolution_at_indices)
+        assert got == min_plus_convolution_at_indices(a, b, indices)
+
+    def test_shift_step_with_negative_values(self):
+        a = [-3, 5, 0]
+        b = [2, -7, 1]
+        indices = [1, 2, 0]
+
+        def positive_oracle(pa, pb, idx):
+            assert all(v >= 0 for v in pa) and all(v >= 0 for v in pb)
+            return max_plus_convolution_at_indices(pa, pb, idx)
+
+        got = max_plus_indexed_via_positive_oracle(a, b, indices, positive_oracle)
+        assert got == max_plus_convolution_at_indices(a, b, indices)
+
+    def test_shift_step_with_nonnegative_values_passthrough(self):
+        a = [3, 5, 0]
+        b = [2, 7, 1]
+        got = max_plus_indexed_via_positive_oracle(
+            a, b, [0, 1, 2], max_plus_convolution_at_indices
+        )
+        assert got == max_plus_convolution(a, b)
+
+    def test_guard_point_construction_shape(self):
+        positions, weights = batched_maxrs_instance_from_sequences([1, 2], [3, 4])
+        # 4n points plus the two sentinel blockers.
+        assert len(positions) == 10 and len(weights) == 10
+        # Every positive point has a matching negative guard; only the two
+        # blockers (each of weight -(1 + max A + max B) = -7) remain.
+        assert sum(weights) == pytest.approx(-14.0)
+        assert positions.count(0.0) == 1        # A_0 at coordinate 0
+        assert (2 * 2 - 1) in positions          # B_0 at coordinate 2n-1
+        assert -0.5 in positions and (2 * 2 - 0.5) in positions  # blockers
+
+    def test_stray_placement_is_blocked(self):
+        """Regression: without the sentinels, an interval covering every A-point
+        plus an unguarded B_b with b > k would overshoot C_k (e.g. A=[0,0],
+        B=[0,1], k=0)."""
+        got = positive_max_plus_indexed_via_batched_maxrs([0, 0], [0, 1], [0, 1])
+        assert got == [0.0, 1.0]
+
+    def test_batched_maxrs_answers_positive_max_plus(self):
+        a = [0, 3, 1, 2]
+        b = [5, 0, 2, 4]
+        indices = [0, 1, 2, 3]
+        got = positive_max_plus_indexed_via_batched_maxrs(a, b, indices)
+        assert got == [float(v) for v in max_plus_convolution(a, b)]
+
+    def test_negative_inputs_rejected_by_positive_oracle(self):
+        with pytest.raises(ValueError):
+            positive_max_plus_indexed_via_batched_maxrs([-1, 2], [0, 1], [0])
+
+    @given(int_sequences, int_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_full_chain_matches_naive(self, a, b):
+        """Property: Theorem 1.3's chain computes the exact (min,+)-convolution."""
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        through_maxrs = min_plus_via_batched_maxrs(a, b)
+        assert through_maxrs == pytest.approx(min_plus_convolution(a, b))
+
+    def test_full_chain_with_batching(self):
+        a = [7, -2, 4, 0, 3, -1, 8]
+        b = [1, 1, -6, 2, 9, 0, -4]
+        assert min_plus_via_batched_maxrs(a, b, batch_size=2) == pytest.approx(
+            min_plus_convolution(a, b)
+        )
+
+
+class TestSection6Reductions:
+    def test_monotone_transformation_produces_decreasing_sequences(self):
+        a = [3, 8, 1, 1]
+        b = [0, 5, 5, 9]
+        d, e, delta = monotone_sequences_from_arbitrary(a, b)
+        assert is_strictly_decreasing(d)
+        assert is_strictly_decreasing(e)
+        assert delta > 0
+
+    def test_monotone_reduction_recovers_min_plus(self):
+        a = [3, 8, 1, 1]
+        b = [0, 5, 5, 9]
+        got = min_plus_via_monotone_oracle(a, b, monotone_min_plus_convolution)
+        assert got == pytest.approx(min_plus_convolution(a, b))
+
+    def test_bsei_instance_structure(self):
+        d = [5.0, 3.0, 1.0]
+        e = [4.0, 2.0, 0.0]
+        points = bsei_instance_from_monotone_sequences(d, e)
+        assert len(points) == 6
+        # First half negative, second half positive, both increasing.
+        assert all(p < 0 for p in points[:3])
+        assert all(p > 0 for p in points[3:])
+        assert points == sorted(points)
+
+    def test_monotone_via_bsei_matches_naive(self):
+        d = [9.0, 6.0, 4.0, 1.0]
+        e = [7.0, 5.0, 2.0, 0.0]
+        got = monotone_min_plus_via_bsei(d, e)
+        assert got == pytest.approx(monotone_min_plus_convolution(d, e))
+
+    def test_bsei_oracle_length_validated(self):
+        with pytest.raises(ValueError):
+            monotone_min_plus_via_bsei([2.0, 1.0], [2.0, 1.0], bsei_oracle=lambda pts: [1.0])
+
+    @given(int_sequences, int_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_full_bsei_chain_matches_naive(self, a, b):
+        """Property: Theorem 1.4's chain computes the exact (min,+)-convolution."""
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        through_bsei = min_plus_via_bsei(a, b)
+        assert through_bsei == pytest.approx(min_plus_convolution(a, b))

@@ -1,0 +1,157 @@
+"""Tests for the synthetic workload generators."""
+
+import math
+
+import pytest
+
+from repro.core.depth import colored_depth, weighted_depth
+from repro.datasets import (
+    UpdateEvent,
+    UpdateStream,
+    clustered_points,
+    hotspot_monitoring_stream,
+    planted_ball_instance,
+    planted_colored_instance,
+    sliding_window_stream,
+    trajectory_colored_points,
+    uniform_points,
+    uniform_weighted_points,
+    weighted_hotspot_points,
+)
+from repro.exact import colored_maxrs_disk_sweep, maxrs_disk_exact
+
+
+class TestGenerators:
+    def test_uniform_points_shape_and_extent(self):
+        points = uniform_points(50, dim=3, extent=4.0, seed=1)
+        assert len(points) == 50
+        assert all(len(p) == 3 for p in points)
+        assert all(0.0 <= c <= 4.0 for p in points for c in p)
+
+    def test_uniform_points_deterministic(self):
+        assert uniform_points(10, seed=5) == uniform_points(10, seed=5)
+
+    def test_uniform_points_validation(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1)
+        with pytest.raises(ValueError):
+            uniform_points(5, dim=0)
+
+    def test_uniform_weighted_points(self):
+        points, weights = uniform_weighted_points(30, weight_range=(1.0, 2.0), seed=2)
+        assert len(points) == len(weights) == 30
+        assert all(1.0 <= w <= 2.0 for w in weights)
+        with pytest.raises(ValueError):
+            uniform_weighted_points(5, weight_range=(0.0, 1.0))
+
+    def test_clustered_points_have_a_dense_region(self):
+        points = clustered_points(100, clusters=2, cluster_std=0.3, seed=3)
+        assert len(points) == 100
+        # A clustered workload should have a disk covering far more than the
+        # uniform expectation.
+        best = maxrs_disk_exact(points, radius=1.0).value
+        assert best >= 10
+
+    def test_clustered_points_validation(self):
+        with pytest.raises(ValueError):
+            clustered_points(10, clusters=0)
+        with pytest.raises(ValueError):
+            clustered_points(10, background_fraction=1.5)
+
+    def test_weighted_hotspot_points(self):
+        points, weights = weighted_hotspot_points(40, seed=4)
+        assert len(points) == len(weights) == 40
+        assert all(w > 0 for w in weights)
+
+
+class TestPlantedInstances:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_planted_ball_optimum_is_planted_size(self, dim):
+        points, opt = planted_ball_instance(25, planted=7, dim=dim, radius=1.0, seed=dim)
+        assert opt == 7
+        assert len(points) == 25
+        # The cluster is coverable by a ball at the origin.
+        origin = tuple(0.0 for _ in range(dim))
+        assert weighted_depth(origin, points, [1.0] * len(points), 1.0) == 7
+
+    def test_planted_ball_exact_in_2d(self):
+        points, opt = planted_ball_instance(30, planted=9, dim=2, radius=1.0, seed=9)
+        assert maxrs_disk_exact(points, radius=1.0).value == opt
+
+    def test_planted_ball_validation(self):
+        with pytest.raises(ValueError):
+            planted_ball_instance(5, planted=0)
+        with pytest.raises(ValueError):
+            planted_ball_instance(5, planted=6)
+
+    def test_planted_colored_optimum(self):
+        points, colors, opt = planted_colored_instance(30, planted_colors=6, dim=2, seed=10)
+        assert opt == 6
+        assert len(points) == len(colors) == 30
+        assert colored_maxrs_disk_sweep(points, radius=1.0, colors=colors).value == opt
+
+    def test_planted_colored_origin_covers_all_colors(self):
+        points, colors, opt = planted_colored_instance(20, planted_colors=5, dim=3, seed=11)
+        origin = (0.0, 0.0, 0.0)
+        assert colored_depth(origin, points, colors, 1.0) == opt
+
+    def test_planted_colored_validation(self):
+        with pytest.raises(ValueError):
+            planted_colored_instance(5, planted_colors=0)
+        with pytest.raises(ValueError):
+            planted_colored_instance(5, planted_colors=2, background_colors=0)
+
+
+class TestTrajectories:
+    def test_shape_and_colors(self):
+        points, colors = trajectory_colored_points(6, samples_per_entity=9, seed=12)
+        assert len(points) == len(colors) == 54
+        assert set(colors) == set(range(6))
+
+    def test_points_stay_in_extent(self):
+        points, _ = trajectory_colored_points(4, samples_per_entity=50, extent=5.0,
+                                              step_std=1.0, seed=13)
+        assert all(-5.0 <= c <= 10.0 for p in points for c in p)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trajectory_colored_points(-1)
+        with pytest.raises(ValueError):
+            trajectory_colored_points(3, samples_per_entity=0)
+
+
+class TestStreams:
+    def test_update_event_validation(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(kind="noop")
+        with pytest.raises(ValueError):
+            UpdateEvent(kind="insert")
+        with pytest.raises(ValueError):
+            UpdateEvent(kind="delete")
+
+    def test_hotspot_stream_is_replayable(self):
+        stream = hotspot_monitoring_stream(60, seed=14)
+        assert len(stream) <= 60
+        live = stream.live_points_after(len(stream))
+        inserts = sum(1 for e in stream if e.kind == "insert")
+        deletes = sum(1 for e in stream if e.kind == "delete")
+        assert len(live) == inserts - deletes
+
+    def test_hotspot_stream_deletes_reference_prior_inserts(self):
+        stream = hotspot_monitoring_stream(50, seed=15)
+        events = list(stream)
+        for position, event in enumerate(events):
+            if event.kind == "delete":
+                assert 0 <= event.target < position
+                assert events[event.target].kind == "insert"
+
+    def test_sliding_window_bounds_live_points(self):
+        stream = sliding_window_stream(40, window=10, seed=16)
+        for prefix in range(1, len(stream) + 1):
+            assert len(stream.live_points_after(prefix)) <= 10
+
+    def test_stream_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_monitoring_stream(10, delete_fraction=1.0)
+        with pytest.raises(ValueError):
+            sliding_window_stream(10, window=0)

@@ -1,0 +1,159 @@
+"""Tests for the dynamic MaxRS structure (Theorem 1.1)."""
+
+import math
+
+import pytest
+
+from repro.core.depth import weighted_depth
+from repro.core.dynamic import DynamicMaxRS
+from repro.datasets import hotspot_monitoring_stream, planted_ball_instance, sliding_window_stream
+from repro.exact import maxrs_disk_exact
+
+
+def replay(stream, structure):
+    """Replay an update stream, mapping stream insert positions to structure ids."""
+    id_of = {}
+    for position, event in enumerate(stream):
+        if event.kind == "insert":
+            id_of[position] = structure.insert(event.point, event.weight)
+        else:
+            structure.delete(id_of.pop(event.target))
+    return id_of
+
+
+class TestBasicOperations:
+    def test_empty_query(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.3, seed=0)
+        result = structure.query()
+        assert result.is_empty
+        assert result.value == 0.0
+        assert len(structure) == 0
+
+    def test_single_insert_and_query(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.3, seed=1)
+        structure.insert((2.0, 3.0))
+        result = structure.query()
+        assert result.value == pytest.approx(1.0)
+        assert math.dist(result.center, (2.0, 3.0)) <= 1.0 + 1e-9
+
+    def test_insert_returns_distinct_ids(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.4, seed=2)
+        ids = [structure.insert((float(i), 0.0)) for i in range(5)]
+        assert len(set(ids)) == 5
+        assert len(structure) == 5
+
+    def test_delete_unknown_id_raises(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.4, seed=3)
+        with pytest.raises(KeyError):
+            structure.delete(42)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicMaxRS(dim=2, radius=0.0)
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.3)
+        with pytest.raises(ValueError):
+            structure.insert((0.0, 0.0), weight=0.0)
+        with pytest.raises(ValueError):
+            structure.insert((0.0, 0.0, 0.0))  # wrong dimension
+
+    def test_delete_everything_resets(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.4, seed=4)
+        ids = [structure.insert((0.1 * i, 0.0)) for i in range(4)]
+        for point_id in ids:
+            structure.delete(point_id)
+        assert len(structure) == 0
+        assert structure.query().is_empty
+
+    def test_points_reports_live_set(self):
+        structure = DynamicMaxRS(dim=2, radius=2.0, epsilon=0.4, seed=5)
+        a = structure.insert((1.0, 1.0), weight=2.0)
+        b = structure.insert((3.0, 3.0), weight=1.5)
+        structure.delete(a)
+        live = structure.points()
+        assert set(live) == {b}
+        coords, weight = live[b]
+        assert coords == (3.0, 3.0)
+        assert weight == 1.5
+
+
+class TestApproximationQuality:
+    def test_against_exact_on_insert_only_stream(self):
+        points, _ = planted_ball_instance(50, planted=12, dim=2, seed=6)
+        epsilon = 0.3
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=epsilon, seed=7)
+        for point in points:
+            structure.insert(point)
+        exact = maxrs_disk_exact(points, radius=1.0)
+        result = structure.query()
+        assert result.value >= (0.5 - epsilon) * exact.value - 1e-9
+        assert result.value <= exact.value + 1e-9
+
+    def test_against_exact_after_deletions(self):
+        stream = hotspot_monitoring_stream(80, dim=2, extent=6.0, seed=8)
+        epsilon = 0.35
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=epsilon, seed=9)
+        replay(stream, structure)
+        live = stream.live_points_after(len(stream))
+        live_points = [coords for coords, _weight in live]
+        assert len(live_points) == len(structure)
+        if live_points:
+            exact = maxrs_disk_exact(live_points, radius=1.0)
+            result = structure.query()
+            assert result.value >= (0.5 - epsilon) * exact.value - 1e-9
+            assert result.value <= exact.value + 1e-9
+
+    def test_query_value_is_true_depth_of_reported_center(self):
+        points, _ = planted_ball_instance(30, planted=8, dim=2, seed=10)
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.35, seed=11)
+        for point in points:
+            structure.insert(point)
+        result = structure.query()
+        depth = weighted_depth(result.center, points, [1.0] * len(points), 1.0)
+        assert depth >= result.value - 1e-9
+
+    def test_weighted_updates(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.3, seed=12)
+        structure.insert((0.0, 0.0), weight=5.0)
+        structure.insert((0.2, 0.0), weight=3.0)
+        far = structure.insert((100.0, 100.0), weight=6.0)
+        result = structure.query()
+        assert result.value >= (0.5 - 0.3) * 8.0
+        structure.delete(far)
+        assert structure.query().value <= 8.0 + 1e-9
+
+    def test_sliding_window_stream(self):
+        stream = sliding_window_stream(60, window=25, dim=2, extent=6.0, seed=13)
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.4, seed=14)
+        replay(stream, structure)
+        assert len(structure) <= 25
+        result = structure.query()
+        assert result.value >= 1.0
+
+
+class TestEpochs:
+    def test_rebuild_count_is_logarithmic_for_insert_only(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.45, seed=15)
+        n = 100
+        for i in range(n):
+            structure.insert((0.05 * i, 0.0))
+        # Epochs restart when the size doubles, so the number of rebuilds is
+        # Theta(log n), not Theta(n).
+        assert structure.stats["rebuilds"] <= 2 * math.ceil(math.log2(n)) + 2
+
+    def test_epoch_sample_size_tracks_epoch_population(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.45, seed=16)
+        for i in range(40):
+            structure.insert((0.1 * i, 0.0))
+        meta = structure.query().meta
+        assert meta["epoch_base"] is not None
+        assert meta["epoch_base"] <= 40
+        assert meta["samples_per_cell"] >= 1
+
+    def test_shrinking_below_half_triggers_rebuild(self):
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.45, seed=17)
+        ids = [structure.insert((0.1 * i, 0.0)) for i in range(32)]
+        rebuilds_before = structure.stats["rebuilds"]
+        # Delete ~60% of the points: the size falls below half of the epoch base.
+        for point_id in ids[:20]:
+            structure.delete(point_id)
+        assert structure.stats["rebuilds"] > rebuilds_before

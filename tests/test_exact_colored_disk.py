@@ -1,0 +1,88 @@
+"""Tests for the exact colored disk MaxRS angular sweep (the O(n^2 log n) baseline)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.depth import colored_depth
+from repro.exact.bruteforce import colored_maxrs_disk_bruteforce
+from repro.exact.colored_disk import colored_depth_on_circle, colored_maxrs_disk_sweep
+
+
+class TestColoredDepthOnCircle:
+    def test_isolated_pivot(self):
+        depth, _angle = colored_depth_on_circle((0.0, 0.0), 1.0, [], [], pivot_color="a")
+        assert depth == 1
+
+    def test_same_color_neighbors_do_not_increase_depth(self):
+        depth, _ = colored_depth_on_circle(
+            (0.0, 0.0), 1.0, [(0.5, 0.0), (0.0, 0.5)], ["a", "a"], pivot_color="a"
+        )
+        assert depth == 1
+
+    def test_distinct_color_neighbors(self):
+        depth, angle = colored_depth_on_circle(
+            (0.0, 0.0), 1.0, [(1.0, 0.0), (0.0, 1.0)], ["b", "c"], pivot_color="a"
+        )
+        assert depth == 3
+        point = (math.cos(angle), math.sin(angle))
+        assert colored_depth(point, [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)], ["a", "b", "c"], 1.0) == 3
+
+
+class TestColoredSweep:
+    def test_empty_input(self):
+        assert colored_maxrs_disk_sweep([], radius=1.0).is_empty
+
+    def test_single_color(self):
+        points = [(0.0, 0.0), (0.2, 0.2), (0.4, 0.1)]
+        result = colored_maxrs_disk_sweep(points, radius=1.0, colors=["x"] * 3)
+        assert result.value == 1
+
+    def test_rainbow_cluster(self):
+        points = [(0.0, 0.0), (0.3, 0.0), (0.0, 0.3), (10.0, 10.0)]
+        colors = ["a", "b", "c", "d"]
+        result = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors)
+        assert result.value == 3
+
+    def test_color_multiplicity_irrelevant(self):
+        # Many points of one color far away never beat two distinct colors.
+        points = [(10.0, 10.0), (10.1, 10.0), (10.2, 10.0), (0.0, 0.0), (0.5, 0.0)]
+        colors = ["mono", "mono", "mono", "a", "b"]
+        result = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors)
+        assert result.value == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            colored_maxrs_disk_sweep([(0.0, 0.0)], radius=0.0)
+        with pytest.raises(ValueError):
+            colored_maxrs_disk_sweep([(0.0, 0.0, 0.0)], radius=1.0)
+
+    def test_reported_center_achieves_value(self, small_colored_points):
+        points, colors = small_colored_points
+        result = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors)
+        achieved = colored_depth(result.center, points, colors, 1.0)
+        assert achieved == result.value
+
+    def test_radius_scaling(self):
+        points = [(0.0, 0.0), (4.0, 0.0)]
+        colors = ["a", "b"]
+        assert colored_maxrs_disk_sweep(points, radius=1.0, colors=colors).value == 1
+        assert colored_maxrs_disk_sweep(points, radius=2.5, colors=colors).value == 2
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-6, 6), st.integers(-6, 6), st.integers(0, 3)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sweep_matches_candidate_bruteforce(self, rows):
+        """Property: the colored angular sweep equals the candidate-center oracle."""
+        points = [(0.7 * x, 0.7 * y) for x, y, _ in rows]
+        colors = [c for _, _, c in rows]
+        sweep = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors).value
+        brute = colored_maxrs_disk_bruteforce(points, radius=1.0, colors=colors)
+        assert sweep == brute

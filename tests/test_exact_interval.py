@@ -1,0 +1,104 @@
+"""Tests for exact 1-d MaxRS (fixed-length interval placement)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import WeightedPoint
+from repro.exact.interval1d import maxrs_interval_bruteforce, maxrs_interval_exact
+
+
+class TestIntervalExact:
+    def test_empty_input(self):
+        result = maxrs_interval_exact([], 1.0)
+        assert result.is_empty
+        assert result.value == 0.0
+
+    def test_single_point(self):
+        result = maxrs_interval_exact([3.0], 2.0)
+        assert result.value == 1.0
+        left = result.center[0]
+        assert left <= 3.0 <= left + 2.0
+
+    def test_unweighted_cluster(self):
+        points = [0.0, 0.1, 0.2, 5.0, 5.05, 9.0]
+        result = maxrs_interval_exact(points, 0.5)
+        assert result.value == 3.0
+
+    def test_weighted_points(self):
+        points = [0.0, 1.0, 2.0]
+        weights = [1.0, 5.0, 1.0]
+        result = maxrs_interval_exact(points, 1.0, weights=weights)
+        assert result.value == 6.0
+
+    def test_weighted_point_instances(self):
+        points = [WeightedPoint((0.0,), 2.0), WeightedPoint((0.5,), 3.0), WeightedPoint((10.0,), 4.0)]
+        result = maxrs_interval_exact(points, 1.0)
+        assert result.value == 5.0
+
+    def test_negative_weights_guard_points(self):
+        """The Section 5.4 style: every positive point guarded by a negative one."""
+        points = [0.0, -0.5, 3.0, 3.5]
+        weights = [4.0, -4.0, 2.0, -2.0]
+        result = maxrs_interval_exact(points, 3.0, weights=weights)
+        # The interval [0, 3] covers +4 and +2 but neither guard.
+        assert result.value == 6.0
+
+    def test_all_negative_weights_allow_empty(self):
+        result = maxrs_interval_exact([0.0, 1.0], 5.0, weights=[-1.0, -2.0])
+        assert result.value == 0.0
+
+    def test_all_negative_weights_disallow_empty(self):
+        # Even with allow_empty=False, the sweep may place the interval in a
+        # gap between points, covering nothing; the optimum is therefore 0.
+        result = maxrs_interval_exact([0.0, 10.0], 1.0, weights=[-1.0, -2.0], allow_empty=False)
+        assert result.value == 0.0
+        left = result.center[0]
+        assert not any(left <= x <= left + 1.0 for x in (0.0, 10.0))
+
+    def test_interval_boundaries_are_closed(self):
+        # Points exactly at both endpoints of the best interval are covered.
+        result = maxrs_interval_exact([0.0, 2.0], 2.0)
+        assert result.value == 2.0
+
+    def test_zero_length_interval(self):
+        result = maxrs_interval_exact([1.0, 1.0, 2.0], 0.0)
+        assert result.value == 2.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            maxrs_interval_exact([0.0], -1.0)
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            maxrs_interval_exact([(0.0, 1.0)], 1.0)
+
+    def test_reported_placement_achieves_value(self):
+        points = [0.0, 0.4, 1.1, 1.2, 3.0, 3.1, 3.2, 7.0]
+        weights = [1.0, 2.0, 1.0, 1.0, 3.0, -1.0, 2.0, 5.0]
+        result = maxrs_interval_exact(points, 1.5, weights=weights)
+        left = result.center[0]
+        achieved = sum(w for x, w in zip(points, weights) if left - 1e-12 <= x <= left + 1.5 + 1e-12)
+        assert achieved == pytest.approx(result.value)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-100, 100), st.integers(-5, 10)),
+            min_size=1,
+            max_size=25,
+        ),
+        st.integers(0, 40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sweep_matches_bruteforce(self, weighted_points, half_length):
+        """Property: the O(n log n) sweep equals the O(n^2) candidate evaluation.
+
+        Coordinates are half-integers so that boundary coincidences are exact
+        in floating point and both implementations resolve them identically.
+        """
+        xs = [x / 2.0 for x, _ in weighted_points]
+        ws = [float(w) for _, w in weighted_points]
+        length = half_length / 2.0
+        sweep = maxrs_interval_exact(xs, length, weights=ws).value
+        brute = maxrs_interval_bruteforce(xs, length, weights=ws)
+        assert sweep == pytest.approx(brute)

@@ -1,0 +1,116 @@
+"""Tests for the exact rectangle MaxRS sweep (Imai--Asano / Nandy--Bhattacharya)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import WeightedPoint
+from repro.exact.rectangle2d import maxrs_rectangle_exact
+
+
+def rectangle_bruteforce(points, width, height, weights=None):
+    """O(n^3) reference: candidate corners are (x_i - width, y_j - height)."""
+    if not points:
+        return 0.0
+    weights = weights if weights is not None else [1.0] * len(points)
+    best = 0.0
+    for (px, _), (_, qy) in itertools.product(points, points):
+        a, b = px - width, qy - height
+        total = sum(
+            w for (x, y), w in zip(points, weights)
+            if a - 1e-12 <= x <= a + width + 1e-12 and b - 1e-12 <= y <= b + height + 1e-12
+        )
+        best = max(best, total)
+    return best
+
+
+class TestRectangleExact:
+    def test_empty_input(self):
+        result = maxrs_rectangle_exact([], 1.0, 1.0)
+        assert result.is_empty
+
+    def test_single_point(self):
+        result = maxrs_rectangle_exact([(3.0, 4.0)], 1.0, 2.0)
+        assert result.value == 1.0
+        a, b = result.center
+        assert a <= 3.0 <= a + 1.0
+        assert b <= 4.0 <= b + 2.0
+
+    def test_cluster_detection(self):
+        points = [(0.0, 0.0), (0.5, 0.5), (0.9, 0.1), (5.0, 5.0), (5.2, 5.1)]
+        result = maxrs_rectangle_exact(points, 1.0, 1.0)
+        assert result.value == 3.0
+
+    def test_weighted(self):
+        points = [(0.0, 0.0), (0.5, 0.5), (10.0, 10.0)]
+        weights = [1.0, 2.0, 10.0]
+        result = maxrs_rectangle_exact(points, 1.0, 1.0, weights=weights)
+        assert result.value == 10.0
+
+    def test_weighted_point_instances(self):
+        points = [WeightedPoint((0.0, 0.0), 4.0), WeightedPoint((0.2, 0.2), 3.0)]
+        result = maxrs_rectangle_exact(points, 1.0, 1.0)
+        assert result.value == 7.0
+
+    def test_closed_boundaries(self):
+        points = [(0.0, 0.0), (1.0, 1.0)]
+        result = maxrs_rectangle_exact(points, 1.0, 1.0)
+        assert result.value == 2.0
+
+    def test_thin_rectangle(self):
+        points = [(0.0, 0.0), (0.0, 0.5), (0.0, 3.0)]
+        result = maxrs_rectangle_exact(points, 0.1, 1.0)
+        assert result.value == 2.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            maxrs_rectangle_exact([(0.0, 0.0)], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            maxrs_rectangle_exact([(0.0, 0.0)], 1.0, 1.0, weights=[-1.0])
+        with pytest.raises(ValueError):
+            maxrs_rectangle_exact([(0.0, 0.0, 0.0)], 1.0, 1.0)
+
+    def test_upper_right_meta(self):
+        result = maxrs_rectangle_exact([(1.0, 1.0)], 2.0, 3.0)
+        a, b = result.center
+        assert result.meta["upper_right"] == (a + 2.0, b + 3.0)
+
+    def test_reported_corner_achieves_value(self):
+        points = [(0.0, 0.0), (0.4, 0.9), (1.5, 0.2), (2.0, 2.0), (2.1, 2.2)]
+        weights = [1.0, 2.0, 1.5, 3.0, 1.0]
+        result = maxrs_rectangle_exact(points, 1.2, 1.0, weights=weights)
+        a, b = result.center
+        achieved = sum(
+            w for (x, y), w in zip(points, weights)
+            if a - 1e-12 <= x <= a + 1.2 + 1e-12 and b - 1e-12 <= y <= b + 1.0 + 1e-12
+        )
+        assert achieved == pytest.approx(result.value)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-20, 20),
+                st.integers(-20, 20),
+                st.integers(0, 5),
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+        st.integers(1, 12),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sweep_matches_bruteforce(self, rows, width2, height2):
+        """Property: the segment-tree sweep equals brute-force corner enumeration.
+
+        Coordinates and side lengths are half-integers so that closed-boundary
+        coincidences are exact in floating point.
+        """
+        points = [(x / 2.0, y / 2.0) for x, y, _ in rows]
+        weights = [float(w) for _, _, w in rows]
+        width, height = width2 / 2.0, height2 / 2.0
+        sweep = maxrs_rectangle_exact(points, width, height, weights=weights).value
+        brute = rectangle_bruteforce(points, width, height, weights)
+        assert sweep == pytest.approx(brute)

@@ -1,0 +1,60 @@
+"""Smoke tests for the extension examples (streaming, I/O model, boxes, baselines)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.replace(".py", ""), path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExtensionExamplesRun:
+    def test_streaming_hotspots_runs(self, capsys):
+        module = load_example("streaming_hotspots.py")
+        module.TOTAL_OBSERVATIONS = 80
+        module.WINDOW = 25
+        module.CHECKPOINTS = 2
+        module.main()
+        output = capsys.readouterr().out
+        assert "Streaming 80 observations" in output
+        assert "Guarantee" in output
+
+    def test_external_memory_runs(self, capsys):
+        module = load_example("external_memory.py")
+        module.POINTS = 200
+        module.main()
+        output = capsys.readouterr().out
+        assert "Simulated disk" in output
+        assert "fewer block transfers" in output
+
+    def test_colored_box_extension_runs(self, capsys):
+        module = load_example("colored_box_extension.py")
+        module.FACILITIES_PER_TYPE = 5
+        module.main()
+        output = capsys.readouterr().out
+        assert "Corner-pigeonhole estimate" in output
+        assert "exact solvers agree" in output
+
+    def test_baseline_showdown_runs(self, capsys):
+        module = load_example("baseline_showdown.py")
+        module.CUSTOMERS = 120
+        module.main()
+        output = capsys.readouterr().out
+        assert "Exact references" in output
+        assert "Technique 1" in output
+
+    def test_city_planning_topk_runs(self, capsys):
+        module = load_example("city_planning_topk.py")
+        module.INCIDENTS_PER_DISTRICT = 12
+        module.main()
+        output = capsys.readouterr().out
+        assert "Top-3 disjoint service areas" in output
+        assert "day 7 hotspot" in output

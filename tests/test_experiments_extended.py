@@ -1,0 +1,52 @@
+"""Smoke tests: every extended experiment driver (E11-E15) runs and its claims hold.
+
+The drivers are exercised on reduced instance sizes so the whole file stays
+fast; the full-size tables are produced by ``python -m repro experiments run``.
+"""
+
+import pytest
+
+from repro.bench.experiments_extended import (
+    experiment_e11_sampling_baselines,
+    experiment_e12_io_model,
+    experiment_e13_streaming_monitor,
+    experiment_e14_colored_boxes,
+    experiment_e15_boxes_beyond_plane,
+)
+
+
+class TestExtendedExperiments:
+    def test_e11_sampling_baselines(self):
+        report = experiment_e11_sampling_baselines(sizes=(60, 120), epsilon=0.35, seed=1)
+        assert report.experiment_id == "E11"
+        assert len(report.rows) == 2
+        assert report.all_claims_hold
+
+    def test_e12_io_model(self):
+        report = experiment_e12_io_model(sizes=(128, 256), block_size=8, memory=64, seed=2)
+        assert report.experiment_id == "E12"
+        assert len(report.rows) == 2
+        assert report.all_claims_hold
+
+    def test_e13_streaming_monitor(self):
+        report = experiment_e13_streaming_monitor(stream_lengths=(40, 80), epsilon=0.45,
+                                                  query_every=20, seed=3)
+        assert report.experiment_id == "E13"
+        assert report.claims  # at least the guarantee claim is present
+        assert report.claims["every reported hotspot is within (1/2 - eps) of the exact optimum"]
+
+    def test_e14_colored_boxes(self):
+        report = experiment_e14_colored_boxes(entity_counts=(8, 14), epsilon=0.3, seed=4)
+        assert report.experiment_id == "E14"
+        assert report.all_claims_hold
+
+    def test_e15_boxes_beyond_plane(self):
+        report = experiment_e15_boxes_beyond_plane(sizes=(30, 60), seed=5)
+        assert report.experiment_id == "E15"
+        assert report.all_claims_hold
+
+    def test_reports_render_as_text(self):
+        report = experiment_e12_io_model(sizes=(128,), block_size=8, memory=64, seed=6)
+        rendered = report.render()
+        assert "[E12]" in rendered
+        assert "claims:" in rendered

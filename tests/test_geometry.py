@@ -1,0 +1,147 @@
+"""Unit tests for the geometric primitives."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import (
+    Ball,
+    Box,
+    ColoredPoint,
+    Interval,
+    Point,
+    WeightedPoint,
+    ball_intersects_box,
+    bounding_box,
+    box_distance_to_point,
+    distance,
+    point_in_ball,
+    point_in_box,
+    squared_distance,
+    validate_dimension,
+)
+
+
+class TestPoints:
+    def test_point_coordinates_are_floats(self):
+        p = Point((1, 2, 3))
+        assert p.coords == (1.0, 2.0, 3.0)
+        assert p.dim == 3
+
+    def test_point_iteration_and_indexing(self):
+        p = Point((4.0, 5.0))
+        assert list(p) == [4.0, 5.0]
+        assert p[1] == 5.0
+
+    def test_weighted_point_defaults_to_unit_weight(self):
+        wp = WeightedPoint((0.0, 0.0))
+        assert wp.weight == 1.0
+
+    def test_weighted_point_allows_negative_weight(self):
+        # Guard points of the Section 5.4 reduction have negative weight.
+        wp = WeightedPoint((1.0,), weight=-2.5)
+        assert wp.weight == -2.5
+
+    def test_colored_point_keeps_color(self):
+        cp = ColoredPoint((1.0, 1.0), color="red")
+        assert cp.color == "red"
+        assert cp.dim == 2
+
+    def test_points_are_hashable(self):
+        assert len({Point((0, 0)), Point((0, 0)), Point((1, 0))}) == 2
+
+
+class TestBall:
+    def test_contains_center_and_boundary(self):
+        ball = Ball((0.0, 0.0), 2.0)
+        assert ball.contains((0.0, 0.0))
+        assert ball.contains((2.0, 0.0))
+        assert not ball.contains((2.1, 0.0))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Ball((0.0,), -1.0)
+
+    def test_dimension(self):
+        assert Ball((1.0, 2.0, 3.0, 4.0), 1.0).dim == 4
+
+
+class TestBox:
+    def test_contains_and_corners(self):
+        box = Box((0.0, 0.0), (1.0, 2.0))
+        assert box.contains((0.5, 1.0))
+        assert not box.contains((1.5, 1.0))
+        corners = set(box.corners())
+        assert corners == {(0.0, 0.0), (1.0, 0.0), (0.0, 2.0), (1.0, 2.0)}
+
+    def test_center_and_side_lengths(self):
+        box = Box((0.0, 0.0), (2.0, 4.0))
+        assert box.center == (1.0, 2.0)
+        assert box.side_lengths == (2.0, 4.0)
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ValueError):
+            Box((1.0, 0.0), (0.0, 1.0))
+        with pytest.raises(ValueError):
+            Box((0.0,), (1.0, 1.0))
+
+
+class TestInterval:
+    def test_contains_endpoints(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.contains(1.0)
+        assert interval.contains(3.0)
+        assert not interval.contains(3.01)
+        assert interval.length == 2.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+
+class TestDistances:
+    def test_squared_distance(self):
+        assert squared_distance((0, 0), (3, 4)) == 25.0
+
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_point_in_ball_boundary_tolerance(self):
+        assert point_in_ball((1.0, 0.0), (0.0, 0.0), 1.0)
+
+    def test_point_in_box_boundary(self):
+        assert point_in_box((1.0, 1.0), (0.0, 0.0), (1.0, 1.0))
+
+    def test_box_distance_inside_is_zero(self):
+        assert box_distance_to_point((0.5, 0.5), (0.0, 0.0), (1.0, 1.0)) == 0.0
+
+    def test_box_distance_outside(self):
+        assert box_distance_to_point((2.0, 0.5), (0.0, 0.0), (1.0, 1.0)) == pytest.approx(1.0)
+        assert box_distance_to_point((2.0, 2.0), (0.0, 0.0), (1.0, 1.0)) == pytest.approx(math.sqrt(2.0))
+
+    def test_ball_intersects_box(self):
+        assert ball_intersects_box((2.0, 0.5), 1.0, (0.0, 0.0), (1.0, 1.0))
+        assert not ball_intersects_box((3.0, 0.5), 1.0, (0.0, 0.0), (1.0, 1.0))
+
+
+class TestHelpers:
+    def test_bounding_box(self):
+        box = bounding_box([(0.0, 1.0), (2.0, -1.0), (1.0, 0.0)])
+        assert box.lower == (0.0, -1.0)
+        assert box.upper == (2.0, 1.0)
+
+    def test_bounding_box_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_validate_dimension_consistent(self):
+        assert validate_dimension([(0.0, 1.0), (2.0, 3.0)]) == 2
+
+    def test_validate_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            validate_dimension([(0.0, 1.0), (2.0,)])
+
+    def test_validate_dimension_expected(self):
+        with pytest.raises(ValueError):
+            validate_dimension([(0.0, 1.0)], expected=3)
+        assert validate_dimension([], expected=2) == 2

@@ -1,0 +1,105 @@
+"""Tests for the shifted grid family (Lemma 2.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.grids import GridCollection, ShiftedGrid, lemma21_shift_count
+
+
+class TestShiftedGrid:
+    def test_cell_of_origin(self):
+        grid = ShiftedGrid(dim=2, side=1.0, shift=(0.0, 0.0))
+        assert grid.cell_of((0.5, 0.5)) == (0, 0)
+        assert grid.cell_of((-0.5, 1.5)) == (-1, 1)
+
+    def test_cell_geometry(self):
+        grid = ShiftedGrid(dim=2, side=2.0, shift=(1.0, 0.0))
+        cell = grid.cell_of((2.0, 1.0))
+        assert grid.cell_lower(cell) == (1.0, 0.0)
+        assert grid.cell_upper(cell) == (3.0, 2.0)
+        assert grid.cell_center(cell) == (2.0, 1.0)
+
+    def test_circumradius(self):
+        grid = ShiftedGrid(dim=3, side=2.0, shift=(0.0, 0.0, 0.0))
+        assert grid.circumradius == pytest.approx(math.sqrt(3.0))
+
+    def test_cell_corners_count(self):
+        grid = ShiftedGrid(dim=3, side=1.0, shift=(0.0, 0.0, 0.0))
+        corners = list(grid.cell_corners((0, 0, 0)))
+        assert len(corners) == 8
+        assert (0.0, 0.0, 0.0) in corners
+        assert (1.0, 1.0, 1.0) in corners
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ShiftedGrid(dim=0, side=1.0, shift=())
+        with pytest.raises(ValueError):
+            ShiftedGrid(dim=2, side=0.0, shift=(0.0, 0.0))
+        with pytest.raises(ValueError):
+            ShiftedGrid(dim=2, side=1.0, shift=(0.0,))
+
+    def test_cells_intersecting_ball_contains_center_cell(self):
+        grid = ShiftedGrid(dim=2, side=0.5, shift=(0.1, 0.2))
+        center = (3.3, -1.7)
+        cells = set(grid.cells_intersecting_ball(center, 1.0))
+        assert grid.cell_of(center) in cells
+
+    def test_cells_intersecting_ball_all_actually_intersect(self):
+        grid = ShiftedGrid(dim=2, side=0.7, shift=(0.0, 0.0))
+        center = (0.3, 0.4)
+        for cell in grid.cells_intersecting_ball(center, 1.0):
+            lower = grid.cell_lower(cell)
+            upper = grid.cell_upper(cell)
+            # Closest point of the box to the center must lie within the ball.
+            closest = [min(max(c, lo), hi) for c, lo, hi in zip(center, lower, upper)]
+            dist = math.dist(closest, center)
+            assert dist <= 1.0 + 1e-9
+
+    def test_cells_intersecting_ball_is_exhaustive(self):
+        grid = ShiftedGrid(dim=2, side=0.9, shift=(0.05, 0.15))
+        center = (1.0, 2.0)
+        reported = set(grid.cells_intersecting_ball(center, 1.0))
+        # Any point of the ball must fall in a reported cell.
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            angle = rng.uniform(0, 2 * math.pi)
+            rad = math.sqrt(rng.uniform(0, 1.0))
+            point = (center[0] + rad * math.cos(angle), center[1] + rad * math.sin(angle))
+            assert grid.cell_of(point) in reported
+
+
+class TestLemma21:
+    def test_shift_count_formula(self):
+        assert lemma21_shift_count(side=1.0, delta=0.25, dim=2) == math.ceil(math.sqrt(2) / 0.25)
+        assert lemma21_shift_count(side=0.5, delta=0.25, dim=1) == 2
+
+    def test_shift_count_validation(self):
+        with pytest.raises(ValueError):
+            lemma21_shift_count(side=0.0, delta=0.1, dim=2)
+        with pytest.raises(ValueError):
+            lemma21_shift_count(side=1.0, delta=0.0, dim=2)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_every_point_is_delta_near_in_some_grid(self, dim):
+        """The Lemma 2.1 guarantee: some grid has the point Delta-near its cell center."""
+        side = 0.8
+        delta = 0.3
+        collection = GridCollection(dim=dim, side=side, delta=delta)
+        rng = np.random.default_rng(42 + dim)
+        for _ in range(200):
+            point = tuple(rng.uniform(-5, 5, size=dim))
+            _, best_distance = collection.nearest_grid_for(point)
+            assert best_distance <= delta + 1e-9
+
+    def test_shift_cap_reduces_family(self):
+        full = GridCollection(dim=2, side=1.0, delta=0.25)
+        capped = GridCollection(dim=2, side=1.0, delta=0.25, shift_cap=2)
+        assert len(capped) == 4
+        assert len(full) > len(capped)
+
+    def test_collection_indexing(self):
+        collection = GridCollection(dim=2, side=1.0, delta=0.5)
+        assert len(list(collection)) == len(collection)
+        assert isinstance(collection[0], ShiftedGrid)

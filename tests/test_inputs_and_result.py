@@ -1,0 +1,94 @@
+"""Tests for input normalisation and the MaxRSResult container."""
+
+import pytest
+
+from repro.core._inputs import normalize_colored, normalize_coords, normalize_weighted
+from repro.core.geometry import ColoredPoint, Point, WeightedPoint
+from repro.core.result import MaxRSResult
+
+
+class TestNormalizeWeighted:
+    def test_plain_tuples_default_weights(self):
+        coords, weights, dim = normalize_weighted([(0.0, 1.0), (2.0, 3.0)])
+        assert coords == [(0.0, 1.0), (2.0, 3.0)]
+        assert weights == [1.0, 1.0]
+        assert dim == 2
+
+    def test_weighted_point_instances(self):
+        points = [WeightedPoint((0.0,), 2.0), WeightedPoint((1.0,), 3.0)]
+        coords, weights, dim = normalize_weighted(points)
+        assert weights == [2.0, 3.0]
+        assert dim == 1
+
+    def test_explicit_weights_override(self):
+        points = [WeightedPoint((0.0,), 2.0)]
+        _, weights, _ = normalize_weighted(points, weights=[7.0])
+        assert weights == [7.0]
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize_weighted([(0.0,)], weights=[1.0, 2.0])
+
+    def test_positive_weight_enforcement(self):
+        with pytest.raises(ValueError):
+            normalize_weighted([(0.0,)], weights=[0.0])
+        with pytest.raises(ValueError):
+            normalize_weighted([(0.0,)], weights=[-1.0])
+
+    def test_negative_weights_allowed_when_requested(self):
+        _, weights, _ = normalize_weighted([(0.0,)], weights=[-1.0], require_positive=False)
+        assert weights == [-1.0]
+
+    def test_empty_input(self):
+        coords, weights, dim = normalize_weighted([])
+        assert coords == [] and weights == [] and dim == 0
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_weighted([(0.0, 1.0), (2.0,)])
+
+
+class TestNormalizeColored:
+    def test_plain_tuples_default_color(self):
+        coords, colors, dim = normalize_colored([(0.0, 1.0)])
+        assert colors == [0]
+        assert dim == 2
+
+    def test_colored_point_instances(self):
+        points = [ColoredPoint((0.0, 0.0), "red"), ColoredPoint((1.0, 1.0), "blue")]
+        _, colors, _ = normalize_colored(points)
+        assert colors == ["red", "blue"]
+
+    def test_explicit_colors_override(self):
+        points = [ColoredPoint((0.0, 0.0), "red")]
+        _, colors, _ = normalize_colored(points, colors=["green"])
+        assert colors == ["green"]
+
+    def test_color_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize_colored([(0.0, 0.0)], colors=["a", "b"])
+
+
+class TestNormalizeCoords:
+    def test_accepts_point_instances(self):
+        assert normalize_coords([Point((1, 2)), (3, 4)]) == [(1.0, 2.0), (3.0, 4.0)]
+
+
+class TestMaxRSResult:
+    def test_center_coerced_to_floats(self):
+        result = MaxRSResult(value=3.0, center=(1, 2), shape="ball")
+        assert result.center == (1.0, 2.0)
+        assert not result.is_empty
+
+    def test_empty_result(self):
+        result = MaxRSResult(value=0.0, center=None)
+        assert result.is_empty
+
+    def test_meta_defaults_to_empty_dict(self):
+        result = MaxRSResult(value=1.0, center=(0.0,))
+        assert result.meta == {}
+
+    def test_result_is_frozen(self):
+        result = MaxRSResult(value=1.0, center=(0.0,))
+        with pytest.raises(AttributeError):
+            result.value = 2.0

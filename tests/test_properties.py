@@ -1,0 +1,176 @@
+"""Hypothesis property tests for the core approximation algorithms and invariants.
+
+These complement the per-module tests: instead of fixed instances they state
+invariants that must hold for *every* input -- sandwich bounds against exact
+references, dual/primal consistency, monotonicity in the query radius, and
+agreement between independent implementations.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DynamicMaxRS,
+    colored_maxrs_ball,
+    colored_maxrs_disk_arrangement,
+    max_range_sum_ball,
+)
+from repro.core.depth import colored_depth, weighted_depth
+from repro.exact import (
+    colored_maxrs_disk_sweep,
+    maxrs_disk_exact,
+    maxrs_interval_exact,
+    maxrs_rectangle_exact,
+)
+
+# Points on a coarse half-integer grid scaled by 0.8: enough collisions to be
+# interesting, no adversarial float coincidences.
+planar_points = st.lists(
+    st.tuples(st.integers(-8, 8), st.integers(-8, 8)),
+    min_size=1,
+    max_size=18,
+).map(lambda rows: [(0.8 * x, 0.8 * y) for x, y in rows])
+
+colored_rows = st.lists(
+    st.tuples(st.integers(-6, 6), st.integers(-6, 6), st.integers(0, 4)),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestTechnique1Properties:
+    @given(planar_points)
+    @settings(max_examples=25, deadline=None)
+    def test_sandwich_against_exact_disk(self, points):
+        """(1/2 - eps) * opt <= approx <= opt for every input."""
+        epsilon = 0.35
+        exact = maxrs_disk_exact(points, radius=1.0).value
+        approx = max_range_sum_ball(points, radius=1.0, epsilon=epsilon, seed=7).value
+        assert approx <= exact + 1e-9
+        assert approx >= (0.5 - epsilon) * exact - 1e-9
+
+    @given(planar_points)
+    @settings(max_examples=20, deadline=None)
+    def test_reported_center_is_consistent(self, points):
+        """The reported value never exceeds the true depth of the reported center."""
+        result = max_range_sum_ball(points, radius=1.0, epsilon=0.4, seed=8)
+        true_depth = weighted_depth(result.center, points, [1.0] * len(points), 1.0)
+        assert true_depth >= result.value - 1e-9
+
+    @given(planar_points)
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_in_radius(self, points):
+        """A larger query ball can never cover fewer points (exact reference)."""
+        small = maxrs_disk_exact(points, radius=0.7).value
+        large = maxrs_disk_exact(points, radius=1.5).value
+        assert large >= small
+
+    @given(planar_points)
+    @settings(max_examples=15, deadline=None)
+    def test_value_bounded_by_total_weight(self, points):
+        n = len(points)
+        result = max_range_sum_ball(points, radius=1.0, epsilon=0.45, seed=9)
+        assert 0 <= result.value <= n + 1e-9
+
+
+class TestDynamicProperties:
+    @given(planar_points)
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_insert_only_matches_guarantee(self, points):
+        epsilon = 0.4
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=epsilon, seed=10)
+        for p in points:
+            structure.insert(p)
+        exact = maxrs_disk_exact(points, radius=1.0).value
+        value = structure.query().value
+        assert (0.5 - epsilon) * exact - 1e-9 <= value <= exact + 1e-9
+
+    @given(planar_points, st.integers(0, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_delete_is_inverse_of_insert(self, points, extra_count):
+        """Inserting and then deleting far-away extra points keeps the guarantee intact.
+
+        The maintained value may change slightly because crossing an epoch
+        boundary re-samples the probe points, but the live set is back to the
+        original, so the (1/2 - eps) sandwich against the exact optimum of the
+        original points must still hold.
+        """
+        epsilon = 0.45
+        structure = DynamicMaxRS(dim=2, radius=1.0, epsilon=epsilon, seed=11)
+        for p in points:
+            structure.insert(p)
+        extra_ids = [structure.insert((100.0 + i, 100.0)) for i in range(extra_count)]
+        for point_id in extra_ids:
+            structure.delete(point_id)
+        after = structure.query().value
+        assert len(structure) == len(points)
+        exact = maxrs_disk_exact(points, radius=1.0).value
+        assert (0.5 - epsilon) * exact - 1e-9 <= after <= exact + 1e-9
+
+
+class TestColoredProperties:
+    @given(colored_rows)
+    @settings(max_examples=20, deadline=None)
+    def test_colored_value_bounded_by_palette(self, rows):
+        points = [(0.8 * x, 0.8 * y) for x, y, _ in rows]
+        colors = [c for _, _, c in rows]
+        result = colored_maxrs_ball(points, radius=1.0, epsilon=0.4, colors=colors, seed=12)
+        assert 1 <= result.value <= len(set(colors))
+
+    @given(colored_rows)
+    @settings(max_examples=15, deadline=None)
+    def test_arrangement_matches_sweep(self, rows):
+        """Two independent exact colored-disk solvers agree on every input."""
+        points = [(0.8 * x, 0.8 * y) for x, y, _ in rows]
+        colors = [c for _, _, c in rows]
+        sweep = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors).value
+        arrangement = colored_maxrs_disk_arrangement(points, radius=1.0, colors=colors).value
+        assert sweep == arrangement
+
+    @given(colored_rows)
+    @settings(max_examples=15, deadline=None)
+    def test_colored_bounded_by_uncolored(self, rows):
+        """Distinct-color coverage never exceeds plain point coverage."""
+        points = [(0.8 * x, 0.8 * y) for x, y, _ in rows]
+        colors = [c for _, _, c in rows]
+        colored = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors).value
+        uncolored = maxrs_disk_exact(points, radius=1.0).value
+        assert colored <= uncolored + 1e-9
+
+    @given(colored_rows)
+    @settings(max_examples=15, deadline=None)
+    def test_sweep_witness_achieves_value(self, rows):
+        points = [(0.8 * x, 0.8 * y) for x, y, _ in rows]
+        colors = [c for _, _, c in rows]
+        result = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors)
+        assert colored_depth(result.center, points, colors, 1.0) == result.value
+
+
+class TestExactBaselineProperties:
+    @given(planar_points)
+    @settings(max_examples=20, deadline=None)
+    def test_square_dominates_inscribed_disk(self, points):
+        """A 2r x 2r square contains the radius-r disk, so its optimum is at least as large."""
+        disk = maxrs_disk_exact(points, radius=1.0).value
+        square = maxrs_rectangle_exact(points, 2.0, 2.0).value
+        assert square >= disk - 1e-9
+
+    @given(planar_points)
+    @settings(max_examples=20, deadline=None)
+    def test_disk_dominates_inscribed_interval_slab(self, points):
+        """Projecting to the x-axis: an interval of length 2r covers at least what a
+        disk of radius r covers (the disk's x-extent is 2r)."""
+        disk = maxrs_disk_exact(points, radius=1.0).value
+        xs = [x for x, _ in points]
+        interval = maxrs_interval_exact(xs, 2.0).value
+        assert interval >= disk - 1e-9
+
+    @given(planar_points, st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_rectangle_monotone_in_size(self, points, growth):
+        small = maxrs_rectangle_exact(points, 1.0, 1.0).value
+        large = maxrs_rectangle_exact(points, 1.0 * growth, 1.0 * growth).value
+        assert large >= small - 1e-9

@@ -1,0 +1,130 @@
+"""Integration tests: the public API surface and cross-module consistency.
+
+These tests exercise the library the way the examples and downstream users
+do -- through the top-level ``repro`` namespace -- and check that independent
+implementations of the same quantity agree with each other.
+"""
+
+import math
+
+import pytest
+
+import repro
+from repro import (
+    ColoredPoint,
+    DynamicMaxRS,
+    WeightedPoint,
+    colored_maxrs_ball,
+    colored_maxrs_disk,
+    colored_maxrs_disk_arrangement,
+    colored_maxrs_disk_output_sensitive,
+    colored_maxrs_disk_sweep,
+    max_range_sum_ball,
+    maxrs_disk_exact,
+    maxrs_interval_exact,
+    maxrs_rectangle_exact,
+    min_plus_convolution,
+    min_plus_via_batched_maxrs,
+    min_plus_via_bsei,
+)
+from repro.datasets import (
+    clustered_points,
+    planted_colored_instance,
+    trajectory_colored_points,
+    weighted_hotspot_points,
+)
+
+
+class TestPublicSurface:
+    def test_version_and_all(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), "missing exported name %r" % name
+
+    def test_dataclass_inputs_flow_through_all_solvers(self):
+        weighted = [WeightedPoint((0.0, 0.0), 2.0), WeightedPoint((0.5, 0.5), 1.0),
+                    WeightedPoint((8.0, 8.0), 4.0)]
+        assert max_range_sum_ball(weighted, radius=1.0, epsilon=0.3, seed=0).value > 0
+        assert maxrs_disk_exact(weighted, radius=1.0).value == 4.0
+        assert maxrs_rectangle_exact(weighted, 1.0, 1.0).value == 4.0
+
+        colored = [ColoredPoint((0.0, 0.0), "a"), ColoredPoint((0.4, 0.0), "b"),
+                   ColoredPoint((9.0, 9.0), "c")]
+        assert colored_maxrs_disk_sweep(colored, radius=1.0).value == 2
+        assert colored_maxrs_disk_arrangement(colored, radius=1.0).value == 2
+        assert colored_maxrs_disk_output_sensitive(colored, radius=1.0).value == 2
+
+
+class TestCrossSolverConsistency:
+    def test_all_exact_colored_solvers_agree(self):
+        points, colors = trajectory_colored_points(9, samples_per_entity=6, extent=6.0, seed=41)
+        sweep = colored_maxrs_disk_sweep(points, radius=1.1, colors=colors).value
+        arrangement = colored_maxrs_disk_arrangement(points, radius=1.1, colors=colors).value
+        output_sensitive = colored_maxrs_disk_output_sensitive(points, radius=1.1,
+                                                               colors=colors).value
+        assert sweep == arrangement == output_sensitive
+
+    def test_every_approximation_is_sandwiched_by_the_exact_value(self):
+        points, colors, opt = planted_colored_instance(40, planted_colors=9, dim=2, seed=42)
+        half_eps = colored_maxrs_ball(points, radius=1.0, epsilon=0.3, colors=colors, seed=43)
+        one_minus_eps = colored_maxrs_disk(points, radius=1.0, epsilon=0.25,
+                                           colors=colors, seed=44)
+        assert (0.5 - 0.3) * opt - 1e-9 <= half_eps.value <= opt
+        assert (1 - 0.25) * opt - 1e-9 <= one_minus_eps.value <= opt
+
+    def test_dynamic_structure_matches_static_solver_on_same_points(self):
+        points = clustered_points(70, dim=2, extent=6.0, seed=45)
+        static = max_range_sum_ball(points, radius=1.0, epsilon=0.35, seed=46)
+        dynamic = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.35, seed=46)
+        for p in points:
+            dynamic.insert(p)
+        exact = maxrs_disk_exact(points, radius=1.0).value
+        assert static.value >= (0.5 - 0.35) * exact - 1e-9
+        assert dynamic.query().value >= (0.5 - 0.35) * exact - 1e-9
+
+    def test_disk_and_interval_agree_in_one_dimension_projection(self):
+        """A degenerate 2-d instance on a horizontal line behaves like the 1-d problem."""
+        xs = [0.0, 0.4, 0.8, 3.0, 3.2, 7.0]
+        planar = [(x, 0.0) for x in xs]
+        disk_value = maxrs_disk_exact(planar, radius=0.5).value
+        interval_value = maxrs_interval_exact(xs, 1.0).value
+        assert disk_value == interval_value
+
+    def test_rectangle_dominates_inscribed_disk(self):
+        points, weights = weighted_hotspot_points(120, dim=2, extent=8.0, seed=47)
+        disk = maxrs_disk_exact(points, radius=1.0, weights=weights).value
+        square = maxrs_rectangle_exact(points, 2.0, 2.0, weights=weights).value
+        assert square >= disk - 1e-9
+
+    def test_both_reduction_chains_agree_with_each_other(self):
+        a = [4, -3, 7, 0, 2, -5]
+        b = [1, 6, -2, 3, 0, 5]
+        naive = min_plus_convolution(a, b)
+        assert min_plus_via_batched_maxrs(a, b) == pytest.approx(naive)
+        assert min_plus_via_bsei(a, b) == pytest.approx(naive)
+
+
+class TestEndToEndScenario:
+    def test_hotspot_scenario_pipeline(self):
+        """The README pipeline: generate data, find hotspot, monitor updates."""
+        points = clustered_points(90, dim=2, extent=10.0, clusters=2, seed=48)
+        static = max_range_sum_ball(points, radius=1.0, epsilon=0.35, seed=49)
+        assert not static.is_empty
+
+        monitor = DynamicMaxRS(dim=2, radius=1.0, epsilon=0.35, seed=50)
+        ids = [monitor.insert(p) for p in points]
+        before = monitor.query().value
+        for point_id in ids[: len(ids) // 2]:
+            monitor.delete(point_id)
+        after = monitor.query().value
+        assert before >= after >= 1.0
+
+    def test_wildlife_scenario_pipeline(self):
+        points, colors = trajectory_colored_points(8, samples_per_entity=7, extent=8.0, seed=51)
+        exact = colored_maxrs_disk_sweep(points, radius=1.5, colors=colors)
+        approx = colored_maxrs_disk(points, radius=1.5, epsilon=0.25, colors=colors, seed=52)
+        assert approx.value >= (1 - 0.25) * exact.value - 1e-9
+        # The reported center really covers that many distinct animals.
+        covered = {c for p, c in zip(points, colors)
+                   if math.dist(p, approx.center) <= 1.5 + 1e-9}
+        assert len(covered) == approx.value

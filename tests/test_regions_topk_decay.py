@@ -1,0 +1,204 @@
+"""Tests for the region-search extensions: top-k placements and decaying MaxRS."""
+
+import math
+import random
+
+import pytest
+
+from repro.datasets import clustered_points
+from repro.exact import maxrs_disk_exact, maxrs_rectangle_exact
+from repro.regions import DecayingMaxRSMonitor, top_k_maxrs_disk, top_k_maxrs_rectangle
+
+
+def _three_clusters(seed=0):
+    """Three well-separated clusters of sizes 12, 8 and 5."""
+    rng = random.Random(seed)
+    points = []
+    for center, size in (((0.0, 0.0), 12), ((20.0, 0.0), 8), ((0.0, 20.0), 5)):
+        for _ in range(size):
+            points.append((center[0] + rng.uniform(-0.4, 0.4),
+                           center[1] + rng.uniform(-0.4, 0.4)))
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# top-k placements
+# --------------------------------------------------------------------------- #
+
+class TestTopKRectangle:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            top_k_maxrs_rectangle([(0.0, 0.0)], width=1.0, height=1.0, k=0)
+        with pytest.raises(ValueError):
+            top_k_maxrs_rectangle([(0.0, 0.0)], width=0.0, height=1.0, k=1)
+        with pytest.raises(ValueError):
+            top_k_maxrs_rectangle([(0.0, 0.0)], width=1.0, height=1.0, k=1, weights=[-1.0])
+
+    def test_empty_input(self):
+        assert top_k_maxrs_rectangle([], width=1.0, height=1.0, k=3) == []
+
+    def test_first_placement_matches_plain_maxrs(self):
+        points = clustered_points(150, dim=2, extent=10.0, clusters=3, seed=3)
+        exact = maxrs_rectangle_exact(points, width=2.0, height=2.0)
+        top = top_k_maxrs_rectangle(points, width=2.0, height=2.0, k=1)
+        assert len(top) == 1
+        assert top[0].rank == 1
+        assert top[0].value == pytest.approx(exact.value)
+
+    def test_finds_the_three_clusters_in_size_order(self):
+        points = _three_clusters(seed=1)
+        top = top_k_maxrs_rectangle(points, width=2.0, height=2.0, k=3)
+        assert [p.covered_points for p in top] == [12, 8, 5]
+        assert [p.value for p in top] == sorted([p.value for p in top], reverse=True)
+
+    def test_placements_claim_disjoint_points(self):
+        points = _three_clusters(seed=2)
+        top = top_k_maxrs_rectangle(points, width=2.0, height=2.0, k=3)
+        assert sum(p.covered_points for p in top) <= len(points)
+
+    def test_stops_early_when_points_run_out(self):
+        points = [(0.0, 0.0), (0.1, 0.1)]
+        top = top_k_maxrs_rectangle(points, width=1.0, height=1.0, k=5)
+        assert len(top) == 1
+        assert top[0].covered_points == 2
+
+
+class TestTopKDisk:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            top_k_maxrs_disk([(0.0, 0.0)], radius=1.0, k=0)
+        with pytest.raises(ValueError):
+            top_k_maxrs_disk([(0.0, 0.0)], radius=0.0, k=1)
+
+    def test_first_placement_matches_plain_maxrs(self):
+        points = clustered_points(120, dim=2, extent=10.0, clusters=3, seed=5)
+        exact = maxrs_disk_exact(points, radius=1.0)
+        top = top_k_maxrs_disk(points, radius=1.0, k=1)
+        assert top[0].value == pytest.approx(exact.value)
+
+    def test_finds_the_three_clusters(self):
+        points = _three_clusters(seed=7)
+        top = top_k_maxrs_disk(points, radius=1.0, k=3)
+        assert [p.covered_points for p in top] == [12, 8, 5]
+        # The three reported centers are far apart (one per cluster).
+        for i, a in enumerate(top):
+            for b in top[i + 1:]:
+                assert math.dist(a.center, b.center) > 5.0
+
+    def test_weighted_ranking(self):
+        # A small but heavy cluster should outrank a larger light one.
+        points = [(0.0, 0.0), (0.1, 0.0), (10.0, 0.0), (10.1, 0.0), (10.2, 0.0)]
+        weights = [10.0, 10.0, 1.0, 1.0, 1.0]
+        top = top_k_maxrs_disk(points, radius=0.5, k=2, weights=weights)
+        assert top[0].value == pytest.approx(20.0)
+        assert top[1].value == pytest.approx(3.0)
+
+
+# --------------------------------------------------------------------------- #
+# decaying MaxRS monitor
+# --------------------------------------------------------------------------- #
+
+class TestDecayingMonitor:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DecayingMaxRSMonitor(decay=0.0)
+        with pytest.raises(ValueError):
+            DecayingMaxRSMonitor(decay=1.0)
+        with pytest.raises(ValueError):
+            DecayingMaxRSMonitor(decay=0.5, prune_below=-1.0)
+
+    def test_observe_and_effective_weight_decay(self):
+        monitor = DecayingMaxRSMonitor(decay=0.5, dim=2, radius=1.0, epsilon=0.4, seed=1,
+                                       prune_below=0.0)
+        obs = monitor.observe((0.0, 0.0), weight=8.0)
+        assert monitor.effective_weight(obs) == pytest.approx(8.0)
+        monitor.tick()
+        assert monitor.effective_weight(obs) == pytest.approx(4.0)
+        monitor.tick(steps=2)
+        assert monitor.effective_weight(obs) == pytest.approx(1.0)
+        assert monitor.ticks == 3
+
+    def test_query_value_reflects_decayed_weights(self):
+        monitor = DecayingMaxRSMonitor(decay=0.5, dim=2, radius=1.0, epsilon=0.4, seed=2,
+                                       prune_below=0.0)
+        for i in range(5):
+            monitor.observe((0.05 * i, 0.0), weight=2.0)
+        before = monitor.current().value
+        monitor.tick()
+        after = monitor.current().value
+        assert before == pytest.approx(10.0, rel=0.3)
+        assert after == pytest.approx(before / 2.0, rel=1e-6)
+
+    def test_recent_cluster_overtakes_old_one(self):
+        monitor = DecayingMaxRSMonitor(decay=0.6, dim=2, radius=1.0, epsilon=0.4, seed=3,
+                                       prune_below=0.0)
+        for i in range(6):
+            monitor.observe((0.05 * i, 0.0), weight=1.0)
+        for _ in range(6):
+            monitor.tick()
+        for i in range(3):
+            monitor.observe((30.0 + 0.05 * i, 0.0), weight=1.0)
+        hotspot = monitor.current()
+        assert hotspot.center[0] > 15.0
+
+    def test_pruning_removes_faded_observations(self):
+        monitor = DecayingMaxRSMonitor(decay=0.5, dim=2, radius=1.0, epsilon=0.4, seed=4,
+                                       prune_below=0.1)
+        monitor.observe((0.0, 0.0), weight=1.0)
+        assert len(monitor) == 1
+        monitor.tick(steps=5)  # weight is now 1/32 < 0.1
+        assert len(monitor) == 0
+        assert monitor.current().is_empty
+
+    def test_forget_removes_observation(self):
+        monitor = DecayingMaxRSMonitor(decay=0.9, dim=2, seed=5)
+        obs = monitor.observe((1.0, 1.0))
+        monitor.forget(obs)
+        assert len(monitor) == 0
+        with pytest.raises(KeyError):
+            monitor.forget(obs)
+        with pytest.raises(KeyError):
+            monitor.effective_weight(obs)
+
+    def test_total_effective_weight(self):
+        monitor = DecayingMaxRSMonitor(decay=0.5, dim=2, seed=6, prune_below=0.0)
+        monitor.observe((0.0, 0.0), weight=4.0)
+        monitor.tick()
+        monitor.observe((5.0, 5.0), weight=4.0)
+        assert monitor.total_effective_weight() == pytest.approx(2.0 + 4.0)
+
+    def test_renormalization_preserves_answers(self):
+        monitor = DecayingMaxRSMonitor(decay=0.5, dim=2, radius=1.0, epsilon=0.4, seed=7,
+                                       prune_below=0.0)
+        for i in range(4):
+            monitor.observe((0.05 * i, 0.0), weight=1.0)
+        # 40 ticks push the scale far below the renormalization threshold.
+        for _ in range(40):
+            monitor.tick()
+            monitor.observe((0.01, 0.0), weight=1.0)
+        result = monitor.current()
+        assert not result.is_empty
+        assert result.value <= monitor.total_effective_weight() + 1e-6
+        assert result.value >= 1.0 - 1e-6  # at least the freshest observation
+
+    def test_tick_validates_steps(self):
+        monitor = DecayingMaxRSMonitor(decay=0.5, dim=2, seed=8)
+        with pytest.raises(ValueError):
+            monitor.tick(steps=0)
+
+    def test_extreme_decay_underflow_is_handled(self):
+        """Observations that numerically fade to zero are dropped, not re-inserted."""
+        monitor = DecayingMaxRSMonitor(decay=0.5, dim=2, radius=1.0, epsilon=0.45, seed=10,
+                                       prune_below=0.0)
+        monitor.observe((0.0, 0.0), weight=1.0)
+        # 1200 halvings underflow the effective weight to exactly 0.0 while the
+        # global scale crosses the renormalization threshold many times.
+        for _ in range(1200):
+            monitor.tick()
+        assert len(monitor) == 0
+        assert monitor.current().is_empty
+
+    def test_observe_rejects_non_positive_weight(self):
+        monitor = DecayingMaxRSMonitor(decay=0.5, dim=2, seed=9)
+        with pytest.raises(ValueError):
+            monitor.observe((0.0, 0.0), weight=0.0)

@@ -1,0 +1,109 @@
+"""Tests for sphere sampling (Muller's method) and the depth evaluators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.depth import colored_depth, coverage_count, covering_colors, weighted_depth
+from repro.core.sampling import default_rng, sample_on_sphere, sample_points_on_sphere, sample_size
+from repro.core.technique1 import sample_sphere_array
+
+
+class TestSphereSampling:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 5])
+    def test_samples_lie_on_sphere(self, dim):
+        rng = default_rng(7)
+        center = tuple(range(dim))
+        for _ in range(20):
+            point = sample_on_sphere(center, 2.5, rng)
+            dist = math.dist(point, center)
+            assert dist == pytest.approx(2.5, rel=1e-9)
+
+    def test_batch_samples_lie_on_sphere(self):
+        rng = default_rng(3)
+        points = sample_points_on_sphere((1.0, -2.0, 0.5), 0.7, 50, rng)
+        assert len(points) == 50
+        for point in points:
+            assert math.dist(point, (1.0, -2.0, 0.5)) == pytest.approx(0.7, rel=1e-9)
+
+    def test_batch_empty(self):
+        rng = default_rng(0)
+        assert sample_points_on_sphere((0.0, 0.0), 1.0, 0, rng) == []
+
+    def test_array_samples_lie_on_sphere(self):
+        rng = default_rng(5)
+        samples = sample_sphere_array((0.0, 0.0), 1.0, 200, rng)
+        norms = np.linalg.norm(samples, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_sampling_is_roughly_uniform_in_2d(self):
+        """Angular histogram of circle samples should be roughly flat."""
+        rng = default_rng(11)
+        samples = sample_sphere_array((0.0, 0.0), 1.0, 4000, rng)
+        angles = np.arctan2(samples[:, 1], samples[:, 0])
+        histogram, _ = np.histogram(angles, bins=8, range=(-math.pi, math.pi))
+        expected = 4000 / 8
+        assert all(abs(count - expected) < 0.25 * expected for count in histogram)
+
+    def test_deterministic_given_seed(self):
+        a = sample_points_on_sphere((0.0, 0.0), 1.0, 5, default_rng(42))
+        b = sample_points_on_sphere((0.0, 0.0), 1.0, 5, default_rng(42))
+        assert a == b
+
+    def test_default_rng_passthrough(self):
+        rng = default_rng(1)
+        assert default_rng(rng) is rng
+
+
+class TestSampleSize:
+    def test_grows_with_log_n(self):
+        assert sample_size(0.5, 10) <= sample_size(0.5, 10_000)
+
+    def test_grows_with_smaller_epsilon(self):
+        assert sample_size(0.4, 100) < sample_size(0.1, 100)
+
+    def test_constant_scales_linearly(self):
+        base = sample_size(0.3, 1000, constant=1.0)
+        assert sample_size(0.3, 1000, constant=2.0) >= 2 * base - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_size(0.0, 100)
+        with pytest.raises(ValueError):
+            sample_size(1.5, 100)
+        with pytest.raises(ValueError):
+            sample_size(0.3, 100, constant=0.0)
+
+    def test_minimum_one(self):
+        assert sample_size(0.9, 2, constant=0.0001) >= 1
+
+
+class TestDepthEvaluators:
+    def setup_method(self):
+        self.centers = [(0.0, 0.0), (1.5, 0.0), (10.0, 10.0)]
+        self.weights = [2.0, 3.0, 5.0]
+        self.colors = ["a", "b", "a"]
+
+    def test_weighted_depth_counts_covering_balls(self):
+        # Point (0.75, 0) is within distance 1 of the first two centers only.
+        assert weighted_depth((0.75, 0.0), self.centers, self.weights, 1.0) == 5.0
+
+    def test_weighted_depth_boundary_inclusive(self):
+        assert weighted_depth((1.0, 0.0), [(0.0, 0.0)], [4.0], 1.0) == 4.0
+
+    def test_coverage_count(self):
+        assert coverage_count((0.75, 0.0), self.centers, 1.0) == 2
+        assert coverage_count((50.0, 50.0), self.centers, 1.0) == 0
+
+    def test_covering_colors(self):
+        assert covering_colors((0.75, 0.0), self.centers, self.colors, 1.0) == {"a", "b"}
+
+    def test_colored_depth_deduplicates_colors(self):
+        centers = [(0.0, 0.0), (0.1, 0.0), (0.2, 0.0)]
+        colors = ["x", "x", "y"]
+        assert colored_depth((0.1, 0.0), centers, colors, 1.0) == 2
+
+    def test_radius_scaling(self):
+        assert weighted_depth((3.0, 0.0), [(0.0, 0.0)], [1.0], radius=2.0) == 0.0
+        assert weighted_depth((3.0, 0.0), [(0.0, 0.0)], [1.0], radius=3.0) == 1.0

@@ -1,0 +1,144 @@
+"""Tests for the continuous MaxRS monitors (repro.streaming)."""
+
+import pytest
+
+from repro.datasets import hotspot_monitoring_stream, sliding_window_stream, clustered_points
+from repro.datasets.streams import UpdateEvent, UpdateStream
+from repro.exact import maxrs_disk_exact
+from repro.streaming import (
+    ApproximateMaxRSMonitor,
+    ExactRecomputeMonitor,
+    SlidingWindowMaxRSMonitor,
+)
+
+
+# --------------------------------------------------------------------------- #
+# approximate monitor
+# --------------------------------------------------------------------------- #
+
+class TestApproximateMonitor:
+    def test_observe_and_expire_roundtrip(self):
+        monitor = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.3, seed=1)
+        handles = [monitor.observe((0.1 * i, 0.0)) for i in range(10)]
+        assert len(monitor) == 10
+        assert monitor.current().value >= 1
+        for handle in handles:
+            monitor.expire(handle)
+        assert len(monitor) == 0
+        assert monitor.steps == 20
+
+    def test_expire_unknown_handle_raises(self):
+        monitor = ApproximateMaxRSMonitor(dim=2, seed=1)
+        with pytest.raises(KeyError):
+            monitor.expire(42)
+
+    def test_replay_tracks_live_set(self):
+        stream = hotspot_monitoring_stream(120, dim=2, extent=8.0, seed=5)
+        monitor = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.35, seed=5)
+        snapshots = monitor.replay(stream, query_every=10)
+        assert len(snapshots) == len(stream) // 10
+        for snapshot, prefix in zip(snapshots, range(10, len(stream) + 1, 10)):
+            assert snapshot.step == prefix
+            assert snapshot.live_points == len(stream.live_points_after(prefix))
+
+    def test_replay_guarantee_against_exact_baseline(self):
+        stream = hotspot_monitoring_stream(150, dim=2, extent=6.0, seed=9)
+        epsilon = 0.3
+        monitor = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=epsilon, seed=9)
+        snapshots = monitor.replay(stream, query_every=25)
+        for snapshot in snapshots:
+            live = stream.live_points_after(snapshot.step)
+            if not live:
+                continue
+            coords = [p for p, _ in live]
+            weights = [w for _, w in live]
+            exact = maxrs_disk_exact(coords, radius=1.0, weights=weights).value
+            assert snapshot.value >= (0.5 - epsilon) * exact - 1e-9
+            assert snapshot.value <= exact + 1e-9
+
+    def test_rejects_bad_query_interval(self):
+        monitor = ApproximateMaxRSMonitor(dim=2, seed=1)
+        with pytest.raises(ValueError):
+            monitor.replay(UpdateStream([]), query_every=0)
+
+    def test_delete_of_dead_target_raises(self):
+        monitor = ApproximateMaxRSMonitor(dim=2, seed=1)
+        monitor.apply(UpdateEvent(kind="insert", point=(0.0, 0.0)), 0)
+        monitor.apply(UpdateEvent(kind="delete", target=0), 1)
+        with pytest.raises(KeyError):
+            monitor.apply(UpdateEvent(kind="delete", target=0), 2)
+
+
+# --------------------------------------------------------------------------- #
+# sliding-window monitor
+# --------------------------------------------------------------------------- #
+
+class TestSlidingWindowMonitor:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMaxRSMonitor(window=0)
+
+    def test_window_never_exceeds_capacity(self):
+        monitor = SlidingWindowMaxRSMonitor(window=25, dim=2, radius=1.0, epsilon=0.3, seed=3)
+        points = clustered_points(80, dim=2, extent=6.0, clusters=2, seed=3)
+        for point in points:
+            monitor.observe(point)
+            assert len(monitor) <= 25
+        assert len(monitor) == 25
+
+    def test_hotspot_reflects_only_recent_points(self):
+        monitor = SlidingWindowMaxRSMonitor(window=10, dim=2, radius=1.0, epsilon=0.3, seed=7)
+        # Old cluster around the origin, then a new cluster far away.
+        for i in range(10):
+            monitor.observe((0.05 * i, 0.0))
+        for i in range(10):
+            monitor.observe((50.0 + 0.05 * i, 0.0))
+        hotspot = monitor.current()
+        assert hotspot.center[0] > 25.0
+
+    def test_replay_points_produces_snapshots(self):
+        monitor = SlidingWindowMaxRSMonitor(window=20, dim=2, radius=1.0, epsilon=0.35, seed=11)
+        points = clustered_points(60, dim=2, extent=6.0, clusters=3, seed=11)
+        snapshots = monitor.replay_points(points, query_every=15)
+        assert [s.step for s in snapshots] == [15, 30, 45, 60]
+        assert all(s.live_points <= 20 for s in snapshots)
+
+    def test_replay_points_validates_weights(self):
+        monitor = SlidingWindowMaxRSMonitor(window=5, dim=2, seed=1)
+        with pytest.raises(ValueError):
+            monitor.replay_points([(0.0, 0.0)], weights=[1.0, 2.0])
+
+
+# --------------------------------------------------------------------------- #
+# exact recompute baseline
+# --------------------------------------------------------------------------- #
+
+class TestExactRecomputeMonitor:
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            ExactRecomputeMonitor(radius=0.0)
+
+    def test_empty_query(self):
+        monitor = ExactRecomputeMonitor(radius=1.0)
+        assert monitor.current().is_empty
+
+    def test_replay_matches_direct_exact_solve(self):
+        stream = hotspot_monitoring_stream(80, dim=2, extent=6.0, seed=13)
+        monitor = ExactRecomputeMonitor(radius=1.0)
+        snapshots = monitor.replay(stream, query_every=20)
+        for snapshot in snapshots:
+            live = stream.live_points_after(snapshot.step)
+            coords = [p for p, _ in live]
+            weights = [w for _, w in live]
+            expected = maxrs_disk_exact(coords, radius=1.0, weights=weights).value if coords else 0.0
+            assert snapshot.value == pytest.approx(expected)
+
+    def test_approximate_monitor_never_beats_exact(self):
+        stream = sliding_window_stream(90, window=30, dim=2, extent=6.0, seed=17)
+        approx = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.3, seed=17)
+        exact = ExactRecomputeMonitor(radius=1.0)
+        approx_snaps = approx.replay(stream, query_every=30)
+        exact_snaps = exact.replay(stream, query_every=30)
+        for a, e in zip(approx_snaps, exact_snaps):
+            assert a.step == e.step
+            assert a.value <= e.value + 1e-9

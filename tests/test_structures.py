@@ -1,0 +1,185 @@
+"""Tests for the supporting data structures (segment tree, lazy heap, Fenwick tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import FenwickTree, LazyMaxHeap, MaxAddSegmentTree
+
+
+class TestMaxAddSegmentTree:
+    def test_initial_state(self):
+        tree = MaxAddSegmentTree(4)
+        assert tree.max_value() == 0.0
+        assert tree.values() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_single_add(self):
+        tree = MaxAddSegmentTree(5)
+        tree.add(1, 3, 2.0)
+        assert tree.max_value() == 2.0
+        assert tree.values() == [0.0, 2.0, 2.0, 2.0, 0.0]
+        assert 1 <= tree.argmax() <= 3
+
+    def test_overlapping_adds(self):
+        tree = MaxAddSegmentTree(6)
+        tree.add(0, 3, 1.0)
+        tree.add(2, 5, 2.0)
+        assert tree.max_value() == 3.0
+        assert tree.argmax() in (2, 3)
+
+    def test_negative_adds(self):
+        tree = MaxAddSegmentTree(3)
+        tree.add(0, 2, 5.0)
+        tree.add(1, 1, -7.0)
+        assert tree.values() == [5.0, -2.0, 5.0]
+        assert tree.max_value() == 5.0
+
+    def test_add_then_remove_restores(self):
+        tree = MaxAddSegmentTree(8)
+        tree.add(2, 6, 3.5)
+        tree.add(2, 6, -3.5)
+        assert tree.max_value() == 0.0
+        assert tree.values() == [0.0] * 8
+
+    def test_empty_range_is_noop(self):
+        tree = MaxAddSegmentTree(4)
+        tree.add(3, 2, 1.0)
+        assert tree.max_value() == 0.0
+
+    def test_out_of_bounds_rejected(self):
+        tree = MaxAddSegmentTree(4)
+        with pytest.raises(IndexError):
+            tree.add(0, 4, 1.0)
+        with pytest.raises(IndexError):
+            tree.add(-1, 2, 1.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MaxAddSegmentTree(0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(0, 19), st.integers(-10, 10)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_array(self, operations):
+        """Property: range add + global max agrees with a plain array."""
+        size = 20
+        tree = MaxAddSegmentTree(size)
+        naive = [0.0] * size
+        for a, b, delta in operations:
+            lo, hi = min(a, b), max(a, b)
+            tree.add(lo, hi, float(delta))
+            for index in range(lo, hi + 1):
+                naive[index] += float(delta)
+            assert tree.max_value() == pytest.approx(max(naive))
+            assert naive[tree.argmax()] == pytest.approx(max(naive))
+        assert tree.values() == pytest.approx(naive)
+
+
+class TestLazyMaxHeap:
+    def test_empty_peek(self):
+        heap = LazyMaxHeap()
+        assert heap.peek() is None
+        assert len(heap) == 0
+
+    def test_set_and_peek(self):
+        heap = LazyMaxHeap()
+        heap.set("a", 1.0)
+        heap.set("b", 3.0)
+        heap.set("c", 2.0)
+        assert heap.peek() == ("b", 3.0)
+
+    def test_update_decreasing_value(self):
+        heap = LazyMaxHeap()
+        heap.set("a", 5.0)
+        heap.set("b", 4.0)
+        heap.set("a", 1.0)
+        assert heap.peek() == ("b", 4.0)
+
+    def test_adjust(self):
+        heap = LazyMaxHeap()
+        heap.set("a", 2.0)
+        assert heap.adjust("a", 3.0) == 5.0
+        assert heap.peek() == ("a", 5.0)
+        heap.adjust("a", -4.0)
+        heap.set("b", 1.5)
+        assert heap.peek() == ("b", 1.5)
+
+    def test_discard(self):
+        heap = LazyMaxHeap()
+        heap.set("a", 9.0)
+        heap.set("b", 2.0)
+        heap.discard("a")
+        assert "a" not in heap
+        assert heap.peek() == ("b", 2.0)
+
+    def test_clear(self):
+        heap = LazyMaxHeap()
+        heap.set("a", 1.0)
+        heap.clear()
+        assert heap.peek() is None
+
+    def test_get_default(self):
+        heap = LazyMaxHeap()
+        assert heap.get("missing", -1.0) == -1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.floats(-100, 100, allow_nan=False)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_maximum(self, updates):
+        """Property: peek always returns the key with the current maximum value."""
+        heap = LazyMaxHeap()
+        reference = {}
+        for key, value in updates:
+            heap.set(key, value)
+            reference[key] = value
+            top_key, top_value = heap.peek()
+            assert top_value == max(reference.values())
+            assert reference[top_key] == top_value
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        tree = FenwickTree(5)
+        tree.add(0, 1.0)
+        tree.add(3, 2.5)
+        assert tree.prefix_sum(-1) == 0.0
+        assert tree.prefix_sum(0) == 1.0
+        assert tree.prefix_sum(2) == 1.0
+        assert tree.prefix_sum(4) == 3.5
+
+    def test_range_sum(self):
+        tree = FenwickTree(6)
+        for index in range(6):
+            tree.add(index, float(index))
+        assert tree.range_sum(2, 4) == 2.0 + 3.0 + 4.0
+        assert tree.range_sum(4, 2) == 0.0
+
+    def test_out_of_bounds(self):
+        tree = FenwickTree(3)
+        with pytest.raises(IndexError):
+            tree.add(3, 1.0)
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 14), st.integers(-5, 5)), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_prefix_sums(self, updates):
+        size = 15
+        tree = FenwickTree(size)
+        naive = [0.0] * size
+        for index, delta in updates:
+            tree.add(index, float(delta))
+            naive[index] += float(delta)
+        for index in range(size):
+            assert tree.prefix_sum(index) == pytest.approx(sum(naive[: index + 1]))

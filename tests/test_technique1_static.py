@@ -1,0 +1,133 @@
+"""Tests for the static (1/2 - eps)-approximation (Theorem 1.2)."""
+
+import math
+
+import pytest
+
+from repro.core.depth import weighted_depth
+from repro.core.technique1 import (
+    Technique1Grids,
+    Technique1Parameters,
+    estimate_opt_ball,
+    max_range_sum_ball,
+)
+from repro.datasets import planted_ball_instance, uniform_weighted_points
+from repro.exact import maxrs_disk_exact
+
+
+class TestParameters:
+    def test_parameters_follow_section_31(self):
+        params = Technique1Parameters.for_epsilon(dim=2, epsilon=0.2)
+        assert params.side == pytest.approx(2 * 0.2 / math.sqrt(2))
+        assert params.delta == pytest.approx(0.04)
+        # The circumsphere of a cell has radius exactly epsilon.
+        assert params.circumradius == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.5, 0.7, 1.0])
+    def test_epsilon_range_enforced(self, epsilon):
+        with pytest.raises(ValueError):
+            Technique1Parameters.for_epsilon(dim=2, epsilon=epsilon)
+
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError):
+            Technique1Parameters.for_epsilon(dim=0, epsilon=0.3)
+
+    def test_grids_enumerate_cells_for_unit_ball(self):
+        grids = Technique1Grids(dim=2, epsilon=0.4)
+        keys = list(grids.cells_for_unit_ball((0.0, 0.0)))
+        assert keys, "a unit ball must intersect at least one cell"
+        # Every key refers to an existing grid and a cell whose circumsphere
+        # has the technique's radius.
+        for grid_index, _cell in keys:
+            assert 0 <= grid_index < len(grids)
+        center, radius = grids.cell_circumsphere(keys[0])
+        assert len(center) == 2
+        assert radius == pytest.approx(0.4)
+
+
+class TestStaticApproximation:
+    def test_empty_input(self):
+        result = max_range_sum_ball([], radius=1.0, epsilon=0.3)
+        assert result.is_empty
+        assert result.value == 0.0
+
+    def test_single_point(self):
+        result = max_range_sum_ball([(5.0, 5.0)], radius=1.0, epsilon=0.3, seed=0)
+        assert result.value == pytest.approx(1.0)
+        assert math.dist(result.center, (5.0, 5.0)) <= 1.0 + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            max_range_sum_ball([(0.0, 0.0)], radius=0.0)
+        with pytest.raises(ValueError):
+            max_range_sum_ball([(0.0, 0.0)], radius=1.0, epsilon=0.6)
+        with pytest.raises(ValueError):
+            max_range_sum_ball([(0.0, 0.0)], radius=1.0, weights=[-1.0])
+
+    def test_reported_value_is_achieved_by_reported_center(self):
+        """The result is self-consistent: value equals the depth of the center."""
+        points, weights = uniform_weighted_points(40, dim=2, extent=6.0, seed=3)
+        result = max_range_sum_ball(points, radius=1.0, epsilon=0.35, weights=weights, seed=4)
+        achieved = weighted_depth(result.center, points, weights, 1.0)
+        assert achieved >= result.value - 1e-9
+
+    def test_approximation_guarantee_against_exact_disk(self):
+        """Value is at least (1/2 - eps) * opt (checked against the exact sweep)."""
+        points, weights = uniform_weighted_points(60, dim=2, extent=5.0, seed=5)
+        epsilon = 0.3
+        exact = maxrs_disk_exact(points, radius=1.0, weights=weights)
+        approx = max_range_sum_ball(points, radius=1.0, epsilon=epsilon, weights=weights, seed=6)
+        assert approx.value >= (0.5 - epsilon) * exact.value - 1e-9
+        assert approx.value <= exact.value + 1e-9
+
+    @pytest.mark.parametrize("dim,epsilon", [(1, 0.3), (2, 0.3), (3, 0.45)])
+    def test_planted_instance_recovers_cluster(self, dim, epsilon):
+        """On planted instances the known optimum is approximated in any dimension."""
+        points, opt = planted_ball_instance(30, planted=8, dim=dim, radius=1.0, seed=dim)
+        result = max_range_sum_ball(points, radius=1.0, epsilon=epsilon, seed=dim + 1)
+        assert result.value >= (0.5 - epsilon) * opt
+        assert result.value <= opt
+
+    def test_radius_scaling_is_equivalent_to_coordinate_scaling(self):
+        points = [(0.0, 0.0), (3.0, 0.0), (3.5, 0.0), (10.0, 10.0)]
+        big = max_range_sum_ball(points, radius=2.0, epsilon=0.3, seed=8)
+        scaled_points = [(x / 2.0, y / 2.0) for x, y in points]
+        small = max_range_sum_ball(scaled_points, radius=1.0, epsilon=0.3, seed=8)
+        assert big.value == pytest.approx(small.value)
+
+    def test_weighted_points_prefer_heavy_cluster(self):
+        # Two clusters: three light points vs one heavy point far away.
+        points = [(0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (10.0, 10.0)]
+        weights = [1.0, 1.0, 1.0, 10.0]
+        result = max_range_sum_ball(points, radius=1.0, epsilon=0.3, weights=weights, seed=9)
+        assert result.value >= 10.0 * (0.5 - 0.3)
+        # A good placement is near the heavy point.
+        assert weighted_depth(result.center, points, weights, 1.0) >= 10.0 or result.value >= 3.0
+
+    def test_meta_contains_diagnostics(self):
+        points, _ = planted_ball_instance(20, planted=5, dim=2, seed=1)
+        result = max_range_sum_ball(points, radius=1.0, epsilon=0.4, seed=2)
+        assert result.meta["n"] == 20
+        assert result.meta["epsilon"] == 0.4
+        assert result.meta["samples_per_cell"] >= 1
+        assert result.meta["non_empty_cells"] > 0
+        assert not result.exact
+
+    def test_shift_cap_still_returns_valid_placement(self):
+        points, opt = planted_ball_instance(25, planted=6, dim=2, seed=2)
+        result = max_range_sum_ball(points, radius=1.0, epsilon=0.3, seed=3, shift_cap=2)
+        assert 1 <= result.value <= opt
+
+    def test_seed_reproducibility(self):
+        points, _ = planted_ball_instance(25, planted=6, dim=2, seed=4)
+        a = max_range_sum_ball(points, radius=1.0, epsilon=0.3, seed=123)
+        b = max_range_sum_ball(points, radius=1.0, epsilon=0.3, seed=123)
+        assert a.value == b.value
+        assert a.center == b.center
+
+
+class TestOptEstimate:
+    def test_estimate_within_constant_factor(self):
+        points, opt = planted_ball_instance(40, planted=10, dim=2, seed=7)
+        estimate = estimate_opt_ball(points, radius=1.0, seed=8)
+        assert opt / 4.0 <= estimate <= opt

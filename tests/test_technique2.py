@@ -1,0 +1,130 @@
+"""Tests for Technique 2: Lemma 4.2, Theorem 4.6 and Theorem 1.6."""
+
+import pytest
+
+from repro.core.depth import colored_depth
+from repro.core.technique2 import (
+    colored_maxrs_disk,
+    colored_maxrs_disk_arrangement,
+    colored_maxrs_disk_output_sensitive,
+)
+from repro.datasets import planted_colored_instance, trajectory_colored_points
+from repro.exact import colored_maxrs_disk_sweep
+
+
+class TestArrangementAlgorithm:
+    """The first algorithm (Lemma 4.2)."""
+
+    def test_empty_input(self):
+        assert colored_maxrs_disk_arrangement([], radius=1.0).is_empty
+
+    def test_single_point(self):
+        result = colored_maxrs_disk_arrangement([(0.0, 0.0)], radius=1.0, colors=["a"])
+        assert result.value == 1
+
+    def test_matches_sweep_on_trajectories(self):
+        points, colors = trajectory_colored_points(8, samples_per_entity=6, extent=6.0, seed=21)
+        sweep = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors)
+        arrangement = colored_maxrs_disk_arrangement(points, radius=1.0, colors=colors)
+        assert arrangement.value == sweep.value
+
+    def test_matches_sweep_on_planted(self):
+        points, colors, opt = planted_colored_instance(25, planted_colors=6, dim=2, seed=22)
+        result = colored_maxrs_disk_arrangement(points, radius=1.0, colors=colors)
+        assert result.value == opt
+
+    def test_reports_intersection_count(self):
+        points, colors = trajectory_colored_points(5, samples_per_entity=5, extent=4.0, seed=23)
+        result = colored_maxrs_disk_arrangement(points, radius=1.0, colors=colors)
+        assert result.meta["bichromatic_intersections"] >= 0
+        assert result.meta["cell_depth"] == result.value
+
+    def test_witness_achieves_value(self):
+        points, colors = trajectory_colored_points(6, samples_per_entity=5, extent=5.0, seed=24)
+        result = colored_maxrs_disk_arrangement(points, radius=1.2, colors=colors)
+        assert colored_depth(result.center, points, colors, 1.2) == result.value
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            colored_maxrs_disk_arrangement([(0.0, 0.0)], radius=0.0)
+        with pytest.raises(ValueError):
+            colored_maxrs_disk_arrangement([(0.0, 0.0, 0.0)], radius=1.0)
+
+
+class TestOutputSensitiveAlgorithm:
+    """The second algorithm (Theorem 4.6)."""
+
+    def test_empty_input(self):
+        assert colored_maxrs_disk_output_sensitive([], radius=1.0).is_empty
+
+    def test_matches_sweep(self):
+        points, colors = trajectory_colored_points(7, samples_per_entity=5, extent=6.0, seed=25)
+        sweep = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors)
+        output_sensitive = colored_maxrs_disk_output_sensitive(points, radius=1.0, colors=colors)
+        assert output_sensitive.value == sweep.value
+
+    def test_planted_optimum_recovered(self):
+        points, colors, opt = planted_colored_instance(20, planted_colors=5, dim=2, seed=26)
+        result = colored_maxrs_disk_output_sensitive(points, radius=1.0, colors=colors)
+        assert result.value == opt
+
+    def test_radius_scaling(self):
+        points = [(0.0, 0.0), (3.0, 0.0), (6.0, 0.0)]
+        colors = ["a", "b", "c"]
+        assert colored_maxrs_disk_output_sensitive(points, radius=1.0, colors=colors).value == 1
+        assert colored_maxrs_disk_output_sensitive(points, radius=4.0, colors=colors).value == 3
+
+    def test_meta_diagnostics(self):
+        points, colors = trajectory_colored_points(4, samples_per_entity=4, extent=4.0, seed=27)
+        result = colored_maxrs_disk_output_sensitive(points, radius=1.0, colors=colors)
+        assert result.meta["grids"] >= 1
+        assert result.meta["cells_solved"] >= 1
+
+    def test_shift_cap_still_valid_lower_bound(self):
+        points, colors, opt = planted_colored_instance(18, planted_colors=4, dim=2, seed=28)
+        capped = colored_maxrs_disk_output_sensitive(points, radius=1.0, colors=colors, shift_cap=1)
+        assert 1 <= capped.value <= opt
+
+
+class TestFinalAlgorithm:
+    """The final algorithm (Theorem 1.6)."""
+
+    def test_empty_input(self):
+        assert colored_maxrs_disk([], radius=1.0, epsilon=0.2).is_empty
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            colored_maxrs_disk([(0.0, 0.0)], radius=1.0, epsilon=0.0)
+        with pytest.raises(ValueError):
+            colored_maxrs_disk([(0.0, 0.0)], radius=1.0, epsilon=1.0)
+
+    def test_small_opt_branch_is_exact(self):
+        points, colors, opt = planted_colored_instance(25, planted_colors=5, dim=2, seed=29)
+        result = colored_maxrs_disk(points, radius=1.0, epsilon=0.25, colors=colors, seed=30)
+        assert result.meta["branch"] == "exact"
+        assert result.value == opt
+
+    def test_guarantee_on_trajectories(self):
+        points, colors = trajectory_colored_points(10, samples_per_entity=6, extent=5.0, seed=31)
+        epsilon = 0.25
+        exact = colored_maxrs_disk_sweep(points, radius=1.0, colors=colors)
+        approx = colored_maxrs_disk(points, radius=1.0, epsilon=epsilon, colors=colors, seed=32)
+        assert approx.value >= (1.0 - epsilon) * exact.value - 1e-9
+        assert approx.value <= exact.value
+
+    def test_sampling_branch_taken_for_large_opt(self):
+        """Force the color-sampling branch by making opt large and the cut-off small."""
+        points, colors = trajectory_colored_points(25, samples_per_entity=4, extent=3.0, seed=33)
+        exact = colored_maxrs_disk_sweep(points, radius=1.5, colors=colors)
+        epsilon = 0.3
+        result = colored_maxrs_disk(
+            points, radius=1.5, epsilon=epsilon, colors=colors, seed=34,
+            sampling_constant=0.25,
+        )
+        assert result.meta["branch"] in ("sampled", "exact")
+        assert result.value >= (1.0 - epsilon) * exact.value - 1e-9
+
+    def test_value_is_true_depth_of_center(self):
+        points, colors = trajectory_colored_points(8, samples_per_entity=5, extent=4.0, seed=35)
+        result = colored_maxrs_disk(points, radius=1.0, epsilon=0.3, colors=colors, seed=36)
+        assert colored_depth(result.center, points, colors, 1.0) == result.value
