@@ -83,8 +83,13 @@ from .exact import maxrs_box3d_exact
 from .streaming import (
     ApproximateMaxRSMonitor,
     ExactRecomputeMonitor,
+    ShardedMaxRSMonitor,
     SlidingWindowMaxRSMonitor,
 )
+# The executor classes stay engine-scoped (repro.engine.ThreadPoolExecutor
+# etc.): re-exporting them here would shadow the incompatible
+# concurrent.futures classes of the same names.
+from .engine import Query, QueryEngine
 from .regions import (
     DecayingMaxRSMonitor,
     top_k_maxrs_disk,
@@ -139,6 +144,10 @@ __all__ = [
     "ApproximateMaxRSMonitor",
     "SlidingWindowMaxRSMonitor",
     "ExactRecomputeMonitor",
+    "ShardedMaxRSMonitor",
+    # sharded parallel execution engine
+    "Query",
+    "QueryEngine",
     # region-search extensions (Section 1.6 related work)
     "top_k_maxrs_rectangle",
     "top_k_maxrs_disk",

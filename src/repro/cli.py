@@ -9,7 +9,9 @@ writing Python:
   clustered, hotspot, trajectory) and write them to CSV;
 * ``solve`` -- run a MaxRS solver over a CSV point file: exact interval,
   rectangle and disk placement, the paper's approximate d-ball solver, and
-  the colored disk / box solvers.
+  the colored disk / box solvers.  ``--engine sharded`` routes the query
+  through the sharded parallel execution engine (:mod:`repro.engine`) with
+  ``--workers N`` workers on the ``--executor`` backend.
 
 Every command prints a short human-readable summary to stdout and exits with
 status 0 on success, 2 on usage errors.
@@ -34,6 +36,7 @@ from .datasets import (
     weighted_hotspot_points,
 )
 from .datasets.io import read_points_csv, write_points_csv
+from .engine import Query, QueryEngine
 from .exact import (
     colored_maxrs_disk_sweep,
     maxrs_disk_exact,
@@ -126,11 +129,65 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_from_args(args: argparse.Namespace, has_colors: bool) -> Optional[Query]:
+    """Translate ``solve`` arguments into an engine :class:`Query` (or ``None``
+    when the shape needs a color column that is missing)."""
+    if args.shape == "interval":
+        return Query.interval(args.length)
+    if args.shape == "rectangle":
+        return Query.rectangle(args.width, args.height)
+    if args.shape == "disk":
+        return Query.disk(args.radius)
+    if args.shape == "ball-approx":
+        return Query.disk_approx(args.radius, epsilon=args.epsilon, seed=args.seed)
+    if not has_colors:
+        return None
+    if args.shape == "colored-disk":
+        if args.exact:
+            return Query.colored_disk(args.radius)
+        return Query.colored_disk_approx(args.radius, epsilon=args.epsilon, seed=args.seed)
+    return Query.colored_rectangle_approx(args.width, args.height, epsilon=args.epsilon,
+                                          seed=args.seed)
+
+
+def _solve_with_engine(args: argparse.Namespace, table) -> int:
+    query = _query_from_args(args, table.colors is not None)
+    if query is None:
+        print("colored solvers need a 'color' column in the input CSV", file=sys.stderr)
+        return 2
+    executor = args.executor or ("thread" if args.workers > 1 else "serial")
+    try:
+        with QueryEngine(table.points, weights=table.weights, colors=table.colors,
+                         executor=executor, workers=args.workers) as engine:
+            result = engine.solve(query)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    shards = result.meta.get("shards", 1)
+    _print_result(result)
+    print("engine:    sharded (%s, workers=%d, shards=%s)"
+          % (executor, args.workers, shards))
+    return 0
+
+
+def _print_result(result) -> None:
+    placement = "none" if result.center is None else ", ".join("%.4f" % c for c in result.center)
+    print("shape:     %s" % result.shape)
+    print("value:     %g" % result.value)
+    print("placement: (%s)" % placement)
+    print("exact:     %s" % result.exact)
+    if result.meta:
+        interesting = {k: v for k, v in result.meta.items() if k not in ("io",)}
+        print("meta:      %s" % interesting)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     table = read_points_csv(args.input)
     if not table.points:
         print("input file %s contains no points" % args.input, file=sys.stderr)
         return 2
+    if args.engine == "sharded":
+        return _solve_with_engine(args, table)
     points = table.points
     weights = table.weights
     colors = table.colors
@@ -164,14 +221,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("unknown shape %r" % args.shape, file=sys.stderr)
         return 2
 
-    placement = "none" if result.center is None else ", ".join("%.4f" % c for c in result.center)
-    print("shape:     %s" % result.shape)
-    print("value:     %g" % result.value)
-    print("placement: (%s)" % placement)
-    print("exact:     %s" % result.exact)
-    if result.meta:
-        interesting = {k: v for k, v in result.meta.items() if k not in ("io",)}
-        print("meta:      %s" % interesting)
+    _print_result(result)
     return 0
 
 
@@ -218,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--exact", action="store_true",
                        help="use the exact solver where both exist (colored-disk)")
+    solve.add_argument("--engine", choices=["direct", "sharded"], default="direct",
+                       help="'direct' calls the solver once; 'sharded' routes through "
+                            "the parallel execution engine (repro.engine)")
+    solve.add_argument("--workers", type=int, default=1,
+                       help="worker count for the sharded engine's executor")
+    solve.add_argument("--executor", choices=["serial", "thread", "process"], default=None,
+                       help="sharded engine backend (default: thread when --workers > 1)")
     solve.set_defaults(func=_cmd_solve)
 
     return parser

@@ -1,0 +1,156 @@
+"""Pluggable execution backends for the sharded engine.
+
+Every backend exposes the same two-method interface -- order-preserving
+:meth:`~Executor.map` plus :meth:`~Executor.close` -- so the planner can stay
+agnostic about *where* shard tasks run:
+
+* :class:`SerialExecutor` runs tasks inline; the zero-overhead default and
+  the reference the parallel backends are tested against.
+* :class:`ThreadPoolExecutor` fans tasks out over a thread pool.  The
+  solvers are pure Python, so threads mostly overlap the numpy portions of
+  the approximate solvers; it is the safe choice when tasks are small.
+* :class:`ProcessPoolExecutor` fans tasks out over worker processes and is
+  the backend that actually buys multi-core speedups for the CPU-bound exact
+  sweeps; tasks and their payloads must be picklable (the planner's task
+  payloads are).
+
+Pools are created lazily on first use and are reusable across batches, so a
+long-lived :class:`~repro.engine.planner.QueryEngine` pays the pool start-up
+cost once.  All executors are context managers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent import futures
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "get_executor",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _default_workers() -> int:
+    return os.cpu_count() or 1
+
+
+class Executor:
+    """Common interface: an order-preserving ``map`` over a task list."""
+
+    kind = "abstract"
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % workers)
+        self.workers = int(workers) if workers is not None else _default_workers()
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources; idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "%s(workers=%d)" % (type(self).__name__, self.workers)
+
+
+class SerialExecutor(Executor):
+    """Run every task inline in the calling thread."""
+
+    kind = "serial"
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__(workers=1 if workers is None else workers)
+        self.workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class _PooledExecutor(Executor):
+    """Shared lazy-pool plumbing for the thread and process backends."""
+
+    _pool_factory = None  # set by subclasses
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__(workers)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = type(self)._pool_factory(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:
+            # Not worth a pool round-trip (and, for processes, a pickle).
+            return [fn(items[0])]
+        pool = self._ensure_pool()
+        chunksize = max(1, len(items) // (4 * self.workers))
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolExecutor(_PooledExecutor):
+    """Run tasks on a shared :class:`concurrent.futures.ThreadPoolExecutor`."""
+
+    kind = "thread"
+    _pool_factory = futures.ThreadPoolExecutor
+
+
+class ProcessPoolExecutor(_PooledExecutor):
+    """Run tasks on a shared :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    The task callable and its payloads must be picklable; the planner's
+    module-level shard task satisfies this.
+    """
+
+    kind = "process"
+    _pool_factory = futures.ProcessPoolExecutor
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadPoolExecutor,
+    "process": ProcessPoolExecutor,
+}
+
+
+def get_executor(
+    spec: Union[str, Executor, None] = "serial",
+    workers: Optional[int] = None,
+) -> Executor:
+    """Resolve an executor from a name (``"serial"``, ``"thread"``,
+    ``"process"``), an existing :class:`Executor` (returned as-is), or
+    ``None`` (serial)."""
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    try:
+        factory = _EXECUTORS[spec]
+    except KeyError:
+        raise ValueError(
+            "unknown executor %r; expected one of %s" % (spec, sorted(_EXECUTORS))
+        ) from None
+    return factory(workers=workers)

@@ -1,0 +1,540 @@
+"""The query engine: routing, deduplication, caching and sharded execution.
+
+:class:`QueryEngine` turns the library's one-shot solver functions into a
+batch-serving engine over one dataset:
+
+* a :class:`Query` is a frozen, hashable description of what to solve --
+  shape (disk / rectangle / interval), exact or approximate, weighted or
+  colored -- so identical queries deduplicate and cache for free;
+* the planner routes each query to the right solver (the same functions the
+  rest of the library exposes), shards the dataset with a halo matched to
+  the query's extent (:mod:`repro.engine.sharding`), runs the shards on a
+  pluggable executor (:mod:`repro.engine.executors`) and folds the results
+  back together (:mod:`repro.engine.merge`);
+* answers are cached in an LRU keyed by *dataset fingerprint + query*, so a
+  re-issued query is served without touching a solver, and shardings are
+  memoised per halo so queries with the same extent share the partitioning
+  work.
+
+Shard tasks from all cache-missing queries of a batch are flattened into one
+task list before hitting the executor, so a batch parallelises across
+queries *and* shards at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..boxes import colored_maxrs_box
+from ..core import colored_maxrs_disk, max_range_sum_ball
+from ..core._inputs import normalize_colored, normalize_weighted
+from ..core.geometry import ColoredPoint
+from ..core.result import MaxRSResult
+from ..exact import (
+    colored_maxrs_disk_sweep,
+    colored_maxrs_interval_exact,
+    colored_maxrs_rectangle_exact,
+    maxrs_disk_exact,
+    maxrs_interval_exact,
+    maxrs_rectangle_exact,
+)
+from .executors import Executor, get_executor
+from .merge import merge_shard_results
+from .sharding import Shard, ShardPlan, plan_shards
+
+__all__ = ["Query", "QueryEngine", "LRUCache", "dataset_fingerprint", "solve_query"]
+
+Coords = Tuple[float, ...]
+
+
+# --------------------------------------------------------------------------- #
+# query descriptions
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class Query:
+    """A hashable description of one MaxRS query.
+
+    Use the named constructors (:meth:`disk`, :meth:`rectangle`,
+    :meth:`interval` and their ``colored_`` / ``_approx`` variants) rather
+    than the raw dataclass fields.  Being frozen and hashable is what lets
+    the planner deduplicate identical queries and key its result cache.
+    """
+
+    shape: str                      # "disk" | "rectangle" | "interval"
+    exact: bool = True
+    colored: bool = False
+    radius: Optional[float] = None
+    width: Optional[float] = None
+    height: Optional[float] = None
+    length: Optional[float] = None
+    epsilon: Optional[float] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.shape not in ("disk", "rectangle", "interval"):
+            raise ValueError("unknown query shape %r" % self.shape)
+        if self.shape == "disk":
+            if self.radius is None or self.radius <= 0:
+                raise ValueError("disk queries need a positive radius")
+        elif self.shape == "rectangle":
+            if self.width is None or self.height is None or self.width <= 0 or self.height <= 0:
+                raise ValueError("rectangle queries need positive width and height")
+        else:
+            if self.length is None or self.length <= 0:
+                raise ValueError("interval queries need a positive length")
+        if not self.exact and self.epsilon is None:
+            raise ValueError("approximate queries need an epsilon")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def disk(radius: float) -> "Query":
+        """Exact weighted disk MaxRS (planar)."""
+        return Query(shape="disk", radius=radius)
+
+    @staticmethod
+    def disk_approx(radius: float, epsilon: float = 0.25, seed: Optional[int] = 0) -> "Query":
+        """(1/2 - eps)-approximate weighted d-ball MaxRS (Theorem 1.2)."""
+        return Query(shape="disk", exact=False, radius=radius, epsilon=epsilon, seed=seed)
+
+    @staticmethod
+    def rectangle(width: float, height: float) -> "Query":
+        """Exact weighted rectangle MaxRS (planar)."""
+        return Query(shape="rectangle", width=width, height=height)
+
+    @staticmethod
+    def interval(length: float) -> "Query":
+        """Exact weighted interval MaxRS (1-d)."""
+        return Query(shape="interval", length=length)
+
+    @staticmethod
+    def colored_disk(radius: float) -> "Query":
+        """Exact colored disk MaxRS (angular sweep)."""
+        return Query(shape="disk", colored=True, radius=radius)
+
+    @staticmethod
+    def colored_disk_approx(radius: float, epsilon: float = 0.2,
+                            seed: Optional[int] = 0) -> "Query":
+        """(1 - eps)-approximate colored disk MaxRS (Theorem 1.6)."""
+        return Query(shape="disk", exact=False, colored=True, radius=radius,
+                     epsilon=epsilon, seed=seed)
+
+    @staticmethod
+    def colored_rectangle(width: float, height: float) -> "Query":
+        """Exact colored rectangle MaxRS."""
+        return Query(shape="rectangle", colored=True, width=width, height=height)
+
+    @staticmethod
+    def colored_rectangle_approx(width: float, height: float, epsilon: float = 0.2,
+                                 seed: Optional[int] = 0) -> "Query":
+        """(1 - eps)-approximate colored box MaxRS (Theorem 1.6 analogue)."""
+        return Query(shape="rectangle", exact=False, colored=True, width=width,
+                     height=height, epsilon=epsilon, seed=seed)
+
+    @staticmethod
+    def colored_interval(length: float) -> "Query":
+        """Exact colored interval MaxRS (1-d)."""
+        return Query(shape="interval", colored=True, length=length)
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+
+    def halo(self, dim: int) -> Tuple[float, ...]:
+        """Per-axis bound on the distance from a placement's anchor to any
+        point it covers -- the sharding halo for this query."""
+        if self.shape == "disk":
+            return (float(self.radius),) * dim
+        if self.shape == "rectangle":
+            return (float(self.width), float(self.height))
+        return (float(self.length),)
+
+    @property
+    def cost_class(self) -> str:
+        """How the routed solver's running time scales in the shard size,
+        which drives the planner's sharding granularity:
+
+        * ``"quadratic"`` -- the ``O(m^2 log m)`` sweeps (weighted / colored
+          disk, colored rectangle).  The smallest legal tiles both minimise
+          total work and avoid stragglers, so sharding is a *work* optimisation
+          even on one core.
+        * ``"linearithmic"`` -- the ``O(m log m)`` sweeps (weighted rectangle
+          and both intervals).  Sharding only buys parallelism, so shards
+          should be coarse to keep halo replication low.
+        * ``"sampled"`` -- the near-linear approximate solvers, whose large
+          per-call fixed costs argue for one shard per worker.
+        """
+        if not self.exact:
+            return "sampled"
+        if self.shape == "disk" or (self.colored and self.shape == "rectangle"):
+            return "quadratic"
+        return "linearithmic"
+
+    def describe(self) -> str:
+        """Short human-readable label, used by the CLI and examples."""
+        prefix = "colored " if self.colored else ""
+        mode = "exact" if self.exact else "approx(eps=%g)" % self.epsilon
+        if self.shape == "disk":
+            geom = "disk r=%g" % self.radius
+        elif self.shape == "rectangle":
+            geom = "rectangle %gx%g" % (self.width, self.height)
+        else:
+            geom = "interval L=%g" % self.length
+        return "%s%s [%s]" % (prefix, geom, mode)
+
+
+# --------------------------------------------------------------------------- #
+# solver routing
+# --------------------------------------------------------------------------- #
+
+def solve_query(
+    query: Query,
+    coords: Sequence[Coords],
+    weights: Optional[Sequence[float]],
+    colors: Optional[Sequence[Hashable]],
+) -> MaxRSResult:
+    """Run the solver a query routes to, on explicit parallel-list data.
+
+    This is the single dispatch point shared by the sharded path (one call
+    per shard, possibly in a worker process) and the direct path (one call on
+    the whole dataset).  Module-level so it is picklable for
+    :class:`~repro.engine.executors.ProcessPoolExecutor`.
+    """
+    if query.colored:
+        if query.shape == "disk":
+            if query.exact:
+                return colored_maxrs_disk_sweep(coords, radius=query.radius, colors=colors)
+            return colored_maxrs_disk(coords, radius=query.radius, epsilon=query.epsilon,
+                                      colors=colors, seed=query.seed)
+        if query.shape == "rectangle":
+            if query.exact:
+                return colored_maxrs_rectangle_exact(coords, query.width, query.height,
+                                                     colors=colors)
+            return colored_maxrs_box(coords, query.width, query.height, query.epsilon,
+                                     colors=colors, seed=query.seed)
+        return colored_maxrs_interval_exact(coords, query.length, colors=colors)
+
+    if query.shape == "disk":
+        if query.exact:
+            return maxrs_disk_exact(coords, radius=query.radius, weights=weights)
+        return max_range_sum_ball(coords, radius=query.radius, epsilon=query.epsilon,
+                                  weights=weights, seed=query.seed)
+    if query.shape == "rectangle":
+        return maxrs_rectangle_exact(coords, width=query.width, height=query.height,
+                                     weights=weights)
+    return maxrs_interval_exact(coords, length=query.length, weights=weights)
+
+
+def _solve_shard_task(task: Tuple[Query, Shard]) -> MaxRSResult:
+    """Executor task: solve one query on one shard (picklable payload)."""
+    query, shard = task
+    return solve_query(query, shard.coords, shard.weights, shard.colors)
+
+
+# --------------------------------------------------------------------------- #
+# caching
+# --------------------------------------------------------------------------- #
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A small least-recently-used map with hit / miss counters."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0")
+        self.maxsize = maxsize
+        self._data: "OrderedDict" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """Return the cached value (refreshing recency) or ``None``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if self.maxsize == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+def dataset_fingerprint(
+    coords: Sequence[Coords],
+    weights: Optional[Sequence[float]] = None,
+    colors: Optional[Sequence[Hashable]] = None,
+) -> str:
+    """Stable content hash of a dataset, used to key the result cache.
+
+    Two engines over identical data produce identical cache keys; any change
+    to a coordinate, weight or color changes the fingerprint.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    array = np.asarray(coords, dtype=float)
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    if weights is not None:
+        digest.update(b"w")
+        digest.update(np.asarray(weights, dtype=float).tobytes())
+    if colors is not None:
+        digest.update(b"c")
+        digest.update(repr(list(colors)).encode())
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# the engine
+# --------------------------------------------------------------------------- #
+
+class QueryEngine:
+    """Serve heterogeneous MaxRS query batches over one dataset.
+
+    Parameters
+    ----------
+    points, weights, colors:
+        The dataset, in any form the library's solvers accept.  Colors are
+        kept only when supplied explicitly or carried by ``ColoredPoint``
+        inputs; colored queries require them.
+    executor:
+        ``"serial"`` (default), ``"thread"``, ``"process"``, or an
+        :class:`~repro.engine.executors.Executor` instance.
+    workers:
+        Worker count for the pooled executors; defaults to the CPU count.
+    target_shards:
+        Optional override for the number of spatial shards per query.  By
+        default the planner picks the granularity from the query's
+        :attr:`Query.cost_class` (see :meth:`shard_plan`).
+    cache_size:
+        Capacity of the LRU result cache (``0`` disables caching).
+
+    Examples
+    --------
+    >>> from repro.engine import Query, QueryEngine
+    >>> engine = QueryEngine([(0.0, 0.0), (0.5, 0.5), (5.0, 5.0)])
+    >>> engine.solve(Query.disk(1.0)).value
+    2.0
+    """
+
+    def __init__(
+        self,
+        points: Sequence,
+        *,
+        weights: Optional[Sequence[float]] = None,
+        colors: Optional[Sequence[Hashable]] = None,
+        executor: Union[str, Executor, None] = "serial",
+        workers: Optional[int] = None,
+        target_shards: Optional[int] = None,
+        cache_size: int = 128,
+    ):
+        points = list(points)
+        coords, weight_list, dim = normalize_weighted(points, weights, require_positive=False)
+        if any(w < 0 for w in weight_list):
+            # Max-merging shard results is only sound when adding points can
+            # never lower a placement's value; a shard blind to a nearby
+            # negative-weight point would overestimate and win the merge.
+            raise ValueError(
+                "QueryEngine requires non-negative weights: the sharded max-merge "
+                "is unsound otherwise (use the solvers directly for guard points)"
+            )
+        self._coords: List[Coords] = coords
+        self._weights: List[float] = weight_list
+        self.dim = dim
+        if colors is not None or any(isinstance(p, ColoredPoint) for p in points):
+            _, color_list, _ = normalize_colored(points, colors)
+            self._colors: Optional[List[Hashable]] = color_list
+        else:
+            self._colors = None
+
+        self._executor = get_executor(executor, workers)
+        self.target_shards = target_shards
+        self.fingerprint = dataset_fingerprint(coords, self._weights, self._colors)
+        self._cache = LRUCache(cache_size)
+        self._plans: Dict[Tuple, ShardPlan] = {}  # (halo..., target_shards) -> plan
+        self._shards_solved = 0
+        self._queries_served = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the executor's worker pool (if any)."""
+        self._executor.close()
+
+    def clear_cache(self) -> None:
+        """Drop all cached results (keeps the memoised shardings)."""
+        self._cache.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counters: queries served, cache hits / misses, shard tasks run."""
+        return {
+            "queries": self._queries_served,
+            "cache_hits": self._cache.hits,
+            "cache_misses": self._cache.misses,
+            "shards_solved": self._shards_solved,
+            "cached_results": len(self._cache),
+        }
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+
+    def _validate(self, query: Query) -> None:
+        if query.colored and self._colors is None:
+            raise ValueError(
+                "colored query %s on a dataset without colors" % query.describe()
+            )
+        if not self._coords:
+            return
+        if query.shape == "interval":
+            if self.dim != 1:
+                raise ValueError("interval queries need 1-d data, got dim=%d" % self.dim)
+        elif query.shape == "rectangle" or query.exact or query.colored:
+            # Only the approximate weighted d-ball solver handles dim != 2.
+            if self.dim != 2:
+                raise ValueError(
+                    "query %s needs planar data, got dim=%d" % (query.describe(), self.dim)
+                )
+
+    def shard_plan(self, query: Query) -> ShardPlan:
+        """The (memoised) sharding this query's extent induces.
+
+        Unless ``target_shards`` overrides it, granularity follows the
+        query's :attr:`Query.cost_class`: quadratic solvers get shards that
+        scale with the dataset (~200 points each) because shrinking the
+        quadratic per-shard population shrinks *total* work, not just
+        wall-clock -- though not all the way down to the ``2 x halo`` tile
+        floor, since a dense cluster smaller than a tile is replicated into
+        every overlapping shard and re-paid quadratically.  Linearithmic
+        solvers get a handful of coarse shards per worker (sharding only
+        buys them parallelism, so halo replication is the enemy), and the
+        sampled approximate solvers get one shard per worker (their
+        per-call fixed costs dwarf their dependence on shard size).
+        """
+        halo = query.halo(self.dim)
+        if self.target_shards is not None:
+            target = self.target_shards
+        else:
+            cost = query.cost_class
+            if cost == "quadratic":
+                target = max(16, 4 * self._executor.workers, len(self._coords) // 192)
+            elif cost == "linearithmic":
+                target = max(16, 4 * self._executor.workers)
+            else:
+                target = max(1, self._executor.workers)
+        key = halo + (target,)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = plan_shards(
+                self._coords,
+                halo,
+                weights=self._weights,
+                colors=self._colors,
+                target_shards=target,
+            )
+            self._plans[key] = plan
+        return plan
+
+    def _empty_result(self, query: Query) -> MaxRSResult:
+        return solve_query(query, [], [], [] if self._colors is not None else None)
+
+    # ------------------------------------------------------------------ #
+    # solving
+    # ------------------------------------------------------------------ #
+
+    def solve(self, query: Query) -> MaxRSResult:
+        """Solve one query (cached, sharded, executor-backed)."""
+        return self.solve_batch([query])[0]
+
+    def solve_direct(self, query: Query) -> MaxRSResult:
+        """Bypass sharding and caching: run the underlying solver once on the
+        whole dataset.  The reference path the engine is validated against."""
+        self._validate(query)
+        return solve_query(query, self._coords, self._weights, self._colors)
+
+    def solve_batch(self, queries: Sequence[Query]) -> List[MaxRSResult]:
+        """Solve a heterogeneous batch.
+
+        Identical queries are deduplicated, cached answers are served
+        without solving, and the shard tasks of all remaining queries are
+        flattened into a single executor submission (parallel across queries
+        and shards at once).  Results come back in input order.
+        """
+        unique: List[Query] = []
+        seen = set()
+        for query in queries:
+            if query not in seen:
+                seen.add(query)
+                unique.append(query)
+
+        resolved: Dict[Query, MaxRSResult] = {}
+        misses: List[Query] = []
+        for query in unique:
+            cached = self._cache.get((self.fingerprint, query))
+            if cached is not None:
+                resolved[query] = cached
+            else:
+                misses.append(query)
+
+        if misses:
+            tasks: List[Tuple[Query, Shard]] = []
+            spans: List[Tuple[Query, int]] = []
+            for query in misses:
+                self._validate(query)
+                plan = self.shard_plan(query)
+                spans.append((query, len(plan.shards)))
+                tasks.extend((query, shard) for shard in plan.shards)
+
+            shard_results = self._executor.map(_solve_shard_task, tasks)
+            self._shards_solved += len(tasks)
+
+            cursor = 0
+            for query, count in spans:
+                group = shard_results[cursor:cursor + count]
+                cursor += count
+                merged = merge_shard_results(group, empty=self._empty_result(query))
+                meta = dict(merged.meta)
+                if "n" in meta:
+                    meta["n"] = len(self._coords)  # not the winning shard's population
+                meta["executor"] = self._executor.kind
+                merged = MaxRSResult(value=merged.value, center=merged.center,
+                                     shape=merged.shape, exact=merged.exact, meta=meta)
+                self._cache.put((self.fingerprint, query), merged)
+                resolved[query] = merged
+
+        self._queries_served += len(queries)
+        return [resolved[query] for query in queries]

@@ -14,7 +14,11 @@ builds that application layer on top of the paper's dynamic structure
 * :class:`ExactRecomputeMonitor` -- the from-scratch baseline that recomputes
   the exact planar disk optimum on the live set at every query, which is what
   the dynamic structure's sub-linear update time is measured against in
-  experiment E13.
+  experiment E13;
+* :class:`ShardedMaxRSMonitor` -- exact answers at a fraction of the
+  recompute cost: the live set is kept in the execution engine's
+  halo-expanded spatial shards (:mod:`repro.engine.sharding`) and a query
+  re-solves only the shards dirtied since the last one.
 """
 
 from .monitor import (
@@ -23,10 +27,12 @@ from .monitor import (
     HotspotSnapshot,
     SlidingWindowMaxRSMonitor,
 )
+from .sharded import ShardedMaxRSMonitor
 
 __all__ = [
     "HotspotSnapshot",
     "ApproximateMaxRSMonitor",
     "SlidingWindowMaxRSMonitor",
     "ExactRecomputeMonitor",
+    "ShardedMaxRSMonitor",
 ]

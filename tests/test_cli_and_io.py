@@ -177,3 +177,52 @@ class TestCli:
                      "--width", "2.0", "--height", "2.0"]) == 0
         out = capsys.readouterr().out
         assert out.count("value:") == 2
+
+
+class TestCliShardedEngine:
+    """Smoke tests for the ``--engine sharded`` / ``--workers`` flags."""
+
+    @staticmethod
+    def _value_line(output):
+        return next(line for line in output.splitlines() if line.startswith("value:"))
+
+    def test_sharded_disk_matches_direct(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "workload.csv")
+        assert main(["generate", "clustered", "--output", csv_path,
+                     "--n", "120", "--seed", "9"]) == 0
+        capsys.readouterr()
+        assert main(["solve", "disk", "--input", csv_path, "--radius", "1.0"]) == 0
+        direct = self._value_line(capsys.readouterr().out)
+        assert main(["solve", "disk", "--input", csv_path, "--radius", "1.0",
+                     "--engine", "sharded", "--workers", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert self._value_line(sharded_out) == direct
+        assert "engine:    sharded (thread, workers=2" in sharded_out
+
+    def test_sharded_rectangle_serial_executor(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "workload.csv")
+        assert main(["generate", "uniform", "--output", csv_path,
+                     "--n", "80", "--seed", "11"]) == 0
+        capsys.readouterr()
+        assert main(["solve", "rectangle", "--input", csv_path, "--width", "2.0",
+                     "--height", "2.0", "--engine", "sharded",
+                     "--executor", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "value:" in out and "engine:    sharded (serial" in out
+
+    def test_sharded_colored_requires_color_column(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "plain.csv")
+        write_points_csv(csv_path, [(0.0, 0.0), (1.0, 1.0)])
+        assert main(["solve", "colored-disk", "--input", csv_path,
+                     "--engine", "sharded"]) == 2
+        assert "color" in capsys.readouterr().err
+
+    def test_sharded_ball_approx_runs(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "hotspot.csv")
+        assert main(["generate", "hotspot", "--output", csv_path,
+                     "--n", "60", "--seed", "13"]) == 0
+        capsys.readouterr()
+        assert main(["solve", "ball-approx", "--input", csv_path, "--radius", "1.0",
+                     "--epsilon", "0.4", "--engine", "sharded", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exact:     False" in out and "engine:    sharded" in out

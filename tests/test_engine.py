@@ -1,0 +1,432 @@
+"""Tests for the sharded parallel execution engine (`repro.engine`).
+
+The load-bearing property is *sharded == serial*: on every exact solver the
+engine's merged answer must equal the direct one-shot solver's value, for
+adversarial Hypothesis inputs and for the library's uniform / clustered /
+hotspot workload generators.  The rest covers the planner's serving
+behaviour (dedup, LRU cache, fingerprints), executor equivalence, merge
+semantics, sharding invariants and the dirty-shard streaming monitor.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import MaxRSResult
+from repro.datasets import (
+    clustered_points,
+    hotspot_monitoring_stream,
+    trajectory_colored_points,
+    uniform_points,
+    uniform_weighted_points,
+    weighted_hotspot_points,
+)
+from repro.engine import (
+    LRUCache,
+    ProcessPoolExecutor,
+    Query,
+    QueryEngine,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    dataset_fingerprint,
+    get_executor,
+    merge_shard_results,
+    plan_shards,
+    tile_keys_for_point,
+)
+from repro.exact import (
+    colored_maxrs_disk_sweep,
+    maxrs_disk_exact,
+    maxrs_interval_exact,
+    maxrs_rectangle_exact,
+)
+from repro.streaming import ExactRecomputeMonitor, ShardedMaxRSMonitor
+
+planar_points = st.lists(
+    st.tuples(st.integers(-8, 8), st.integers(-8, 8)),
+    min_size=1,
+    max_size=18,
+).map(lambda rows: [(0.8 * x, 0.8 * y) for x, y in rows])
+
+
+def workload(kind, n, seed):
+    """The three random workload families the acceptance criteria name."""
+    if kind == "uniform":
+        return uniform_weighted_points(n, dim=2, extent=10.0, seed=seed)
+    if kind == "clustered":
+        return clustered_points(n, dim=2, extent=10.0, clusters=3, seed=seed), None
+    return weighted_hotspot_points(n, dim=2, extent=10.0, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# sharding
+# --------------------------------------------------------------------------- #
+
+class TestSharding:
+    def test_every_point_is_in_its_anchor_tile_shard(self):
+        points = uniform_points(120, dim=2, extent=10.0, seed=1)
+        plan = plan_shards(points, (1.0, 1.0), target_shards=16)
+        for index, point in enumerate(points):
+            anchor_key = tuple(
+                int(math.floor(c / side)) for c, side in zip(point, plan.tile_sides)
+            )
+            shard = next(s for s in plan.shards if s.key == anchor_key)
+            assert index in shard.indices
+
+    def test_halo_covering_property(self):
+        """Any point within the halo of an anchor in tile T belongs to shard T."""
+        points = uniform_points(80, dim=2, extent=6.0, seed=2)
+        halo = (1.0, 1.0)
+        plan = plan_shards(points, halo, target_shards=9)
+        by_key = {s.key: set(s.indices) for s in plan.shards}
+        anchors = uniform_points(40, dim=2, extent=6.0, seed=3)
+        for anchor in anchors:
+            key = tuple(int(math.floor(c / side)) for c, side in zip(anchor, plan.tile_sides))
+            coverable = {
+                i for i, p in enumerate(points)
+                if all(abs(pc - ac) <= h for pc, ac, h in zip(p, anchor, halo))
+            }
+            assert coverable <= by_key.get(key, set())
+
+    def test_replication_bounded(self):
+        points = uniform_points(200, dim=2, extent=10.0, seed=4)
+        plan = plan_shards(points, (0.5, 0.5), target_shards=25)
+        # tile sides >= 2 * halo caps replication at 2 per axis = 4 in the plane
+        assert 1.0 <= plan.replication <= 4.0
+        assert sum(len(s) for s in plan.shards) >= len(points)
+
+    def test_weights_and_colors_travel_with_points(self):
+        points, weights = uniform_weighted_points(50, dim=2, extent=5.0, seed=5)
+        colors = [i % 4 for i in range(50)]
+        plan = plan_shards(points, (1.0, 1.0), weights=weights, colors=colors)
+        for shard in plan.shards:
+            for position, index in enumerate(shard.indices):
+                assert shard.coords[position] == points[index]
+                assert shard.weights[position] == weights[index]
+                assert shard.colors[position] == colors[index]
+
+    def test_tile_keys_for_point_near_boundary(self):
+        # A point exactly on a tile edge with halo touching both neighbours.
+        keys = tile_keys_for_point((2.0,), (1.0,), (2.0,))
+        assert set(keys) == {(0,), (1,)}
+
+    def test_rejects_nonpositive_halo_and_thin_tiles(self):
+        with pytest.raises(ValueError):
+            plan_shards([(0.0, 0.0)], (0.0, 1.0))
+        with pytest.raises(ValueError):
+            plan_shards([(0.0, 0.0)], (1.0, 1.0), tile_sides=(1.0, 4.0))
+
+    def test_empty_input(self):
+        plan = plan_shards([], (1.0, 1.0))
+        assert len(plan) == 0 and plan.replication == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# merge
+# --------------------------------------------------------------------------- #
+
+def _result(value, exact=True):
+    return MaxRSResult(value=value, center=(0.0, 0.0), shape="ball", exact=exact,
+                       meta={"n": 1})
+
+
+class TestMerge:
+    def test_picks_maximum_and_counts_shards(self):
+        merged = merge_shard_results([_result(1.0), _result(5.0), _result(3.0)])
+        assert merged.value == 5.0
+        assert merged.meta["shards"] == 3
+        assert merged.meta["sharded"] is True
+
+    def test_first_winner_on_ties_is_deterministic(self):
+        a = MaxRSResult(value=2.0, center=(1.0, 0.0), shape="ball")
+        b = MaxRSResult(value=2.0, center=(9.0, 9.0), shape="ball")
+        assert merge_shard_results([a, b]).center == (1.0, 0.0)
+
+    def test_exactness_requires_all_shards_exact(self):
+        assert merge_shard_results([_result(1.0), _result(2.0)]).exact is True
+        assert merge_shard_results([_result(1.0), _result(2.0, exact=False)]).exact is False
+
+    def test_empty_fallback(self):
+        empty = MaxRSResult(value=0.0, center=None, shape="ball", exact=True, meta={})
+        merged = merge_shard_results([], empty=empty)
+        assert merged.is_empty and merged.value == 0.0 and merged.meta["shards"] == 0
+        with pytest.raises(ValueError):
+            merge_shard_results([])
+
+
+# --------------------------------------------------------------------------- #
+# engine == serial solvers (the acceptance property)
+# --------------------------------------------------------------------------- #
+
+class TestEngineMatchesExactSolvers:
+    @given(planar_points)
+    @settings(max_examples=25, deadline=None)
+    def test_disk_property(self, points):
+        with QueryEngine(points, target_shards=9) as engine:
+            sharded = engine.solve(Query.disk(1.0))
+        assert sharded.value == maxrs_disk_exact(points, radius=1.0).value
+
+    @given(planar_points)
+    @settings(max_examples=25, deadline=None)
+    def test_rectangle_property(self, points):
+        with QueryEngine(points, target_shards=9) as engine:
+            sharded = engine.solve(Query.rectangle(1.5, 2.5))
+        direct = maxrs_rectangle_exact(points, width=1.5, height=2.5)
+        assert abs(sharded.value - direct.value) < 1e-9
+
+    @pytest.mark.parametrize("kind", ["uniform", "clustered", "hotspot"])
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_disk_on_random_workloads(self, kind, seed):
+        points, weights = workload(kind, 250, seed)
+        with QueryEngine(points, weights=weights) as engine:
+            sharded = engine.solve(Query.disk(1.0))
+        direct = maxrs_disk_exact(points, radius=1.0, weights=weights)
+        assert abs(sharded.value - direct.value) < 1e-9
+        assert sharded.exact
+
+    @pytest.mark.parametrize("kind", ["uniform", "clustered", "hotspot"])
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_rectangle_on_random_workloads(self, kind, seed):
+        points, weights = workload(kind, 300, seed)
+        with QueryEngine(points, weights=weights) as engine:
+            sharded = engine.solve(Query.rectangle(2.0, 1.5))
+        direct = maxrs_rectangle_exact(points, width=2.0, height=1.5, weights=weights)
+        assert abs(sharded.value - direct.value) < 1e-9
+
+    def test_interval_matches_serial(self):
+        xs = [(x * 0.37 % 11.0,) for x in range(200)]
+        with QueryEngine(xs) as engine:
+            sharded = engine.solve(Query.interval(1.3))
+        direct = maxrs_interval_exact([x[0] for x in xs], length=1.3)
+        assert abs(sharded.value - direct.value) < 1e-9
+
+    def test_colored_disk_matches_serial(self):
+        points, colors = trajectory_colored_points(10, samples_per_entity=8,
+                                                   dim=2, extent=8.0, seed=33)
+        with QueryEngine(points, colors=colors) as engine:
+            sharded = engine.solve(Query.colored_disk(1.5))
+        direct = colored_maxrs_disk_sweep(points, radius=1.5, colors=colors)
+        assert sharded.value == direct.value
+
+    def test_solve_direct_is_the_unsharded_reference(self):
+        points = clustered_points(150, dim=2, extent=8.0, seed=40)
+        with QueryEngine(points) as engine:
+            assert engine.solve_direct(Query.disk(1.0)).value == \
+                engine.solve(Query.disk(1.0)).value
+            assert "sharded" not in engine.solve_direct(Query.disk(1.0)).meta
+
+    def test_empty_dataset_matches_serial_empty(self):
+        with QueryEngine([]) as engine:
+            result = engine.solve(Query.disk(1.0))
+        assert result.is_empty and result.value == 0.0 and result.meta["shards"] == 0
+
+
+class TestEngineApproximateGuarantees:
+    @pytest.mark.parametrize("kind", ["uniform", "clustered", "hotspot"])
+    def test_ball_approx_sandwich(self, kind):
+        """Merging preserves the (1/2 - eps) guarantee of Theorem 1.2."""
+        epsilon = 0.35
+        points, weights = workload(kind, 200, 55)
+        exact = maxrs_disk_exact(points, radius=1.0, weights=weights).value
+        with QueryEngine(points, weights=weights) as engine:
+            approx = engine.solve(Query.disk_approx(1.0, epsilon=epsilon, seed=7))
+        assert approx.value <= exact + 1e-9
+        assert approx.value >= (0.5 - epsilon) * exact - 1e-9
+        assert not approx.exact
+
+
+# --------------------------------------------------------------------------- #
+# planner serving behaviour
+# --------------------------------------------------------------------------- #
+
+class TestCachingAndDedup:
+    def test_repeat_query_is_a_cache_hit(self):
+        points = clustered_points(100, dim=2, extent=8.0, seed=61)
+        with QueryEngine(points) as engine:
+            first = engine.solve(Query.disk(1.0))
+            solved_once = engine.stats["shards_solved"]
+            second = engine.solve(Query.disk(1.0))
+            assert engine.stats["cache_hits"] == 1
+            assert engine.stats["shards_solved"] == solved_once  # no new solver work
+        assert first.value == second.value
+
+    def test_batch_deduplicates_identical_queries(self):
+        points = clustered_points(100, dim=2, extent=8.0, seed=62)
+        with QueryEngine(points) as engine:
+            results = engine.solve_batch([Query.disk(1.0), Query.rectangle(2.0, 2.0),
+                                          Query.disk(1.0)])
+            assert engine.stats["cache_misses"] == 2  # two *unique* queries
+        assert results[0].value == results[2].value
+
+    def test_clear_cache_forces_resolve(self):
+        points = clustered_points(80, dim=2, extent=8.0, seed=63)
+        with QueryEngine(points) as engine:
+            engine.solve(Query.disk(1.0))
+            engine.clear_cache()
+            engine.solve(Query.disk(1.0))
+            assert engine.stats["cache_misses"] == 2
+
+    def test_fingerprint_tracks_content(self):
+        points = [(0.0, 0.0), (1.0, 1.0)]
+        assert dataset_fingerprint(points) == dataset_fingerprint(list(points))
+        assert dataset_fingerprint(points) != dataset_fingerprint([(0.0, 0.0), (1.0, 1.5)])
+        assert dataset_fingerprint(points) != dataset_fingerprint(points, weights=[1.0, 2.0])
+        assert dataset_fingerprint(points, colors=[0, 1]) != \
+            dataset_fingerprint(points, colors=[0, 2])
+
+    def test_lru_eviction_and_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)          # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_cache_size_zero_disables_caching(self):
+        points = clustered_points(60, dim=2, extent=8.0, seed=64)
+        with QueryEngine(points, cache_size=0) as engine:
+            engine.solve(Query.disk(1.0))
+            engine.solve(Query.disk(1.0))
+            assert engine.stats["cache_hits"] == 0
+            assert engine.stats["cache_misses"] == 2
+
+
+class TestValidation:
+    def test_negative_weights_rejected_at_construction(self):
+        """The max-merge is unsound with negative weights (a shard blind to a
+        nearby guard point overestimates), so the engine refuses them."""
+        with pytest.raises(ValueError, match="non-negative"):
+            QueryEngine([(0.0,), (1.0,)], weights=[1.0, -1.0])
+
+    def test_merged_meta_reports_dataset_size(self):
+        points = clustered_points(200, dim=2, extent=8.0, seed=65)
+        with QueryEngine(points) as engine:
+            result = engine.solve(Query.disk(1.0))
+        assert result.meta["n"] == 200  # the dataset, not the winning shard
+
+    def test_colored_query_needs_colors(self):
+        with QueryEngine([(0.0, 0.0)]) as engine:
+            with pytest.raises(ValueError, match="without colors"):
+                engine.solve(Query.colored_disk(1.0))
+
+    def test_interval_needs_1d_data(self):
+        with QueryEngine([(0.0, 0.0)]) as engine:
+            with pytest.raises(ValueError, match="1-d"):
+                engine.solve(Query.interval(1.0))
+
+    def test_exact_disk_needs_planar_data(self):
+        with QueryEngine([(0.0, 0.0, 0.0)]) as engine:
+            with pytest.raises(ValueError, match="planar"):
+                engine.solve(Query.disk(1.0))
+
+    def test_query_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Query.disk(0.0)
+        with pytest.raises(ValueError):
+            Query.rectangle(1.0, -1.0)
+        with pytest.raises(ValueError):
+            Query.interval(0.0)
+        with pytest.raises(ValueError):
+            Query(shape="disk", exact=False, radius=1.0)  # approx without epsilon
+        with pytest.raises(ValueError):
+            Query(shape="triangle")
+
+    def test_queries_are_hashable_and_descriptive(self):
+        assert Query.disk(1.0) == Query.disk(1.0)
+        assert len({Query.disk(1.0), Query.disk(1.0), Query.disk(2.0)}) == 2
+        assert "disk" in Query.disk(1.0).describe()
+        assert "eps" in Query.disk_approx(1.0, 0.3).describe()
+
+
+# --------------------------------------------------------------------------- #
+# executors
+# --------------------------------------------------------------------------- #
+
+class TestExecutors:
+    def test_get_executor_resolution(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread", workers=2), ThreadPoolExecutor)
+        assert isinstance(get_executor("process", workers=2), ProcessPoolExecutor)
+        serial = SerialExecutor()
+        assert get_executor(serial) is serial
+        assert isinstance(get_executor(None), SerialExecutor)
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("gpu")
+        with pytest.raises(ValueError):
+            ThreadPoolExecutor(workers=0)
+
+    def test_map_preserves_order(self):
+        items = list(range(23))
+        for executor in (SerialExecutor(), ThreadPoolExecutor(workers=3)):
+            with executor:
+                assert executor.map(_square, items) == [i * i for i in items]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_executor_equivalence_on_exact_solves(self, backend):
+        points, weights = weighted_hotspot_points(220, dim=2, extent=10.0, seed=71)
+        reference = maxrs_disk_exact(points, radius=1.0, weights=weights).value
+        with QueryEngine(points, weights=weights, executor=backend, workers=2) as engine:
+            result = engine.solve(Query.disk(1.0))
+            assert result.meta["executor"] == backend
+        assert abs(result.value - reference) < 1e-9
+
+
+def _square(x):
+    return x * x
+
+
+# --------------------------------------------------------------------------- #
+# sharded streaming monitor
+# --------------------------------------------------------------------------- #
+
+class TestShardedMonitor:
+    def test_matches_exact_recompute_monitor_on_stream(self):
+        stream = hotspot_monitoring_stream(120, dim=2, extent=8.0, seed=81)
+        sharded = ShardedMaxRSMonitor(radius=1.0)
+        exact = ExactRecomputeMonitor(radius=1.0)
+        for ours, reference in zip(sharded.replay(stream, query_every=10),
+                                   exact.replay(stream, query_every=10)):
+            assert abs(ours.value - reference.value) < 1e-9
+            assert ours.live_points == reference.live_points
+
+    def test_localized_update_recomputes_few_shards(self):
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        for i in range(100):
+            monitor.observe((2.0 * (i % 10), 2.0 * (i // 10)))
+        monitor.current()                      # settle: everything recomputed once
+        monitor.observe((0.1, 0.1))
+        result = monitor.current()
+        assert result.meta["recomputed"] <= 4  # a point touches at most 4 tiles
+        assert result.meta["recomputed"] < monitor.shard_count
+
+    def test_clean_query_recomputes_nothing(self):
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        for i in range(30):
+            monitor.observe((float(i % 6), float(i // 6)))
+        monitor.current()
+        assert monitor.current().meta["recomputed"] == 0
+
+    def test_observe_expire_roundtrip(self):
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        handle = monitor.observe((1.0, 1.0), weight=2.0)
+        keep = monitor.observe((5.0, 5.0))
+        assert len(monitor) == 2
+        monitor.expire(handle)
+        assert len(monitor) == 1
+        result = monitor.current()
+        assert result.value == 1.0
+        with pytest.raises(KeyError):
+            monitor.expire(handle)
+        monitor.expire(keep)
+        assert monitor.current().is_empty
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ShardedMaxRSMonitor(radius=0.0)
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        with pytest.raises(ValueError):
+            monitor.observe((1.0, 2.0, 3.0))

@@ -55,6 +55,16 @@ class TestExamplesRun:
         assert "exact angular sweep" in output
         assert "Best placement covers" in output
 
+    def test_sharded_engine_runs(self, capsys):
+        module = load_example("sharded_engine.py")
+        module.N_POINTS = 400
+        module.ENTITIES = 6
+        module.WORKERS = 2
+        module.main()
+        output = capsys.readouterr().out
+        assert "cache hits" in output
+        assert "engine agrees: True" in output
+
     def test_retail_site_selection_runs(self, capsys):
         module = load_example("retail_site_selection.py")
         module.CUSTOMERS = 80
