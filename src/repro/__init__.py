@@ -90,6 +90,9 @@ from .streaming import (
 # etc.): re-exporting them here would shadow the incompatible
 # concurrent.futures classes of the same names.
 from .engine import Query, QueryEngine
+# Kernel backend registry: every sweep solver accepts backend="auto" |
+# "python" | "numpy"; see repro.kernels for the contract and how to add one.
+from . import kernels
 from .regions import (
     DecayingMaxRSMonitor,
     top_k_maxrs_disk,
@@ -148,6 +151,8 @@ __all__ = [
     # sharded parallel execution engine
     "Query",
     "QueryEngine",
+    # pluggable kernel backends (python / numpy)
+    "kernels",
     # region-search extensions (Section 1.6 related work)
     "top_k_maxrs_rectangle",
     "top_k_maxrs_disk",

@@ -11,7 +11,9 @@ writing Python:
   rectangle and disk placement, the paper's approximate d-ball solver, and
   the colored disk / box solvers.  ``--engine sharded`` routes the query
   through the sharded parallel execution engine (:mod:`repro.engine`) with
-  ``--workers N`` workers on the ``--executor`` backend.
+  ``--workers N`` workers on the ``--executor`` backend; ``--backend``
+  selects the kernel backend for the sweep inner loops
+  (:mod:`repro.kernels`: pure-Python reference or vectorised NumPy).
 
 Every command prints a short human-readable summary to stdout and exits with
 status 0 on success, 2 on usage errors.
@@ -132,20 +134,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _query_from_args(args: argparse.Namespace, has_colors: bool) -> Optional[Query]:
     """Translate ``solve`` arguments into an engine :class:`Query` (or ``None``
     when the shape needs a color column that is missing)."""
+    backend = args.backend
     if args.shape == "interval":
-        return Query.interval(args.length)
+        return Query.interval(args.length, backend=backend)
     if args.shape == "rectangle":
-        return Query.rectangle(args.width, args.height)
+        return Query.rectangle(args.width, args.height, backend=backend)
     if args.shape == "disk":
-        return Query.disk(args.radius)
+        return Query.disk(args.radius, backend=backend)
     if args.shape == "ball-approx":
-        return Query.disk_approx(args.radius, epsilon=args.epsilon, seed=args.seed)
+        return Query.disk_approx(args.radius, epsilon=args.epsilon, seed=args.seed,
+                                 backend=backend)
     if not has_colors:
         return None
     if args.shape == "colored-disk":
         if args.exact:
-            return Query.colored_disk(args.radius)
-        return Query.colored_disk_approx(args.radius, epsilon=args.epsilon, seed=args.seed)
+            return Query.colored_disk(args.radius, backend=backend)
+        return Query.colored_disk_approx(args.radius, epsilon=args.epsilon, seed=args.seed,
+                                         backend=backend)
     return Query.colored_rectangle_approx(args.width, args.height, epsilon=args.epsilon,
                                           seed=args.seed)
 
@@ -193,24 +198,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     colors = table.colors
 
     if args.shape == "interval":
-        result = maxrs_interval_exact(points, length=args.length, weights=weights)
+        result = maxrs_interval_exact(points, length=args.length, weights=weights,
+                                      backend=args.backend)
     elif args.shape == "rectangle":
         result = maxrs_rectangle_exact(points, width=args.width, height=args.height,
-                                       weights=weights)
+                                       weights=weights, backend=args.backend)
     elif args.shape == "disk":
-        result = maxrs_disk_exact(points, radius=args.radius, weights=weights)
+        result = maxrs_disk_exact(points, radius=args.radius, weights=weights,
+                                  backend=args.backend)
     elif args.shape == "ball-approx":
         result = max_range_sum_ball(points, radius=args.radius, epsilon=args.epsilon,
-                                    weights=weights, seed=args.seed)
+                                    weights=weights, seed=args.seed, backend=args.backend)
     elif args.shape == "colored-disk":
         if colors is None:
             print("colored solvers need a 'color' column in the input CSV", file=sys.stderr)
             return 2
         if args.exact:
-            result = colored_maxrs_disk_sweep(points, radius=args.radius, colors=colors)
+            result = colored_maxrs_disk_sweep(points, radius=args.radius, colors=colors,
+                                              backend=args.backend)
         else:
             result = colored_maxrs_disk(points, radius=args.radius, epsilon=args.epsilon,
-                                        colors=colors, seed=args.seed)
+                                        colors=colors, seed=args.seed, backend=args.backend)
     elif args.shape == "colored-box":
         if colors is None:
             print("colored solvers need a 'color' column in the input CSV", file=sys.stderr)
@@ -268,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--exact", action="store_true",
                        help="use the exact solver where both exist (colored-disk)")
+    solve.add_argument("--backend", choices=["auto", "python", "numpy"], default="auto",
+                       help="kernel backend for the sweep inner loops (repro.kernels): "
+                            "'python' is the reference loop, 'numpy' the vectorised "
+                            "kernels, 'auto' picks by input size (and honours the "
+                            "REPRO_BACKEND environment variable)")
     solve.add_argument("--engine", choices=["direct", "sharded"], default="direct",
                        help="'direct' calls the solver once; 'sharded' routes through "
                             "the parallel execution engine (repro.engine)")

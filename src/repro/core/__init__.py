@@ -9,7 +9,14 @@ from .geometry import (
     WeightedPoint,
 )
 from .result import MaxRSResult
-from .depth import colored_depth, covering_colors, coverage_count, weighted_depth
+from .depth import (
+    colored_depth,
+    colored_depth_batch,
+    coverage_count,
+    covering_colors,
+    weighted_depth,
+    weighted_depth_batch,
+)
 from .technique1 import estimate_opt_ball, max_range_sum_ball
 from .dynamic import DynamicMaxRS
 from .colored import colored_maxrs_ball, estimate_colored_opt_ball
@@ -29,6 +36,8 @@ __all__ = [
     "MaxRSResult",
     "weighted_depth",
     "colored_depth",
+    "weighted_depth_batch",
+    "colored_depth_batch",
     "covering_colors",
     "coverage_count",
     "max_range_sum_ball",

@@ -6,10 +6,19 @@ caller: :class:`~repro.core.geometry.WeightedPoint` /
 (with weights or colors supplied separately), or numpy arrays.  The helpers
 here convert everything into parallel Python lists of coordinate tuples plus
 weights / colors, validating dimensions along the way.
+
+Validation happens here, once, so every solver behaves consistently: besides
+dimension checks, non-finite input is rejected.  A NaN or infinite coordinate
+or weight would silently poison the sweeps (NaN compares false against every
+threshold, so event ordering and the ``w <= 0`` weight checks both let it
+through) and the two kernel backends would be free to disagree on garbage;
+rejecting at the boundary keeps "garbage in, error out" uniform across the
+library.
 """
 
 from __future__ import annotations
 
+from math import isfinite
 from typing import Hashable, List, Optional, Sequence, Tuple
 
 from .geometry import ColoredPoint, Point, WeightedPoint, validate_dimension
@@ -23,6 +32,30 @@ def _extract_coords(item) -> Coords:
     if isinstance(item, (WeightedPoint, ColoredPoint, Point)):
         return item.coords
     return tuple(float(v) for v in item)
+
+
+def _require_finite_coords(coords: Sequence[Coords]) -> None:
+    """Reject NaN / infinite coordinates with a pinpointed error."""
+    if all(isfinite(v) for point in coords for v in point):
+        return
+    for index, point in enumerate(coords):
+        if not all(isfinite(v) for v in point):
+            raise ValueError(
+                "point %d has non-finite coordinates %r; "
+                "coordinates must be finite numbers" % (index, tuple(point))
+            )
+
+
+def _require_finite_weights(weights: Sequence[float]) -> None:
+    """Reject NaN / infinite weights with a pinpointed error."""
+    if all(isfinite(w) for w in weights):
+        return
+    for index, weight in enumerate(weights):
+        if not isfinite(weight):
+            raise ValueError(
+                "weight %d is non-finite (%r); weights must be finite numbers"
+                % (index, weight)
+            )
 
 
 def normalize_coords(points: Sequence) -> List[Coords]:
@@ -60,6 +93,8 @@ def normalize_weighted(
     else:
         weight_list = inherent_weights
 
+    _require_finite_coords(coords)
+    _require_finite_weights(weight_list)
     if require_positive and any(w <= 0 for w in weight_list):
         raise ValueError(
             "weights must be strictly positive for this solver; "
@@ -93,5 +128,6 @@ def normalize_colored(
     else:
         color_list = inherent_colors
 
+    _require_finite_coords(coords)
     dim = validate_dimension(coords) if coords else 0
     return coords, color_list, dim

@@ -9,16 +9,26 @@ containing the point).
 The functions here are the straightforward ``O(n)`` evaluators.  They serve
 three purposes: reporting the true objective of a placement produced by an
 approximate solver, acting as correctness oracles in tests, and providing the
-inner loop of the small brute-force baselines.
+inner loop of the small brute-force baselines.  The batched variants
+(:func:`weighted_depth_batch`, :func:`colored_depth_batch`) evaluate many
+probe points at once through the pluggable kernel backends of
+:mod:`repro.kernels`.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence, Set
+from typing import Hashable, List, Sequence, Set
 
 from .geometry import squared_distance
 
-__all__ = ["weighted_depth", "colored_depth", "covering_colors", "coverage_count"]
+__all__ = [
+    "weighted_depth",
+    "colored_depth",
+    "covering_colors",
+    "coverage_count",
+    "weighted_depth_batch",
+    "colored_depth_batch",
+]
 
 
 def weighted_depth(
@@ -71,3 +81,42 @@ def colored_depth(
 ) -> int:
     """Number of distinct colors among the balls containing ``point``."""
     return len(covering_colors(point, centers, colors, radius))
+
+
+def weighted_depth_batch(
+    points: Sequence[Sequence[float]],
+    centers: Sequence[Sequence[float]],
+    weights: Sequence[float],
+    radius: float = 1.0,
+    *,
+    backend: str = "auto",
+) -> List[float]:
+    """Weighted depth of every probe point, evaluated by a kernel backend.
+
+    Semantically ``[weighted_depth(p, centers, weights, radius) for p in
+    points]``; the ``numpy`` backend computes the whole batch as one
+    pairwise-distance block (see :mod:`repro.kernels`).
+    """
+    from ..kernels import get_kernel
+
+    kernel = get_kernel(backend, "probe_depths", len(centers))
+    return [float(v) for v in kernel(points, centers, weights, radius)]
+
+
+def colored_depth_batch(
+    points: Sequence[Sequence[float]],
+    centers: Sequence[Sequence[float]],
+    colors: Sequence[Hashable],
+    radius: float = 1.0,
+    *,
+    backend: str = "auto",
+) -> List[int]:
+    """Colored depth of every probe point, evaluated by a kernel backend.
+
+    Semantically ``[colored_depth(p, centers, colors, radius) for p in
+    points]``; see :mod:`repro.kernels` for the backend contract.
+    """
+    from ..kernels import get_kernel
+
+    kernel = get_kernel(backend, "colored_depth_batch", len(centers))
+    return [int(v) for v in kernel(points, centers, colors, radius)]

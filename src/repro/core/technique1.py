@@ -35,6 +35,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import get_kernel
 from ._inputs import normalize_weighted
 from .grids import GridCollection, ShiftedGrid
 from .result import MaxRSResult
@@ -141,16 +142,20 @@ def _best_sample_for_cell(
     ball_indices: Sequence[int],
     coords: np.ndarray,
     weights: np.ndarray,
+    probe_depths=None,
 ) -> Tuple[float, Optional[Tuple[float, ...]]]:
-    """Maximum weighted depth among ``samples`` counting only the listed balls."""
+    """Maximum weighted depth among ``samples`` counting only the listed balls.
+
+    ``probe_depths`` is the batched depth kernel evaluating all samples
+    against the cell's balls (unit radius, scaled coordinates); it defaults
+    to the NumPy backend's kernel (the historical inline implementation).
+    """
     if samples.size == 0 or not ball_indices:
         return -math.inf, None
-    centers = coords[np.asarray(ball_indices, dtype=int)]
-    cell_weights = weights[np.asarray(ball_indices, dtype=int)]
-    # Pairwise squared distances: (num samples, num balls).
-    diff = samples[:, None, :] - centers[None, :, :]
-    inside = (diff * diff).sum(axis=2) <= 1.0 + 1e-12
-    depths = inside @ cell_weights
+    if probe_depths is None:
+        probe_depths = get_kernel("numpy", "probe_depths")
+    index_array = np.asarray(ball_indices, dtype=int)
+    depths = np.asarray(probe_depths(samples, coords[index_array], weights[index_array], 1.0))
     best_pos = int(np.argmax(depths))
     return float(depths[best_pos]), tuple(float(v) for v in samples[best_pos])
 
@@ -164,6 +169,7 @@ def max_range_sum_ball(
     seed=None,
     sample_constant: float = 1.0,
     shift_cap: Optional[int] = None,
+    backend: str = "auto",
 ) -> MaxRSResult:
     """Static (1/2 - eps)-approximate MaxRS with a ``d``-ball query (Theorem 1.2).
 
@@ -184,6 +190,11 @@ def max_range_sum_ball(
         Constant ``c`` of the per-cell sample size ``t = c * eps^-2 * log n``.
     shift_cap:
         Optional cap on grid shifts per axis (ablation experiments only).
+    backend:
+        Kernel backend for the probe-depth evaluation (``"python"``,
+        ``"numpy"`` or ``"auto"``; see :mod:`repro.kernels`).  The sampling
+        randomness is backend-independent: both backends see identical
+        samples for a given seed.
 
     Returns
     -------
@@ -207,6 +218,7 @@ def max_range_sum_ball(
 
     grids = Technique1Grids(dim=dim, epsilon=epsilon, shift_cap=shift_cap)
     t = sample_size(epsilon, len(scaled), sample_constant)
+    probe_kernel = get_kernel(backend, "probe_depths", len(scaled))
 
     # Pass 1: bucket ball indices by the cells they intersect.
     cell_to_balls: Dict[CellKey, List[int]] = {}
@@ -236,7 +248,8 @@ def max_range_sum_ball(
         cells_evaluated += 1
         center, circumradius = grids.cell_circumsphere(key)
         samples = sample_sphere_array(center, circumradius, t, rng)
-        value, point = _best_sample_for_cell(samples, ball_indices, scaled_array, weight_array)
+        value, point = _best_sample_for_cell(samples, ball_indices, scaled_array, weight_array,
+                                             probe_depths=probe_kernel)
         if point is not None and value > best_value:
             best_value = value
             best_point = point
@@ -273,6 +286,7 @@ def estimate_opt_ball(
     seed=None,
     sample_constant: float = 1.0,
     shift_cap: Optional[int] = None,
+    backend: str = "auto",
 ) -> float:
     """Constant-factor estimate of ``opt`` used as a subroutine by other algorithms.
 
@@ -287,5 +301,6 @@ def estimate_opt_ball(
         seed=seed,
         sample_constant=sample_constant,
         shift_cap=shift_cap,
+        backend=backend,
     )
     return result.value

@@ -35,6 +35,7 @@ from ..arrangement.decomposition import (
     max_colored_depth_from_arcs,
 )
 from ..arrangement.union import union_boundary_arcs
+from ..kernels import get_kernel
 from ._inputs import normalize_colored
 from .colored import estimate_colored_opt_ball
 from .depth import colored_depth
@@ -67,6 +68,7 @@ def _arrangement_best_point(
     coords: Sequence[Tuple[float, float]],
     colors: Sequence[Hashable],
     radius: float,
+    backend: str = "auto",
 ) -> Tuple[int, Optional[Tuple[float, float]], int]:
     """Core of Lemma 4.2: returns ``(depth, witness point, k)``.
 
@@ -76,7 +78,8 @@ def _arrangement_best_point(
     also evaluated: with closed disks a degenerate input (several circles
     through one point) can attain its maximum only there, and the exact
     sweep baseline counts such points, so this keeps the two exact solvers
-    in agreement even off general position.
+    in agreement even off general position.  The vertex depths are computed
+    in one batch by the selected kernel backend (:mod:`repro.kernels`).
     """
     if not coords:
         return 0, None, 0
@@ -88,11 +91,14 @@ def _arrangement_best_point(
     depth, witness = max_colored_depth_from_arcs(arcs)
     best_depth = depth if witness is not None else 0
     best_point = witness
-    for vertex in vertices:
-        vertex_depth = colored_depth(vertex, coords, colors, radius)
-        if vertex_depth > best_depth:
-            best_depth = vertex_depth
-            best_point = vertex
+    if vertices:
+        depth_kernel = get_kernel(backend, "colored_depth_batch", len(coords))
+        for vertex, vertex_depth in zip(
+            vertices, depth_kernel(vertices, coords, colors, radius)
+        ):
+            if vertex_depth > best_depth:
+                best_depth = int(vertex_depth)
+                best_point = vertex
     return best_depth, best_point, k
 
 
@@ -101,8 +107,13 @@ def colored_maxrs_disk_arrangement(
     radius: float = 1.0,
     *,
     colors: Optional[Sequence[Hashable]] = None,
+    backend: str = "auto",
 ) -> MaxRSResult:
-    """Exact colored disk MaxRS through the union/trapezoidal-map route (Lemma 4.2)."""
+    """Exact colored disk MaxRS through the union/trapezoidal-map route (Lemma 4.2).
+
+    ``backend`` selects the kernel backend for the batched vertex-depth
+    evaluation (see :mod:`repro.kernels`).
+    """
     if radius <= 0:
         raise ValueError("radius must be positive")
     coords, color_list, dim = normalize_colored(points, colors)
@@ -112,7 +123,7 @@ def colored_maxrs_disk_arrangement(
         return MaxRSResult(value=0, center=None, shape="ball", exact=True,
                            meta={"radius": radius, "n": 0})
 
-    depth, witness, k = _arrangement_best_point(coords, color_list, radius)
+    depth, witness, k = _arrangement_best_point(coords, color_list, radius, backend=backend)
     if witness is None:
         witness = coords[0]
     # Report the true colored depth of the witness with respect to the full
@@ -143,6 +154,7 @@ def colored_maxrs_disk_output_sensitive(
     *,
     colors: Optional[Sequence[Hashable]] = None,
     shift_cap: Optional[int] = None,
+    backend: str = "auto",
 ) -> MaxRSResult:
     """Exact colored disk MaxRS in ``O(n log n + n * opt)`` expected time (Theorem 4.6).
 
@@ -196,7 +208,8 @@ def colored_maxrs_disk_output_sensitive(
                 continue
             cells_solved += 1
             cell_coords = [scaled[i] for i in kept]
-            depth, witness, k = _arrangement_best_point(cell_coords, cell_colors, 1.0)
+            depth, witness, k = _arrangement_best_point(cell_coords, cell_colors, 1.0,
+                                                        backend=backend)
             max_k = max(max_k, k)
             if depth > best_depth and witness is not None:
                 best_depth = depth
@@ -236,6 +249,7 @@ def colored_maxrs_disk(
     sampling_constant: float = 2.0,
     estimator_sample_constant: float = 1.0,
     shift_cap: Optional[int] = None,
+    backend: str = "auto",
 ) -> MaxRSResult:
     """(1 - eps)-approximate colored disk MaxRS via color sampling (Theorem 1.6).
 
@@ -259,6 +273,9 @@ def colored_maxrs_disk(
         Sample-size constant forwarded to the Theorem 1.5 estimator.
     shift_cap:
         Optional cap forwarded to the output-sensitive solver (ablations).
+    backend:
+        Kernel backend forwarded to the output-sensitive solver's
+        vertex-depth evaluation (see :mod:`repro.kernels`).
 
     Returns
     -------
@@ -293,7 +310,7 @@ def colored_maxrs_disk(
     threshold = sampling_constant * (epsilon ** -2) * math.log(max(2, n))
     if opt_estimate <= threshold:
         exact = colored_maxrs_disk_output_sensitive(
-            coords, radius=radius, colors=color_list, shift_cap=shift_cap
+            coords, radius=radius, colors=color_list, shift_cap=shift_cap, backend=backend
         )
         meta = dict(exact.meta)
         meta.update({"epsilon": epsilon, "opt_estimate": opt_estimate, "branch": "exact"})
@@ -314,7 +331,8 @@ def colored_maxrs_disk(
 
     # Phase 2: exact output-sensitive algorithm on the sampled colors.
     sampled_result = colored_maxrs_disk_output_sensitive(
-        sample_coords, radius=radius, colors=sample_colors, shift_cap=shift_cap
+        sample_coords, radius=radius, colors=sample_colors, shift_cap=shift_cap,
+        backend=backend
     )
     center = sampled_result.center if sampled_result.center is not None else coords[0]
     value = colored_depth(center, coords, color_list, radius)

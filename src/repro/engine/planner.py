@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -43,6 +43,7 @@ from ..exact import (
     maxrs_interval_exact,
     maxrs_rectangle_exact,
 )
+from ..kernels import resolve_backend
 from .executors import Executor, get_executor
 from .merge import merge_shard_results
 from .sharding import Shard, ShardPlan, plan_shards
@@ -75,10 +76,18 @@ class Query:
     length: Optional[float] = None
     epsilon: Optional[float] = None
     seed: Optional[int] = None
+    #: Kernel backend ("auto" | "python" | "numpy" | a registered name) for
+    #: the routed solver's inner loops.  Honoured by every weighted solver
+    #: and the colored disk solvers; the colored rectangle/box/interval
+    #: solvers have no kernel hooks yet and run their reference loops
+    #: regardless.
+    backend: str = "auto"
 
     def __post_init__(self):
         if self.shape not in ("disk", "rectangle", "interval"):
             raise ValueError("unknown query shape %r" % self.shape)
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty string, got %r" % (self.backend,))
         if self.shape == "disk":
             if self.radius is None or self.radius <= 0:
                 raise ValueError("disk queries need a positive radius")
@@ -96,36 +105,38 @@ class Query:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def disk(radius: float) -> "Query":
+    def disk(radius: float, backend: str = "auto") -> "Query":
         """Exact weighted disk MaxRS (planar)."""
-        return Query(shape="disk", radius=radius)
+        return Query(shape="disk", radius=radius, backend=backend)
 
     @staticmethod
-    def disk_approx(radius: float, epsilon: float = 0.25, seed: Optional[int] = 0) -> "Query":
+    def disk_approx(radius: float, epsilon: float = 0.25, seed: Optional[int] = 0,
+                    backend: str = "auto") -> "Query":
         """(1/2 - eps)-approximate weighted d-ball MaxRS (Theorem 1.2)."""
-        return Query(shape="disk", exact=False, radius=radius, epsilon=epsilon, seed=seed)
+        return Query(shape="disk", exact=False, radius=radius, epsilon=epsilon, seed=seed,
+                     backend=backend)
 
     @staticmethod
-    def rectangle(width: float, height: float) -> "Query":
+    def rectangle(width: float, height: float, backend: str = "auto") -> "Query":
         """Exact weighted rectangle MaxRS (planar)."""
-        return Query(shape="rectangle", width=width, height=height)
+        return Query(shape="rectangle", width=width, height=height, backend=backend)
 
     @staticmethod
-    def interval(length: float) -> "Query":
+    def interval(length: float, backend: str = "auto") -> "Query":
         """Exact weighted interval MaxRS (1-d)."""
-        return Query(shape="interval", length=length)
+        return Query(shape="interval", length=length, backend=backend)
 
     @staticmethod
-    def colored_disk(radius: float) -> "Query":
+    def colored_disk(radius: float, backend: str = "auto") -> "Query":
         """Exact colored disk MaxRS (angular sweep)."""
-        return Query(shape="disk", colored=True, radius=radius)
+        return Query(shape="disk", colored=True, radius=radius, backend=backend)
 
     @staticmethod
     def colored_disk_approx(radius: float, epsilon: float = 0.2,
-                            seed: Optional[int] = 0) -> "Query":
+                            seed: Optional[int] = 0, backend: str = "auto") -> "Query":
         """(1 - eps)-approximate colored disk MaxRS (Theorem 1.6)."""
         return Query(shape="disk", exact=False, colored=True, radius=radius,
-                     epsilon=epsilon, seed=seed)
+                     epsilon=epsilon, seed=seed, backend=backend)
 
     @staticmethod
     def colored_rectangle(width: float, height: float) -> "Query":
@@ -188,7 +199,8 @@ class Query:
             geom = "rectangle %gx%g" % (self.width, self.height)
         else:
             geom = "interval L=%g" % self.length
-        return "%s%s [%s]" % (prefix, geom, mode)
+        suffix = "" if self.backend == "auto" else ", backend=%s" % self.backend
+        return "%s%s [%s%s]" % (prefix, geom, mode, suffix)
 
 
 # --------------------------------------------------------------------------- #
@@ -211,9 +223,10 @@ def solve_query(
     if query.colored:
         if query.shape == "disk":
             if query.exact:
-                return colored_maxrs_disk_sweep(coords, radius=query.radius, colors=colors)
+                return colored_maxrs_disk_sweep(coords, radius=query.radius, colors=colors,
+                                                backend=query.backend)
             return colored_maxrs_disk(coords, radius=query.radius, epsilon=query.epsilon,
-                                      colors=colors, seed=query.seed)
+                                      colors=colors, seed=query.seed, backend=query.backend)
         if query.shape == "rectangle":
             if query.exact:
                 return colored_maxrs_rectangle_exact(coords, query.width, query.height,
@@ -224,13 +237,15 @@ def solve_query(
 
     if query.shape == "disk":
         if query.exact:
-            return maxrs_disk_exact(coords, radius=query.radius, weights=weights)
+            return maxrs_disk_exact(coords, radius=query.radius, weights=weights,
+                                    backend=query.backend)
         return max_range_sum_ball(coords, radius=query.radius, epsilon=query.epsilon,
-                                  weights=weights, seed=query.seed)
+                                  weights=weights, seed=query.seed, backend=query.backend)
     if query.shape == "rectangle":
         return maxrs_rectangle_exact(coords, width=query.width, height=query.height,
-                                     weights=weights)
-    return maxrs_interval_exact(coords, length=query.length, weights=weights)
+                                     weights=weights, backend=query.backend)
+    return maxrs_interval_exact(coords, length=query.length, weights=weights,
+                                backend=query.backend)
 
 
 def _solve_shard_task(task: Tuple[Query, Shard]) -> MaxRSResult:
@@ -451,7 +466,14 @@ class QueryEngine:
         else:
             cost = query.cost_class
             if cost == "quadratic":
-                target = max(16, 4 * self._executor.workers, len(self._coords) // 192)
+                if query.backend == "numpy":
+                    # The vectorised sweeps amortise their per-call setup over
+                    # the shard, so larger shards (~2k points) cut the halo
+                    # replication without starving the kernels.
+                    target = max(4, self._executor.workers,
+                                 len(self._coords) // 2048)
+                else:
+                    target = max(16, 4 * self._executor.workers, len(self._coords) // 192)
             elif cost == "linearithmic":
                 target = max(16, 4 * self._executor.workers)
             else:
@@ -517,7 +539,16 @@ class QueryEngine:
                 self._validate(query)
                 plan = self.shard_plan(query)
                 spans.append((query, len(plan.shards)))
-                tasks.extend((query, shard) for shard in plan.shards)
+                # Per-shard backend selection: "auto" is resolved against each
+                # shard's population, so fine shards run the pure-Python loops
+                # (no NumPy per-call overhead) while big shards vectorise.
+                # Explicit backends pass through untouched; the cache keeps
+                # keying on the original query.
+                for shard in plan.shards:
+                    task_query = query
+                    if query.backend == "auto":
+                        task_query = replace(query, backend=resolve_backend("auto", len(shard)))
+                    tasks.append((task_query, shard))
 
             shard_results = self._executor.map(_solve_shard_task, tasks)
             self._shards_solved += len(tasks)

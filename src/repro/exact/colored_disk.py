@@ -22,6 +22,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..core._inputs import normalize_colored
 from ..core.result import MaxRSResult
+from ..kernels import get_kernel
 from .disk2d import TWO_PI, _split_interval, circle_cover_events
 
 __all__ = ["colored_maxrs_disk_sweep", "colored_depth_on_circle"]
@@ -80,11 +81,17 @@ def colored_maxrs_disk_sweep(
     radius: float = 1.0,
     *,
     colors: Optional[Sequence[Hashable]] = None,
+    backend: str = "auto",
 ) -> MaxRSResult:
-    """Exact colored disk MaxRS (``O(n^2 log n)`` angular sweep).
+    """Exact colored disk MaxRS (worst-case ``O(n^2 log n)`` angular sweep).
 
     ``center`` of the result is the optimal disk center; ``value`` is the
-    number of distinct colors it covers.
+    number of distinct colors it covers.  ``backend`` selects the kernel
+    backend generating the pairwise disk-intersection candidates
+    (:mod:`repro.kernels`); only disks within ``2 * radius`` of a pivot can
+    cover its circle, so the sweep is quadratic only in the local density.
+    The per-circle color counting itself is the pure-Python reference loop
+    on every backend.
     """
     if radius <= 0:
         raise ValueError("radius must be positive")
@@ -95,11 +102,12 @@ def colored_maxrs_disk_sweep(
         return MaxRSResult(value=0, center=None, shape="ball", exact=True,
                            meta={"radius": radius, "n": 0})
 
+    candidates = get_kernel(backend, "disk_neighbor_candidates", len(coords))(coords, radius)
     best_value = -1
     best_center: Optional[Tuple[float, float]] = None
     for i, pivot in enumerate(coords):
-        others = [coords[j] for j in range(len(coords)) if j != i]
-        other_colors = [color_list[j] for j in range(len(coords)) if j != i]
+        others = [coords[j] for j in candidates[i]]
+        other_colors = [color_list[j] for j in candidates[i]]
         depth, angle = colored_depth_on_circle(pivot, radius, others, other_colors, color_list[i])
         if depth > best_value:
             best_value = depth

@@ -9,83 +9,35 @@ boundary point.  Another disk ``D_j`` covers an arc of ``C_i`` iff
 ``dist(p_i, p_j) <= 2r``; the arc is centered at the direction of ``p_j`` and
 has angular half-width ``arccos(dist / (2r))``.
 
-Running time is ``O(n^2 log n)`` -- a log factor above the original
-``O(n^2)`` algorithm, which is irrelevant for its role here as an exactness
-oracle and baseline (see DESIGN.md, substitutions).
+Running time is ``O(n^2 log n)`` in the worst case -- a log factor above the
+original ``O(n^2)`` algorithm, which is irrelevant for its role here as an
+exactness oracle and baseline (see DESIGN.md, substitutions).  Both kernel
+backends prune the pairwise interaction tests with a uniform grid
+(:func:`repro.kernels.python_backend.disk_neighbor_candidates`), so the
+effective cost is quadratic only in the local density; the ``numpy`` backend
+additionally vectorises each circle's angular sweep (see
+:mod:`repro.kernels`).
+
+The sweep-geometry helpers (:func:`circle_cover_events` and friends) live in
+:mod:`repro.kernels.python_backend` and are re-exported here for backwards
+compatibility.
 """
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..core._inputs import normalize_weighted
 from ..core.result import MaxRSResult
+from ..kernels import get_kernel
+from ..kernels.python_backend import (  # noqa: F401  (re-exported API)
+    TWO_PI,
+    _split_interval,
+    _sweep_circle,
+    circle_cover_events,
+)
 
 __all__ = ["maxrs_disk_exact", "circle_cover_events"]
-
-TWO_PI = 2.0 * math.pi
-
-
-def circle_cover_events(
-    center: Tuple[float, float],
-    radius: float,
-    other: Tuple[float, float],
-) -> Optional[Tuple[float, float]]:
-    """Angular interval of ``circle(center, radius)`` covered by ``disk(other, radius)``.
-
-    Returns ``(start, end)`` angles in ``[0, 2*pi)`` (the interval may wrap
-    around), ``(0, 2*pi)`` when the whole circle is covered, or ``None`` when
-    the two disks are too far apart to interact.
-    """
-    dx = other[0] - center[0]
-    dy = other[1] - center[1]
-    dist = math.hypot(dx, dy)
-    if dist > 2.0 * radius + 1e-12:
-        return None
-    if dist <= 1e-12:
-        return 0.0, TWO_PI
-    ratio = min(1.0, dist / (2.0 * radius))
-    half_width = math.acos(ratio)
-    theta = math.atan2(dy, dx) % TWO_PI
-    return (theta - half_width) % TWO_PI, (theta + half_width) % TWO_PI
-
-
-def _split_interval(start: float, end: float) -> List[Tuple[float, float]]:
-    """Split a (possibly wrapping) angular interval into non-wrapping pieces."""
-    if end >= start:
-        return [(start, end)]
-    return [(start, TWO_PI), (0.0, end)]
-
-
-def _sweep_circle(
-    base_weight: float,
-    intervals: List[Tuple[float, float, float]],
-) -> Tuple[float, float]:
-    """Max of ``base_weight + sum of interval weights covering angle`` over the circle.
-
-    ``intervals`` holds ``(start, end, weight)`` with ``start <= end`` (already
-    split at the wrap-around).  Returns ``(best value, best angle)``.
-    """
-    if not intervals:
-        return base_weight, 0.0
-    events: List[Tuple[float, int, float]] = []
-    for start, end, weight in intervals:
-        events.append((start, 0, weight))   # type 0: arc opens (closed endpoint)
-        events.append((end, 1, weight))     # type 1: arc closes
-    events.sort(key=lambda e: (e[0], e[1]))
-    running = base_weight
-    best_value = base_weight
-    best_angle = 0.0
-    for angle, kind, weight in events:
-        if kind == 0:
-            running += weight
-            if running > best_value:
-                best_value = running
-                best_angle = angle
-        else:
-            running -= weight
-    return best_value, best_angle
 
 
 def maxrs_disk_exact(
@@ -93,11 +45,14 @@ def maxrs_disk_exact(
     radius: float = 1.0,
     *,
     weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
 ) -> MaxRSResult:
-    """Optimal placement of a disk of the given radius (exact, ``O(n^2 log n)``).
+    """Optimal placement of a disk of the given radius (exact).
 
     Weights must be non-negative.  ``center`` of the result is the optimal
-    disk center.
+    disk center.  ``backend`` selects the kernel implementation of the
+    angular sweep (``"python"``, ``"numpy"`` or ``"auto"``; see
+    :mod:`repro.kernels`).
     """
     if radius <= 0:
         raise ValueError("radius must be positive")
@@ -110,30 +65,8 @@ def maxrs_disk_exact(
         return MaxRSResult(value=0.0, center=None, shape="ball", exact=True,
                            meta={"radius": radius, "n": 0})
 
-    best_value = -math.inf
-    best_center: Optional[Tuple[float, float]] = None
-    for i, pivot in enumerate(coords):
-        base = weight_list[i]
-        intervals: List[Tuple[float, float, float]] = []
-        for j, other in enumerate(coords):
-            if i == j:
-                continue
-            cover = circle_cover_events(pivot, radius, other)
-            if cover is None:
-                continue
-            start, end = cover
-            if (start, end) == (0.0, TWO_PI):
-                base += weight_list[j]
-                continue
-            for lo, hi in _split_interval(start, end):
-                intervals.append((lo, hi, weight_list[j]))
-        value, angle = _sweep_circle(base, intervals)
-        if value > best_value:
-            best_value = value
-            best_center = (
-                pivot[0] + radius * math.cos(angle),
-                pivot[1] + radius * math.sin(angle),
-            )
+    sweep = get_kernel(backend, "disk_sweep", len(coords))
+    best_value, best_center = sweep(coords, weight_list, radius)
 
     return MaxRSResult(
         value=best_value,

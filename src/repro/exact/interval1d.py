@@ -16,11 +16,11 @@ same coordinate.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import List, Optional, Sequence, Tuple
 
 from ..core._inputs import normalize_weighted
 from ..core.result import MaxRSResult
+from ..kernels import get_kernel
 
 __all__ = ["maxrs_interval_exact", "maxrs_interval_bruteforce"]
 
@@ -45,6 +45,7 @@ def maxrs_interval_exact(
     *,
     weights: Optional[Sequence[float]] = None,
     allow_empty: bool = True,
+    backend: str = "auto",
 ) -> MaxRSResult:
     """Optimal placement of a closed interval of the given length (exact).
 
@@ -60,6 +61,10 @@ def maxrs_interval_exact(
     allow_empty:
         When ``True`` the value never drops below 0: placing the interval far
         from every point is a legal placement covering nothing.
+    backend:
+        Kernel backend running the sweep: ``"python"`` (reference loop),
+        ``"numpy"`` (vectorised prefix sums) or ``"auto"`` (size- and
+        environment-based selection; see :mod:`repro.kernels`).
 
     Returns
     -------
@@ -74,35 +79,8 @@ def maxrs_interval_exact(
         return MaxRSResult(value=0.0, center=None, shape="interval", exact=True,
                            meta={"length": length, "n": 0})
 
-    additions = defaultdict(float)
-    removals = defaultdict(float)
-    for x, w in zip(xs, ws):
-        additions[x - length] += w
-        removals[x] += w
-
-    coordinates = sorted(set(additions) | set(removals))
-    running = 0.0
-    best_value = 0.0 if allow_empty else float("-inf")
-    best_left: Optional[float] = None
-    for position, coord in enumerate(coordinates):
-        if coord in additions:
-            running += additions[coord]
-        # Candidate 1: place the left endpoint exactly at this breakpoint.
-        if running > best_value:
-            best_value = running
-            best_left = coord
-        if coord in removals:
-            running -= removals[coord]
-            # Candidate 2: the open piece just after this breakpoint.  With
-            # negative weights (guard points) dropping a point can *increase*
-            # the value, so this piece must be considered explicitly.
-            if running > best_value:
-                if position + 1 < len(coordinates):
-                    piece_left = (coord + coordinates[position + 1]) / 2.0
-                else:
-                    piece_left = coord + 1.0
-                best_value = running
-                best_left = piece_left
+    sweep = get_kernel(backend, "interval_sweep", len(xs))
+    best_value, best_left = sweep(xs, ws, length, allow_empty)
 
     if best_left is None:
         # Either every placement is negative (and covering nothing is allowed)

@@ -16,13 +16,11 @@ the implementation relies on this and therefore requires non-negative weights.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from collections import defaultdict
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..core._inputs import normalize_weighted
 from ..core.result import MaxRSResult
-from ..structures.segment_tree import MaxAddSegmentTree
+from ..kernels import get_kernel
 
 __all__ = ["maxrs_rectangle_exact"]
 
@@ -33,6 +31,7 @@ def maxrs_rectangle_exact(
     height: float,
     *,
     weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
 ) -> MaxRSResult:
     """Optimal placement of a ``width x height`` axis-aligned rectangle (exact).
 
@@ -44,6 +43,10 @@ def maxrs_rectangle_exact(
         Side lengths of the query rectangle; both must be positive.
     weights:
         Optional non-negative weights.
+    backend:
+        Kernel backend running the sweep: ``"python"`` (segment-tree
+        reference), ``"numpy"`` (chunked prefix-bound sweep) or ``"auto"``
+        (size- and environment-based selection; see :mod:`repro.kernels`).
 
     Returns
     -------
@@ -62,46 +65,8 @@ def maxrs_rectangle_exact(
         return MaxRSResult(value=0.0, center=None, shape="rectangle", exact=True,
                            meta={"width": width, "height": height, "n": 0})
 
-    xs = [c[0] for c in coords]
-    ys = [c[1] for c in coords]
-
-    # Candidate b-coordinates: the bottom edge can be slid up until the top
-    # edge touches a point, i.e. b = y_i - height.
-    b_candidates = sorted({y - height for y in ys})
-    tree = MaxAddSegmentTree(len(b_candidates))
-
-    def b_range(y: float) -> Tuple[int, int]:
-        """Closed candidate-index range of b values for which the point at y is covered."""
-        lo = bisect_left(b_candidates, y - height - 1e-9)
-        hi = bisect_right(b_candidates, y + 1e-9) - 1
-        return lo, hi
-
-    # Sweep events on a: insert at a = x - width, remove after a = x.
-    insert_at = defaultdict(list)
-    remove_at = defaultdict(list)
-    for i, (x, y) in enumerate(coords):
-        insert_at[x - width].append(i)
-        remove_at[x].append(i)
-
-    coordinates = sorted(set(insert_at) | set(remove_at))
-    best_value = 0.0
-    best_corner: Optional[Tuple[float, float]] = None
-    for a in coordinates:
-        for i in insert_at.get(a, ()):  # insertions first: the interval is closed
-            lo, hi = b_range(ys[i])
-            tree.add(lo, hi, weight_list[i])
-        if a in insert_at:
-            value, arg = tree.max_with_argmax()
-            if value > best_value or best_corner is None:
-                best_value = value
-                best_corner = (a, b_candidates[arg])
-        for i in remove_at.get(a, ()):
-            lo, hi = b_range(ys[i])
-            tree.add(lo, hi, -weight_list[i])
-
-    if best_corner is None:
-        best_corner = (xs[0] - width, ys[0] - height)
-        best_value = weight_list[0]
+    sweep = get_kernel(backend, "rectangle_sweep", len(coords))
+    best_value, best_corner = sweep(coords, weight_list, width, height)
     return MaxRSResult(
         value=best_value,
         center=best_corner,

@@ -1,0 +1,283 @@
+"""Differential test harness for the kernel backends (repro.kernels).
+
+Every (solver x backend) pair runs on the four workload families the
+experiments use -- uniform, clustered, hotspot and planted-optimum -- and the
+backends must agree:
+
+* **equal objective values** -- bit-identical whenever the weight arithmetic
+  is exact (unweighted / integer-weight instances, and every colored solver,
+  whose objective is an integer count); within floating-point reassociation
+  noise (rel. 1e-9) for real-valued weights, since the NumPy kernels may sum
+  the same terms in a different order;
+* **valid argmax locations** -- every reported placement is re-scored by an
+  independent oracle and must achieve the reported value.  Backends may
+  report *different* optimal placements (ties broken differently); they may
+  not report a location that does not attain the optimum.
+
+This is the cheapest correctness oracle the library has: any randomized
+dataset pushed through both backends is a regression test, because the
+pure-Python backend is the paper-faithful reference implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import kernels
+from repro.core import max_range_sum_ball, weighted_depth
+from repro.core.technique2 import colored_maxrs_disk_output_sensitive
+from repro.datasets import (
+    clustered_points,
+    planted_ball_instance,
+    planted_colored_instance,
+    uniform_weighted_points,
+    weighted_hotspot_points,
+)
+from repro.exact import (
+    maxrs_disk_exact,
+    maxrs_interval_exact,
+    maxrs_rectangle_exact,
+)
+
+BACKENDS = ("python", "numpy")
+
+REL_TOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# datasets: (points, weights, exact_arithmetic)
+# --------------------------------------------------------------------------- #
+
+def _dataset(name: str):
+    """Build one named workload; integer weights make float sums exact."""
+    if name == "uniform":
+        points, weights = uniform_weighted_points(400, dim=2, extent=14.0, seed=41)
+        return points, weights, False
+    if name == "clustered":
+        points = clustered_points(400, dim=2, extent=14.0, clusters=4, seed=43)
+        return points, [1.0] * len(points), True
+    if name == "hotspot":
+        points, weights = weighted_hotspot_points(400, dim=2, extent=14.0, seed=47)
+        return points, weights, False
+    if name == "planted":
+        points, opt = planted_ball_instance(300, planted=18, dim=2, radius=1.0, seed=53)
+        return points, [1.0] * len(points), True
+    raise AssertionError(name)
+
+
+DATASETS = ("uniform", "clustered", "hotspot", "planted")
+
+
+# --------------------------------------------------------------------------- #
+# re-scoring oracles (independent of both backends)
+# --------------------------------------------------------------------------- #
+
+def _score_interval(left, length, xs, ws):
+    return sum(w for x, w in zip(xs, ws) if left - 1e-9 <= x <= left + length + 1e-9)
+
+
+def _score_rectangle(corner, width, height, points, ws):
+    a, b = corner
+    return sum(
+        w for (x, y), w in zip(points, ws)
+        if a - 1e-9 <= x <= a + width + 1e-9 and b - 1e-9 <= y <= b + height + 1e-9
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the differential harness
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("dataset", DATASETS)
+class TestSolverConformance:
+    def test_interval(self, dataset):
+        points, ws, exact_arith = _dataset(dataset)
+        xs = [p[0] for p in points]
+        length = 1.5
+        results = {
+            backend: maxrs_interval_exact(xs, length, weights=ws, backend=backend)
+            for backend in BACKENDS
+        }
+        reference = results["python"]
+        for backend, result in results.items():
+            if exact_arith:
+                assert result.value == reference.value, backend
+            else:
+                assert _close(result.value, reference.value), backend
+            score = _score_interval(result.center[0], length, xs, ws)
+            assert _close(score, result.value), (
+                "%s reported a left endpoint scoring %r, not %r"
+                % (backend, score, result.value)
+            )
+
+    def test_rectangle(self, dataset):
+        points, ws, exact_arith = _dataset(dataset)
+        width, height = 2.0, 1.5
+        results = {
+            backend: maxrs_rectangle_exact(points, width, height, weights=ws,
+                                           backend=backend)
+            for backend in BACKENDS
+        }
+        reference = results["python"]
+        for backend, result in results.items():
+            if exact_arith:
+                assert result.value == reference.value, backend
+            else:
+                assert _close(result.value, reference.value), backend
+            score = _score_rectangle(result.center, width, height, points, ws)
+            assert _close(score, result.value), (
+                "%s reported a corner scoring %r, not %r"
+                % (backend, score, result.value)
+            )
+
+    def test_disk(self, dataset):
+        points, ws, exact_arith = _dataset(dataset)
+        results = {
+            backend: maxrs_disk_exact(points, radius=1.0, weights=ws, backend=backend)
+            for backend in BACKENDS
+        }
+        reference = results["python"]
+        for backend, result in results.items():
+            if exact_arith:
+                assert result.value == reference.value, backend
+            else:
+                assert _close(result.value, reference.value), backend
+            score = weighted_depth(result.center, points, ws, radius=1.0)
+            assert _close(score, result.value), (
+                "%s reported a center scoring %r, not %r"
+                % (backend, score, result.value)
+            )
+
+    def test_technique1_ball(self, dataset):
+        """Same seed => same samples; only the depth kernel differs.
+
+        On exact-arithmetic instances the two backends must therefore land on
+        identical values; the reported value counts only the balls of the
+        winning cell, so the full-input depth of the placement bounds it from
+        above.  (A slice of the dataset keeps the pure-Python probe loop --
+        the reference under test, not a production path -- affordable.)
+        """
+        points, ws, exact_arith = _dataset(dataset)
+        points, ws = points[:200], ws[:200]
+        results = {
+            backend: max_range_sum_ball(points, radius=1.0, epsilon=0.35, weights=ws,
+                                        seed=97, backend=backend)
+            for backend in BACKENDS
+        }
+        reference = results["python"]
+        for backend, result in results.items():
+            if exact_arith:
+                assert result.value == reference.value, backend
+            else:
+                assert _close(result.value, reference.value), backend
+            score = weighted_depth(result.center, points, ws, radius=1.0)
+            assert score >= result.value - 1e-9
+
+
+def test_planted_disk_optimum_found_by_both_backends():
+    """The planted instance's optimum is known by construction: both kernel
+    backends must find exactly that value."""
+    points, opt = planted_ball_instance(300, planted=18, dim=2, radius=1.0, seed=53)
+    for backend in BACKENDS:
+        result = maxrs_disk_exact(points, radius=1.0, backend=backend)
+        assert result.value == float(opt), backend
+
+
+def test_colored_output_sensitive_conformance():
+    """Colored depth is an integer count: backends must agree exactly."""
+    points, colors, opt = planted_colored_instance(
+        220, planted_colors=9, dim=2, background_colors=3, seed=59)
+    values = {
+        backend: colored_maxrs_disk_output_sensitive(
+            points, radius=1.0, colors=colors, backend=backend).value
+        for backend in BACKENDS
+    }
+    assert values["python"] == values["numpy"] == opt
+
+
+# --------------------------------------------------------------------------- #
+# raw kernel conformance (no solver wrapper in the way)
+# --------------------------------------------------------------------------- #
+
+def test_disk_neighbor_candidates_agree():
+    points = clustered_points(250, dim=2, extent=8.0, clusters=3, seed=61)
+    py = kernels.get_backend("python").disk_neighbor_candidates(points, 1.0)
+    np_ = kernels.get_backend("numpy").disk_neighbor_candidates(points, 1.0)
+    assert len(py) == len(np_) == len(points)
+    for reference, vectorised in zip(py, np_):
+        assert list(reference) == [int(j) for j in vectorised]
+
+
+def test_probe_depths_agree():
+    points, ws = uniform_weighted_points(150, dim=2, extent=6.0, seed=67)
+    probes = [(x + 0.25, y - 0.25) for x, y in points[:40]]
+    py = kernels.get_backend("python").probe_depths(probes, points, ws, 1.0)
+    np_ = kernels.get_backend("numpy").probe_depths(probes, points, ws, 1.0)
+    for a, b in zip(py, np_):
+        assert _close(float(a), float(b))
+
+
+def test_colored_depth_batch_agree():
+    points, colors, _ = planted_colored_instance(
+        160, planted_colors=7, dim=2, background_colors=4, seed=71)
+    probes = [points[i] for i in range(0, len(points), 7)]
+    py = kernels.get_backend("python").colored_depth_batch(probes, points, colors, 1.0)
+    np_ = kernels.get_backend("numpy").colored_depth_batch(probes, points, colors, 1.0)
+    assert [int(v) for v in py] == [int(v) for v in np_]
+
+
+# --------------------------------------------------------------------------- #
+# registry behaviour
+# --------------------------------------------------------------------------- #
+
+class TestRegistry:
+    def test_available_backends(self):
+        names = kernels.available_backends()
+        assert "python" in names and "numpy" in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            maxrs_interval_exact([0.0, 1.0], 1.0, backend="fortran")
+
+    def test_auto_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert kernels.resolve_backend("auto", kernels.AUTO_THRESHOLD - 1) == "python"
+        assert kernels.resolve_backend("auto", kernels.AUTO_THRESHOLD) == "numpy"
+        # batched depth evaluation vectorises at any size
+        assert kernels.resolve_backend("auto", 1, "probe_depths") == "numpy"
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert kernels.resolve_backend("auto", 1) == "numpy"
+        # explicit requests beat the environment
+        assert kernels.resolve_backend("python", 10**9) == "python"
+        monkeypatch.setenv("REPRO_BACKEND", "no-such-backend")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.resolve_backend("auto", 1)
+
+    def test_partial_backend_falls_back_to_python(self):
+        class OnlyInterval:
+            interval_sweep = staticmethod(
+                kernels.get_backend("numpy").interval_sweep)
+
+        kernels.register_backend("only-interval", OnlyInterval)
+        try:
+            result = maxrs_interval_exact([0.0, 0.5, 3.0], 1.0, backend="only-interval")
+            assert result.value == 2.0
+            # rectangle_sweep is missing: get_kernel silently falls back
+            fallback = kernels.get_kernel("only-interval", "rectangle_sweep")
+            assert fallback is kernels.get_backend("python").rectangle_sweep
+        finally:
+            kernels._REGISTRY.pop("only-interval", None)
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.register_backend("auto", object())
+        with pytest.raises(ValueError):
+            kernels.register_backend("", object())

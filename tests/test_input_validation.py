@@ -1,0 +1,107 @@
+"""Non-finite input is rejected at the normalisation boundary.
+
+Before this guard a NaN coordinate or weight flowed straight into the sweeps:
+NaN compares false against every threshold, so events silently dropped out of
+order and the solvers returned garbage instead of failing.  All public
+solvers share ``repro.core._inputs``, so one boundary check covers the whole
+library; these tests pin the behaviour through both the normalisers and a
+representative sample of solvers on both kernel backends.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import max_range_sum_ball
+from repro.core._inputs import normalize_colored, normalize_weighted
+from repro.core.technique2 import colored_maxrs_disk_output_sensitive
+from repro.engine import QueryEngine
+from repro.exact import (
+    maxrs_disk_exact,
+    maxrs_interval_exact,
+    maxrs_rectangle_exact,
+)
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestNormalizerBoundary:
+    @pytest.mark.parametrize("bad", [NAN, INF, -INF])
+    def test_bad_coordinate_rejected(self, bad):
+        with pytest.raises(ValueError, match="non-finite coordinates"):
+            normalize_weighted([(0.0, 0.0), (1.0, bad)])
+
+    @pytest.mark.parametrize("bad", [NAN, INF, -INF])
+    def test_bad_weight_rejected(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            normalize_weighted([(0.0, 0.0), (1.0, 1.0)], weights=[1.0, bad],
+                               require_positive=False)
+
+    @pytest.mark.parametrize("bad", [NAN, INF, -INF])
+    def test_colored_bad_coordinate_rejected(self, bad):
+        with pytest.raises(ValueError, match="non-finite coordinates"):
+            normalize_colored([(0.0, 0.0), (bad, 1.0)], colors=["a", "b"])
+
+    def test_error_names_the_offending_point(self):
+        with pytest.raises(ValueError, match="point 2"):
+            normalize_weighted([(0.0, 0.0), (1.0, 1.0), (NAN, 0.0)])
+        with pytest.raises(ValueError, match="weight 1"):
+            normalize_weighted([(0.0, 0.0), (1.0, 1.0)], weights=[1.0, NAN])
+
+    def test_finite_input_still_accepted(self):
+        coords, weights, dim = normalize_weighted([(0.0, 1.0)], weights=[2.0])
+        assert coords == [(0.0, 1.0)] and weights == [2.0] and dim == 2
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+class TestSolverBoundary:
+    """NaN previously slipped *past* the weight-positivity check (NaN <= 0 is
+    false); the solvers must now refuse it regardless of backend."""
+
+    def test_interval(self, backend):
+        with pytest.raises(ValueError):
+            maxrs_interval_exact([0.0, NAN], 1.0, backend=backend)
+        with pytest.raises(ValueError):
+            maxrs_interval_exact([0.0, 1.0], 1.0, weights=[1.0, NAN], backend=backend)
+
+    def test_rectangle(self, backend):
+        with pytest.raises(ValueError):
+            maxrs_rectangle_exact([(0.0, 0.0), (1.0, INF)], 1.0, 1.0, backend=backend)
+        with pytest.raises(ValueError):
+            maxrs_rectangle_exact([(0.0, 0.0), (1.0, 1.0)], 1.0, 1.0,
+                                  weights=[1.0, NAN], backend=backend)
+
+    def test_disk(self, backend):
+        with pytest.raises(ValueError):
+            maxrs_disk_exact([(0.0, 0.0), (NAN, 0.0)], radius=1.0, backend=backend)
+        with pytest.raises(ValueError):
+            maxrs_disk_exact([(0.0, 0.0), (1.0, 0.0)], radius=1.0,
+                             weights=[INF, 1.0], backend=backend)
+
+    def test_technique1(self, backend):
+        with pytest.raises(ValueError):
+            max_range_sum_ball([(0.0, 0.0), (NAN, NAN)], radius=1.0, epsilon=0.3,
+                               seed=0, backend=backend)
+
+    def test_technique2(self, backend):
+        with pytest.raises(ValueError):
+            colored_maxrs_disk_output_sensitive([(0.0, 0.0), (1.0, NAN)],
+                                                colors=["a", "b"], backend=backend)
+
+
+def test_engine_rejects_non_finite_dataset():
+    with pytest.raises(ValueError):
+        QueryEngine([(0.0, 0.0), (NAN, 1.0)])
+    with pytest.raises(ValueError):
+        QueryEngine([(0.0, 0.0), (1.0, 1.0)], weights=[1.0, INF])
+
+
+def test_weighted_depth_of_finite_points_unchanged():
+    """The guard must not change accepted inputs: a plain solve still works."""
+    points = [(0.0, 0.0), (0.5, 0.0), (4.0, 4.0)]
+    result = maxrs_disk_exact(points, radius=1.0)
+    assert result.value == 2.0
+    assert all(math.isfinite(c) for c in result.center)
