@@ -13,7 +13,13 @@ writing Python:
   through the sharded parallel execution engine (:mod:`repro.engine`) with
   ``--workers N`` workers on the ``--executor`` backend; ``--backend``
   selects the kernel backend for the sweep inner loops
-  (:mod:`repro.kernels`: pure-Python reference or vectorised NumPy).
+  (:mod:`repro.kernels`: pure-Python reference or vectorised NumPy);
+* ``monitor`` -- replay a synthetic update stream through one of the
+  streaming hotspot monitors (:mod:`repro.streaming`), ingesting in batches
+  of ``--batch-size`` events, with ``--backend`` / ``--executor`` control
+  over the dirty-shard re-solves and optional ``--window`` /
+  ``--time-window`` sliding windows; reports the final hotspot and the
+  sustained events/sec.
 
 Every command prints a short human-readable summary to stdout and exits with
 status 0 on success, 2 on usage errors.
@@ -23,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .bench import experiments as _experiments
@@ -32,7 +39,13 @@ from .bench.recorder import write_reports_csv_dir, write_reports_json
 from .boxes import colored_maxrs_box
 from .core import colored_maxrs_disk, max_range_sum_ball
 from .datasets import (
+    UpdateStream,
+    adversarial_churn_stream,
+    burst_stream,
     clustered_points,
+    drift_stream,
+    hotspot_monitoring_stream,
+    sliding_window_stream,
     trajectory_colored_points,
     uniform_weighted_points,
     weighted_hotspot_points,
@@ -233,6 +246,152 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_stream(args: argparse.Namespace):
+    """Synthesise the update stream the ``monitor`` command replays."""
+    if args.stream == "hotspot":
+        return hotspot_monitoring_stream(args.events, extent=args.extent, seed=args.seed)
+    if args.stream == "sliding":
+        window = args.window or max(1, args.events // 4)
+        stream = sliding_window_stream(args.events, window=window, extent=args.extent,
+                                       seed=args.seed)
+        # sliding_window_stream counts *insertions*; cut at --events total
+        # events (prefixes stay replayable) so every --stream value replays
+        # the same number of events.
+        return UpdateStream(list(stream)[:args.events])
+    if args.stream == "drift":
+        return drift_stream(args.events, extent=args.extent, seed=args.seed)
+    if args.stream == "burst":
+        return burst_stream(args.events, extent=args.extent, seed=args.seed)
+    return adversarial_churn_stream(args.events, radius=args.radius, seed=args.seed)
+
+
+def _build_monitor(args: argparse.Namespace):
+    """Construct the monitor the ``monitor`` command drives.
+
+    Returns ``(monitor, executor_label)`` so the summary line reports the
+    executor that was actually constructed.
+    """
+    from .engine import Query
+    from .streaming import (
+        ApproximateMaxRSMonitor,
+        ExactRecomputeMonitor,
+        MultiQueryMonitor,
+        ShardedMaxRSMonitor,
+    )
+
+    if args.monitor == "exact":
+        return ExactRecomputeMonitor(radius=args.radius, backend=args.backend), "inline"
+    if args.monitor == "approx":
+        epsilon = 0.25 if args.epsilon is None else args.epsilon
+        return ApproximateMaxRSMonitor(dim=2, radius=args.radius, epsilon=epsilon,
+                                       seed=args.seed), "inline"
+    # --workers alone means "parallelise": default to the thread executor,
+    # matching `solve --workers` (otherwise workers would be silently dropped).
+    executor = args.executor
+    if executor is None and args.workers is not None:
+        executor = "thread"
+    label = executor or "inline"
+    if args.monitor == "multi":
+        radii = [float(r) for r in (args.radii or "0.5,1.0").split(",") if r]
+        width = 1.0 if args.width is None else args.width
+        height = 1.0 if args.height is None else args.height
+        queries = {"disk-r%g" % r: Query.disk(r, backend=args.backend) for r in radii}
+        queries["rect-%gx%g" % (width, height)] = Query.rectangle(
+            width, height, backend=args.backend)
+        return MultiQueryMonitor(queries, executor=executor,
+                                 workers=args.workers), label
+    return ShardedMaxRSMonitor(radius=args.radius, backend=args.backend,
+                               executor=executor, workers=args.workers,
+                               window=args.window,
+                               time_window=args.time_window), label
+
+
+def _monitor_args_error(args: argparse.Namespace) -> Optional[str]:
+    """Reject flag combinations the chosen monitor would silently ignore."""
+    if args.monitor != "sharded" and args.time_window is not None:
+        return ("--time-window applies to --monitor sharded only "
+                "(got --monitor %s)" % args.monitor)
+    if (args.monitor != "sharded" and args.stream != "sliding"
+            and args.window is not None):
+        # --window parameterizes the 'sliding' stream itself; otherwise it is
+        # the sharded monitor's count window.
+        return ("--window applies to --monitor sharded (count window) or "
+                "--stream sliding (stream expiry) only")
+    if args.monitor in ("exact", "approx") and (args.executor is not None
+                                                or args.workers is not None):
+        return ("--executor/--workers apply to the sharded monitors only "
+                "(got --monitor %s)" % args.monitor)
+    if args.monitor == "approx" and args.backend != "auto":
+        return "--backend does not affect --monitor approx (the dynamic structure)"
+    if args.monitor != "multi" and (args.radii is not None or args.width is not None
+                                    or args.height is not None):
+        return ("--radii/--width/--height configure the standing queries of "
+                "--monitor multi only (got --monitor %s)" % args.monitor)
+    if args.monitor != "approx" and args.epsilon is not None:
+        return ("--epsilon applies to --monitor approx only "
+                "(got --monitor %s)" % args.monitor)
+    if args.query_every is not None and args.query_every < 1:
+        return "--query-every must be >= 1"
+    if args.batch_size < 1:
+        return "--batch-size must be >= 1"
+    if args.events < 1:
+        return "--events must be >= 1"
+    return None
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .streaming import MultiQuerySnapshot
+
+    usage_error = _monitor_args_error(args)
+    if usage_error is not None:
+        print(usage_error, file=sys.stderr)
+        return 2
+    try:
+        stream = _build_stream(args)
+        monitor, executor_label = _build_monitor(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    query_every = (args.query_every if args.query_every is not None
+                   else max(1, len(stream) // 10))
+    started = time.perf_counter()
+    try:
+        snapshots = monitor.apply_stream(stream, chunk_size=args.batch_size,
+                                         query_every=query_every)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    finally:
+        if hasattr(monitor, "close"):
+            monitor.close()
+    elapsed = time.perf_counter() - started
+
+    print("stream:     %s (%d events, seed=%d)" % (args.stream, len(stream), args.seed))
+    print("monitor:    %s (batch=%d, backend=%s, executor=%s)"
+          % (args.monitor, args.batch_size, args.backend, executor_label))
+    print("queries:    every %d events -> %d snapshots" % (query_every, len(snapshots)))
+    print("throughput: %.0f events/sec (%.3fs total)"
+          % (len(stream) / elapsed if elapsed > 0 else float("inf"), elapsed))
+    if not snapshots:
+        return 0
+    last = snapshots[-1]
+    if isinstance(last, MultiQuerySnapshot):
+        print("final live set: %d points" % last.live_points)
+        for name, result in sorted(last.results.items()):
+            placement = ("none" if result.center is None
+                         else ", ".join("%.4f" % c for c in result.center))
+            print("  %-16s value=%-8g placement=(%s)" % (name, result.value, placement))
+    else:
+        placement = ("none" if last.center is None
+                     else ", ".join("%.4f" % c for c in last.center))
+        print("final hotspot:  value=%g placement=(%s) live=%d"
+              % (last.value, placement, last.live_points))
+    if hasattr(monitor, "total_recomputes"):
+        print("shard recomputes: %d over %d queries"
+              % (monitor.total_recomputes, len(snapshots)))
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
@@ -289,6 +448,53 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--executor", choices=["serial", "thread", "process"], default=None,
                        help="sharded engine backend (default: thread when --workers > 1)")
     solve.set_defaults(func=_cmd_solve)
+
+    monitor = subparsers.add_parser(
+        "monitor", help="replay an update stream through a streaming hotspot monitor")
+    monitor.add_argument("--stream", choices=["hotspot", "sliding", "drift", "burst", "churn"],
+                         default="hotspot", help="synthetic stream scenario to replay")
+    monitor.add_argument("--events", type=int, default=2000, help="stream length")
+    monitor.add_argument("--monitor", choices=["sharded", "exact", "approx", "multi"],
+                         default="sharded",
+                         help="'sharded' = dirty-shard exact monitor, 'exact' = "
+                              "from-scratch recompute baseline, 'approx' = the paper's "
+                              "dynamic (1/2 - eps) structure, 'multi' = several standing "
+                              "queries over one shared shard pass")
+    monitor.add_argument("--batch-size", type=int, default=256,
+                         help="events ingested per batch (chunked apply_stream)")
+    monitor.add_argument("--backend", choices=["auto", "python", "numpy"], default="auto",
+                         help="kernel backend for the per-shard sweeps; 'auto' resolves "
+                              "per shard like the batch engine")
+    monitor.add_argument("--executor", choices=["serial", "thread", "process"], default=None,
+                         help="engine executor for dirty-shard re-solves (default: inline)")
+    monitor.add_argument("--workers", type=int, default=None,
+                         help="worker count for the executor")
+    monitor.add_argument("--radius", type=float, default=1.0,
+                         help="query disk radius (also the churn stream's tile scale)")
+    monitor.add_argument("--radii", default=None,
+                         help="comma-separated disk radii for --monitor multi "
+                              "(default: 0.5,1.0)")
+    monitor.add_argument("--width", type=float, default=None,
+                         help="standing rectangle width for --monitor multi "
+                              "(default: 1.0)")
+    monitor.add_argument("--height", type=float, default=None,
+                         help="standing rectangle height for --monitor multi "
+                              "(default: 1.0)")
+    monitor.add_argument("--epsilon", type=float, default=None,
+                         help="epsilon for --monitor approx (default: 0.25)")
+    monitor.add_argument("--window", type=int, default=None,
+                         help="count-based sliding window of the sharded monitor "
+                              "(also sets the expiry window of --stream sliding)")
+    monitor.add_argument("--time-window", type=float, default=None,
+                         help="time-based sliding window of the sharded monitor "
+                              "(every stream this command generates carries "
+                              "unit-spaced timestamps)")
+    monitor.add_argument("--query-every", type=int, default=None,
+                         help="events between hotspot queries (default: stream/10)")
+    monitor.add_argument("--extent", type=float, default=10.0,
+                         help="side of the stream's bounding square")
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.set_defaults(func=_cmd_monitor)
 
     return parser
 

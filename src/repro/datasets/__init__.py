@@ -25,7 +25,15 @@ from .generators import (
     weighted_hotspot_points,
 )
 from .planted import planted_ball_instance, planted_colored_instance
-from .streams import UpdateEvent, UpdateStream, hotspot_monitoring_stream, sliding_window_stream
+from .streams import (
+    UpdateEvent,
+    UpdateStream,
+    adversarial_churn_stream,
+    burst_stream,
+    drift_stream,
+    hotspot_monitoring_stream,
+    sliding_window_stream,
+)
 from .trajectories import trajectory_colored_points
 from .io import PointTable, read_points_csv, write_points_csv
 
@@ -41,6 +49,9 @@ __all__ = [
     "UpdateStream",
     "hotspot_monitoring_stream",
     "sliding_window_stream",
+    "drift_stream",
+    "burst_stream",
+    "adversarial_churn_stream",
     "PointTable",
     "read_points_csv",
     "write_points_csv",

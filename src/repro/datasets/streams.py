@@ -6,17 +6,39 @@ patients are deleted, and the authorities continuously ask for the current
 hotspot.  :class:`UpdateStream` is a simple ordered list of
 :class:`UpdateEvent` objects that :class:`repro.core.dynamic.DynamicMaxRS`
 (and the exact re-computation baseline used in experiment E2) can replay.
+
+Besides the two scenario generators the reproduction shipped with
+(:func:`hotspot_monitoring_stream`, :func:`sliding_window_stream`), this
+module provides the workload families the streaming stress suite replays
+against every monitor:
+
+* :func:`drift_stream` -- cluster centers random-walk across the domain, so
+  the hotspot *moves* and stale cached answers are wrong answers;
+* :func:`burst_stream` -- a quiet background punctuated by dense insertion
+  bursts that are later deleted en masse, the flash-crowd shape;
+* :func:`adversarial_churn_stream` -- inserts pinned near the corners of the
+  monitors' spatial tiling so every event lands in the maximum number of
+  tiles, with immediate LIFO deletions: the worst case for dirty-shard
+  accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.sampling import default_rng
 from .generators import clustered_points
 
-__all__ = ["UpdateEvent", "UpdateStream", "hotspot_monitoring_stream", "sliding_window_stream"]
+__all__ = [
+    "UpdateEvent",
+    "UpdateStream",
+    "hotspot_monitoring_stream",
+    "sliding_window_stream",
+    "drift_stream",
+    "burst_stream",
+    "adversarial_churn_stream",
+]
 
 Coords = Tuple[float, ...]
 
@@ -27,13 +49,18 @@ class UpdateEvent:
 
     ``kind`` is ``"insert"`` or ``"delete"``.  For insertions ``point`` and
     ``weight`` are set; for deletions ``target`` refers to the position (in
-    the stream) of the insertion being undone.
+    the stream) of the insertion being undone.  ``timestamp`` (optional,
+    non-decreasing along a stream) drives the time-based sliding windows;
+    ``color`` (optional) carries the category label colored standing queries
+    aggregate over.
     """
 
     kind: str
     point: Optional[Coords] = None
     weight: float = 1.0
     target: Optional[int] = None
+    timestamp: Optional[float] = None
+    color: Optional[Hashable] = None
 
     def __post_init__(self):
         if self.kind not in ("insert", "delete"):
@@ -75,7 +102,11 @@ def hotspot_monitoring_stream(
     delete_fraction: float = 0.35,
     seed=None,
 ) -> UpdateStream:
-    """A COVID-style stream: clustered insertions interleaved with random deletions."""
+    """A COVID-style stream: clustered insertions interleaved with random deletions.
+
+    Events carry unit-spaced timestamps, so the stream also drives the
+    time-based sliding windows.
+    """
     if not 0.0 <= delete_fraction < 1.0:
         raise ValueError("delete_fraction must lie in [0, 1)")
     rng = default_rng(seed)
@@ -96,9 +127,11 @@ def hotspot_monitoring_stream(
         if want_delete:
             position = int(rng.integers(0, len(live_insert_indices)))
             target = live_insert_indices.pop(position)
-            events.append(UpdateEvent(kind="delete", target=target))
+            events.append(UpdateEvent(kind="delete", target=target,
+                                      timestamp=float(len(events))))
         else:
-            events.append(UpdateEvent(kind="insert", point=points[inserted], weight=1.0))
+            events.append(UpdateEvent(kind="insert", point=points[inserted], weight=1.0,
+                                      timestamp=float(len(events))))
             live_insert_indices.append(len(events) - 1)
             inserted += 1
     return UpdateStream(events)
@@ -115,7 +148,8 @@ def sliding_window_stream(
     """A sliding-window stream: every insertion beyond ``window`` expires the oldest point.
 
     This matches monitoring scenarios where only the most recent ``window``
-    observations matter (e.g. infections within the last two weeks).
+    observations matter (e.g. infections within the last two weeks).  Events
+    carry unit-spaced timestamps.
     """
     if window < 1:
         raise ValueError("window must be >= 1")
@@ -129,7 +163,168 @@ def sliding_window_stream(
         # the window, then insert the new one.
         if len(insert_event_indices) == window:
             oldest = insert_event_indices.pop(0)
-            events.append(UpdateEvent(kind="delete", target=oldest))
-        events.append(UpdateEvent(kind="insert", point=point, weight=1.0))
+            events.append(UpdateEvent(kind="delete", target=oldest,
+                                      timestamp=float(len(events))))
+        events.append(UpdateEvent(kind="insert", point=point, weight=1.0,
+                                  timestamp=float(len(events))))
         insert_event_indices.append(len(events) - 1)
+    return UpdateStream(events)
+
+
+def drift_stream(
+    updates: int,
+    dim: int = 2,
+    extent: float = 10.0,
+    clusters: int = 3,
+    drift: float = 0.15,
+    delete_fraction: float = 0.4,
+    dt: float = 1.0,
+    seed=None,
+) -> UpdateStream:
+    """A concept-drift stream: cluster centers random-walk across the domain.
+
+    Each insertion is drawn around one of ``clusters`` centers that take a
+    Gaussian step of scale ``drift`` per event, so the hotspot migrates over
+    the stream's lifetime; deletions expire the *oldest* live point (with
+    probability ``delete_fraction`` per event), mimicking observations aging
+    out.  Events carry timestamps spaced ``dt`` apart, so the stream also
+    exercises the time-based sliding windows.  The monitoring literature
+    calls this the non-stationary case: any monitor that caches regional
+    answers must invalidate them as mass drifts between regions.
+    """
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError("delete_fraction must lie in [0, 1)")
+    if clusters < 1:
+        raise ValueError("clusters must be >= 1")
+    rng = default_rng(seed)
+    centers = [rng.uniform(0.0, extent, size=dim) for _ in range(clusters)]
+    std = extent / (6.0 * clusters)
+    events: List[UpdateEvent] = []
+    live_insert_indices: List[int] = []
+    for step in range(updates):
+        for center in centers:
+            center += rng.normal(0.0, drift, size=dim)
+        if live_insert_indices and rng.random() < delete_fraction:
+            target = live_insert_indices.pop(0)  # expire the oldest
+            events.append(UpdateEvent(kind="delete", target=target, timestamp=step * dt))
+        else:
+            center = centers[int(rng.integers(0, clusters))]
+            point = tuple(float(c) for c in center + rng.normal(0.0, std, size=dim))
+            events.append(UpdateEvent(kind="insert", point=point, timestamp=step * dt))
+            live_insert_indices.append(len(events) - 1)
+    return UpdateStream(events)
+
+
+def burst_stream(
+    updates: int,
+    dim: int = 2,
+    extent: float = 10.0,
+    burst_every: int = 60,
+    burst_size: int = 20,
+    burst_std: float = 0.3,
+    background_delete_fraction: float = 0.3,
+    dt: float = 1.0,
+    seed=None,
+) -> UpdateStream:
+    """A flash-crowd stream: quiet background traffic punctuated by bursts.
+
+    Background events are uniform insertions (mixed with deletions of random
+    live points).  Every ``burst_every`` events a *burst* fires: ``burst_size``
+    insertions packed within ``burst_std`` of a random burst site, followed --
+    one burst period later -- by the deletion of that entire burst.  The live
+    set therefore oscillates between diffuse and sharply peaked, the shape
+    that separates monitors with per-region caching (only the burst's tiles
+    go dirty) from from-scratch recomputation.  Timestamps advance ``dt`` per
+    event.
+    """
+    if burst_every < 1 or burst_size < 1:
+        raise ValueError("burst_every and burst_size must be >= 1")
+    if not 0.0 <= background_delete_fraction < 1.0:
+        raise ValueError("background_delete_fraction must lie in [0, 1)")
+    rng = default_rng(seed)
+    events: List[UpdateEvent] = []
+    background_live: List[int] = []
+    pending_burst: List[int] = []  # insert indices of the last burst, not yet deleted
+    since_burst = 0
+    while len(events) < updates:
+        since_burst += 1
+        if since_burst >= burst_every:
+            since_burst = 0
+            # Tear down the previous burst, then fire a new one.
+            for target in pending_burst:
+                if len(events) >= updates:
+                    break
+                events.append(UpdateEvent(kind="delete", target=target,
+                                          timestamp=float(len(events)) * dt))
+            pending_burst = []
+            site = rng.uniform(0.0, extent, size=dim)
+            for _ in range(burst_size):
+                if len(events) >= updates:
+                    break
+                point = tuple(float(c) for c in site + rng.normal(0.0, burst_std, size=dim))
+                events.append(UpdateEvent(kind="insert", point=point,
+                                          timestamp=float(len(events)) * dt))
+                pending_burst.append(len(events) - 1)
+            continue
+        if background_live and rng.random() < background_delete_fraction:
+            position = int(rng.integers(0, len(background_live)))
+            target = background_live.pop(position)
+            events.append(UpdateEvent(kind="delete", target=target,
+                                      timestamp=float(len(events)) * dt))
+        else:
+            point = tuple(float(c) for c in rng.uniform(0.0, extent, size=dim))
+            events.append(UpdateEvent(kind="insert", point=point,
+                                      timestamp=float(len(events)) * dt))
+            background_live.append(len(events) - 1)
+    return UpdateStream(events)
+
+
+def adversarial_churn_stream(
+    updates: int,
+    radius: float = 1.0,
+    tile_side: Optional[float] = None,
+    span: int = 4,
+    jitter: float = 0.05,
+    churn_depth: int = 3,
+    dt: float = 1.0,
+    seed=None,
+) -> UpdateStream:
+    """A worst-case stream for dirty-shard monitors: corner-pinned LIFO churn.
+
+    Insertions land within ``jitter * radius`` of the corners of the
+    ``tile_side`` lattice (default ``4 * radius``, matching
+    :class:`repro.streaming.ShardedMaxRSMonitor`), where a point's halo
+    overlaps the maximum number of tiles -- every event dirties four shards
+    instead of one.  The stream hops between corners spread over a
+    ``span x span`` lattice patch, and after every few insertions deletes the
+    most recent ``churn_depth`` live points (LIFO), so shard caches are
+    invalidated at the highest possible rate while the live set stays small.
+    Timestamps advance ``dt`` per event.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if span < 1 or churn_depth < 1:
+        raise ValueError("span and churn_depth must be >= 1")
+    side = 4.0 * radius if tile_side is None else float(tile_side)
+    rng = default_rng(seed)
+    events: List[UpdateEvent] = []
+    live_stack: List[int] = []
+    inserted_since_churn = 0
+    while len(events) < updates:
+        if inserted_since_churn > churn_depth and live_stack:
+            for _ in range(min(churn_depth, len(live_stack))):
+                if len(events) >= updates:
+                    break
+                target = live_stack.pop()  # LIFO: undo the freshest inserts
+                events.append(UpdateEvent(kind="delete", target=target,
+                                          timestamp=float(len(events)) * dt))
+            inserted_since_churn = 0
+            continue
+        corner = (float(rng.integers(0, span + 1)) * side,
+                  float(rng.integers(0, span + 1)) * side)
+        point = tuple(c + float(rng.normal(0.0, jitter * radius)) for c in corner)
+        events.append(UpdateEvent(kind="insert", point=point,
+                                  timestamp=float(len(events)) * dt))
+        live_stack.append(len(events) - 1)
+        inserted_since_churn += 1
     return UpdateStream(events)

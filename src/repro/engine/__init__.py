@@ -32,7 +32,14 @@ from .executors import (
     get_executor,
 )
 from .merge import merge_shard_results
-from .planner import LRUCache, Query, QueryEngine, dataset_fingerprint, solve_query
+from .planner import (
+    LRUCache,
+    Query,
+    QueryEngine,
+    dataset_fingerprint,
+    resolve_task_backend,
+    solve_query,
+)
 from .sharding import Shard, ShardPlan, choose_tile_sides, plan_shards, tile_keys_for_point
 
 __all__ = [
@@ -41,6 +48,7 @@ __all__ = [
     "LRUCache",
     "dataset_fingerprint",
     "solve_query",
+    "resolve_task_backend",
     "Executor",
     "SerialExecutor",
     "ThreadPoolExecutor",

@@ -48,7 +48,14 @@ from .executors import Executor, get_executor
 from .merge import merge_shard_results
 from .sharding import Shard, ShardPlan, plan_shards
 
-__all__ = ["Query", "QueryEngine", "LRUCache", "dataset_fingerprint", "solve_query"]
+__all__ = [
+    "Query",
+    "QueryEngine",
+    "LRUCache",
+    "dataset_fingerprint",
+    "solve_query",
+    "resolve_task_backend",
+]
 
 Coords = Tuple[float, ...]
 
@@ -246,6 +253,18 @@ def solve_query(
                                      weights=weights, backend=query.backend)
     return maxrs_interval_exact(coords, length=query.length, weights=weights,
                                 backend=query.backend)
+
+
+def resolve_task_backend(backend: str, shard_population: int) -> str:
+    """Per-shard kernel-backend choice, shared by the batch planner and the
+    streaming monitors.
+
+    ``"auto"`` resolves against the *shard's* population (not the whole
+    dataset's), so fine shards run the pure-Python loops -- no NumPy per-call
+    overhead -- while big shards vectorise.  Explicit backend names are
+    validated (unknown names raise ``ValueError``) and returned unchanged.
+    """
+    return resolve_backend(backend, shard_population)
 
 
 def _solve_shard_task(task: Tuple[Query, Shard]) -> MaxRSResult:
@@ -547,7 +566,7 @@ class QueryEngine:
                 for shard in plan.shards:
                     task_query = query
                     if query.backend == "auto":
-                        task_query = replace(query, backend=resolve_backend("auto", len(shard)))
+                        task_query = replace(query, backend=resolve_task_backend("auto", len(shard)))
                     tasks.append((task_query, shard))
 
             shard_results = self._executor.map(_solve_shard_task, tasks)

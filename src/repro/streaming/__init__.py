@@ -4,35 +4,50 @@ Section 1.1 of the paper motivates dynamic MaxRS with real-time hotspot
 monitoring, and its related-work section points at the MaxRS *monitoring*
 literature for spatial data streams [AH16, AH17, MMH+17].  This package
 builds that application layer on top of the paper's dynamic structure
-(:class:`repro.core.dynamic.DynamicMaxRS`, Theorem 1.1):
+(:class:`repro.core.dynamic.DynamicMaxRS`, Theorem 1.1) and the sharded
+execution engine (:mod:`repro.engine`):
 
+* :class:`StreamMonitor` -- the batched ingestion contract every monitor
+  implements: ``apply`` / ``apply_batch`` / ``apply_stream(chunk_size=...)``,
+  with the guarantee that chunking is invisible (any chunk size produces
+  bit-identical snapshots);
 * :class:`ApproximateMaxRSMonitor` -- replays insert/delete streams against
   the dynamic (1/2 - eps) structure and reports the hotspot after every
   update (or every ``query_every`` updates);
 * :class:`SlidingWindowMaxRSMonitor` -- the count-based sliding-window
-  variant, where only the most recent ``window`` observations stay alive;
+  variant of the approximate monitor, where only the most recent ``window``
+  observations stay alive;
 * :class:`ExactRecomputeMonitor` -- the from-scratch baseline that recomputes
   the exact planar disk optimum on the live set at every query, which is what
   the dynamic structure's sub-linear update time is measured against in
   experiment E13;
 * :class:`ShardedMaxRSMonitor` -- exact answers at a fraction of the
-  recompute cost: the live set is kept in the execution engine's
-  halo-expanded spatial shards (:mod:`repro.engine.sharding`) and a query
-  re-solves only the shards dirtied since the last one.
+  recompute cost: the live set is kept in halo-expanded spatial shards and a
+  query re-solves only the shards dirtied since the last one, per shard on
+  the kernel backend the engine planner picks, optionally fanned out over an
+  engine executor, with count- and time-based sliding windows built in;
+* :class:`MultiQueryMonitor` -- several concurrent standing queries
+  (different radii, rectangle extents, colored variants) answered from one
+  shared shard store and one dirty-shard pass instead of N independent
+  monitors.
 """
 
+from .base import HotspotSnapshot, StreamMonitor
 from .monitor import (
     ApproximateMaxRSMonitor,
     ExactRecomputeMonitor,
-    HotspotSnapshot,
     SlidingWindowMaxRSMonitor,
 )
+from .multi_query import MultiQueryMonitor, MultiQuerySnapshot
 from .sharded import ShardedMaxRSMonitor
 
 __all__ = [
     "HotspotSnapshot",
+    "StreamMonitor",
     "ApproximateMaxRSMonitor",
     "SlidingWindowMaxRSMonitor",
     "ExactRecomputeMonitor",
     "ShardedMaxRSMonitor",
+    "MultiQueryMonitor",
+    "MultiQuerySnapshot",
 ]

@@ -1,0 +1,181 @@
+"""The batched ingestion contract every hotspot monitor implements.
+
+:class:`StreamMonitor` fixes the interface the rest of the streaming layer
+(the CLI ``monitor`` command, the stress suite, the benchmarks) programs
+against:
+
+* ``apply(event, event_index)`` -- one :class:`~repro.datasets.streams.UpdateEvent`;
+* ``apply_batch(events, start_index)`` -- a chunk of events.  The base
+  implementation loops over :meth:`apply`; monitors with real batch paths
+  (:class:`~repro.streaming.sharded.ShardedMaxRSMonitor`,
+  :class:`~repro.streaming.multi_query.MultiQueryMonitor`) override it to
+  amortise per-event bookkeeping;
+* ``apply_stream(stream, chunk_size=..., query_every=...)`` -- chunked
+  replay.  Chunk boundaries are cut so that they always land on the query
+  positions ``query_every`` dictates, which is what makes the batch-vs-single
+  equivalence guarantee testable: for any ``chunk_size`` the monitor is
+  queried at exactly the same stream prefixes.
+
+The one semantic contract, enforced by the oracle suite
+(``tests/test_streaming_batch.py``): **batching must be invisible**.
+``apply_batch(events)`` must leave the monitor in the same state as applying
+the events one at a time, so any stream chunked at any size produces
+bit-identical snapshots.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.result import MaxRSResult
+from ..datasets.streams import UpdateEvent
+
+__all__ = ["HotspotSnapshot", "StreamMonitor"]
+
+Coords = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class HotspotSnapshot:
+    """The hotspot reported after processing a prefix of the stream.
+
+    Attributes
+    ----------
+    step:
+        Number of stream events processed so far (1-based).
+    value:
+        Weight covered by the reported placement.
+    center:
+        Reported ball center (``None`` while the live set is empty).
+    live_points:
+        Size of the live point set at this step.
+    """
+
+    step: int
+    value: float
+    center: Optional[Coords]
+    live_points: int
+
+
+class StreamMonitor:
+    """Base class: event-at-a-time ingestion plus derived batched ingestion."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, event: UpdateEvent, event_index: int) -> None:
+        """Apply one stream event; ``event_index`` is its position in the stream."""
+        raise NotImplementedError
+
+    def current(self) -> MaxRSResult:
+        """The monitor's current hotspot."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # batched ingestion
+    # ------------------------------------------------------------------ #
+
+    def apply_batch(self, events: Sequence[UpdateEvent], start_index: int = 0) -> None:
+        """Apply a chunk of events whose first element has stream position
+        ``start_index``.
+
+        Equivalent -- by contract -- to applying the events one at a time;
+        subclasses override this to amortise per-event work, never to change
+        semantics.
+        """
+        for offset, event in enumerate(events):
+            self.apply(event, start_index + offset)
+
+    def _apply_events_batched(self, events: Sequence[UpdateEvent], start_index: int,
+                              insert_run, delete_one) -> None:
+        """Shared chunk walker for monitors with native batch insert paths.
+
+        Splits the chunk into maximal runs of consecutive insertions --
+        handed to ``insert_run(run_events, first_stream_index)`` -- and
+        individual delete events handed to ``delete_one(event)``, preserving
+        stream order.
+        """
+        position = 0
+        count = len(events)
+        while position < count:
+            if events[position].kind == "insert":
+                end = position
+                while end < count and events[end].kind == "insert":
+                    end += 1
+                insert_run(events[position:end], start_index + position)
+                position = end
+            else:
+                delete_one(events[position])
+                position += 1
+
+    def _snapshot(self, step: int) -> HotspotSnapshot:
+        """Build the snapshot reported after ``step`` events (hook for
+        monitors whose reports are not a single :class:`MaxRSResult`)."""
+        result = self.current()
+        return HotspotSnapshot(
+            step=step,
+            value=result.value,
+            center=result.center,
+            live_points=len(self),
+        )
+
+    def apply_stream(
+        self,
+        stream: Iterable[UpdateEvent],
+        *,
+        chunk_size: int = 256,
+        query_every: Optional[int] = None,
+        start_index: int = 0,
+    ) -> List[HotspotSnapshot]:
+        """Replay a stream in chunks of at most ``chunk_size`` events.
+
+        ``query_every=None`` snapshots once per ingested chunk (including the
+        final, possibly short, one).  With ``query_every=k`` the monitor is
+        queried after events ``k, 2k, ...`` *regardless of chunking*: chunk
+        boundaries are cut to land on those positions, so two replays of the
+        same stream with different chunk sizes report identical snapshots.
+
+        The stream is consumed with bounded lookahead (one chunk at a time),
+        so generator-backed streams replay in ``O(chunk_size)`` memory.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if query_every is not None and query_every < 1:
+            raise ValueError("query_every must be >= 1")
+        iterator = iter(stream)
+        snapshots: List[HotspotSnapshot] = []
+        position = 0
+        while True:
+            limit = chunk_size
+            if query_every is not None:
+                # Cut the chunk at the next query boundary so queries fire at
+                # the same stream prefixes for every chunk size.
+                absolute = start_index + position
+                next_query = ((absolute // query_every) + 1) * query_every
+                limit = min(limit, next_query - absolute)
+            chunk = list(itertools.islice(iterator, limit))
+            if not chunk:
+                break
+            self.apply_batch(chunk, start_index + position)
+            position += len(chunk)
+            absolute = start_index + position
+            if query_every is None or absolute % query_every == 0:
+                snapshots.append(self._snapshot(absolute))
+        return snapshots
+
+    def replay(
+        self,
+        stream: Iterable[UpdateEvent],
+        *,
+        query_every: int = 1,
+    ) -> List[HotspotSnapshot]:
+        """Replay a stream, reporting the hotspot every ``query_every`` events.
+
+        Kept for compatibility with the pre-batching monitors; equivalent to
+        :meth:`apply_stream` with ``chunk_size=query_every``.
+        """
+        if query_every < 1:
+            raise ValueError("query_every must be >= 1")
+        return self.apply_stream(stream, chunk_size=query_every, query_every=query_every)

@@ -3,7 +3,7 @@
 The monitors consume :class:`repro.datasets.streams.UpdateEvent` streams (or
 direct ``observe`` / ``expire`` calls) and report the current hotspot -- the
 placement of a fixed-radius ball maximising covered weight -- after every
-update.  Three monitors are provided:
+update batch.  Three monitors live here:
 
 * :class:`ApproximateMaxRSMonitor` maintains the paper's dynamic structure
   (Theorem 1.1): ``O_eps(log n)`` amortized work per update and a
@@ -13,17 +13,24 @@ update.  Three monitors are provided:
 * :class:`ExactRecomputeMonitor` recomputes the exact planar disk optimum
   from scratch at every query -- the accuracy reference and the cost baseline
   the dynamic structure is compared against.
+
+All event-stream monitors derive from :class:`repro.streaming.base.StreamMonitor`
+and therefore share the batched ingestion interface (``apply_batch`` /
+``apply_stream(chunk_size=...)``); the sharded variants with *native* batch
+paths are in :mod:`repro.streaming.sharded` and
+:mod:`repro.streaming.multi_query`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dynamic import DynamicMaxRS
 from ..core.result import MaxRSResult
-from ..datasets.streams import UpdateEvent, UpdateStream
+from ..datasets.streams import UpdateEvent
 from ..exact.disk2d import maxrs_disk_exact
+from ..kernels import get_backend
+from .base import HotspotSnapshot, StreamMonitor
 
 __all__ = [
     "HotspotSnapshot",
@@ -35,29 +42,7 @@ __all__ = [
 Coords = Tuple[float, ...]
 
 
-@dataclass(frozen=True)
-class HotspotSnapshot:
-    """The hotspot reported after processing a prefix of the stream.
-
-    Attributes
-    ----------
-    step:
-        Number of stream events processed so far (1-based).
-    value:
-        Weight covered by the reported placement.
-    center:
-        Reported ball center (``None`` while the live set is empty).
-    live_points:
-        Size of the live point set at this step.
-    """
-
-    step: int
-    value: float
-    center: Optional[Coords]
-    live_points: int
-
-
-class ApproximateMaxRSMonitor:
+class ApproximateMaxRSMonitor(StreamMonitor):
     """Continuous (1/2 - eps)-approximate hotspot monitoring (Theorem 1.1).
 
     Parameters
@@ -98,6 +83,15 @@ class ApproximateMaxRSMonitor:
         self._steps += 1
         return handle
 
+    def observe_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """Insert a batch of observations; returns their handles."""
+        weight_list = _batch_weights(points, weights)
+        return [self.observe(point, weight) for point, weight in zip(points, weight_list)]
+
     def expire(self, handle: int) -> None:
         """Delete a previously observed point by its handle."""
         if handle not in self._handles:
@@ -127,28 +121,6 @@ class ApproximateMaxRSMonitor:
                 )
             self._structure.delete(ball_id)
             self._steps += 1
-
-    def replay(
-        self,
-        stream: Iterable[UpdateEvent],
-        *,
-        query_every: int = 1,
-    ) -> List[HotspotSnapshot]:
-        """Replay a stream, reporting the hotspot every ``query_every`` events."""
-        if query_every < 1:
-            raise ValueError("query_every must be >= 1")
-        snapshots: List[HotspotSnapshot] = []
-        for index, event in enumerate(stream):
-            self.apply(event, index)
-            if (index + 1) % query_every == 0:
-                result = self.current()
-                snapshots.append(HotspotSnapshot(
-                    step=index + 1,
-                    value=result.value,
-                    center=result.center,
-                    live_points=len(self._structure),
-                ))
-        return snapshots
 
 
 class SlidingWindowMaxRSMonitor:
@@ -184,6 +156,16 @@ class SlidingWindowMaxRSMonitor:
             self._monitor.expire(self._live_handles.pop(0))
         self._live_handles.append(self._monitor.observe(point, weight))
 
+    def observe_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Insert a batch of observations (window evictions included)."""
+        weight_list = _batch_weights(points, weights)
+        for point, weight in zip(points, weight_list):
+            self.observe(point, weight)
+
     def current(self) -> MaxRSResult:
         """The hotspot over the current window contents."""
         return self._monitor.current()
@@ -198,9 +180,7 @@ class SlidingWindowMaxRSMonitor:
         """Feed a point sequence through the window, reporting periodically."""
         if query_every < 1:
             raise ValueError("query_every must be >= 1")
-        weight_list = list(weights) if weights is not None else [1.0] * len(points)
-        if len(weight_list) != len(points):
-            raise ValueError("got %d weights for %d points" % (len(weight_list), len(points)))
+        weight_list = _batch_weights(points, weights)
         snapshots: List[HotspotSnapshot] = []
         for index, (point, weight) in enumerate(zip(points, weight_list)):
             self.observe(point, weight)
@@ -215,25 +195,35 @@ class SlidingWindowMaxRSMonitor:
         return snapshots
 
 
-class ExactRecomputeMonitor:
+class ExactRecomputeMonitor(StreamMonitor):
     """Baseline monitor: recompute the exact planar disk optimum at every query.
 
     The live set is kept in a dictionary; every query runs the
     ``O(n^2 log n)`` exact sweep from scratch.  Its answers are exact, which
     makes it the accuracy reference for the approximate monitors, and its
     per-query cost is what Theorem 1.1's ``O_eps(log n)`` update time is
-    contrasted with in experiment E13.
+    contrasted with in experiment E13.  ``backend`` selects the kernel
+    implementation of the per-query sweep (:mod:`repro.kernels`), so the
+    baseline is not handicapped when compared against the batched monitors.
     """
 
-    def __init__(self, radius: float = 1.0):
+    def __init__(self, radius: float = 1.0, *, backend: str = "auto"):
         if radius <= 0:
             raise ValueError("radius must be positive")
         self.radius = float(radius)
+        if backend != "auto":
+            get_backend(backend)  # surface typos at construction
+        self.backend = backend
         self._live: Dict[int, Tuple[Coords, float]] = {}
         self._steps = 0
 
     def __len__(self) -> int:
         return len(self._live)
+
+    @property
+    def steps(self) -> int:
+        """Number of updates processed so far."""
+        return self._steps
 
     def apply(self, event: UpdateEvent, event_index: int) -> None:
         if event.kind == "insert":
@@ -248,25 +238,16 @@ class ExactRecomputeMonitor:
                                meta={"radius": self.radius, "n": 0})
         coords = [point for point, _ in self._live.values()]
         weights = [weight for _, weight in self._live.values()]
-        return maxrs_disk_exact(coords, radius=self.radius, weights=weights)
+        return maxrs_disk_exact(coords, radius=self.radius, weights=weights,
+                                backend=self.backend)
 
-    def replay(
-        self,
-        stream: Iterable[UpdateEvent],
-        *,
-        query_every: int = 1,
-    ) -> List[HotspotSnapshot]:
-        if query_every < 1:
-            raise ValueError("query_every must be >= 1")
-        snapshots: List[HotspotSnapshot] = []
-        for index, event in enumerate(stream):
-            self.apply(event, index)
-            if (index + 1) % query_every == 0:
-                result = self.current()
-                snapshots.append(HotspotSnapshot(
-                    step=index + 1,
-                    value=result.value,
-                    center=result.center,
-                    live_points=len(self._live),
-                ))
-        return snapshots
+
+def _batch_weights(
+    points: Sequence[Sequence[float]],
+    weights: Optional[Sequence[float]],
+) -> List[float]:
+    """Validate an optional parallel weight list for a point batch."""
+    weight_list = list(weights) if weights is not None else [1.0] * len(points)
+    if len(weight_list) != len(points):
+        raise ValueError("got %d weights for %d points" % (len(weight_list), len(points)))
+    return weight_list

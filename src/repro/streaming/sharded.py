@@ -1,30 +1,54 @@
 """Sharded exact hotspot monitoring: recompute only dirty shards on updates.
 
 :class:`ShardedMaxRSMonitor` keeps the live point set partitioned into the
-engine's halo-expanded spatial tiles (:mod:`repro.engine.sharding`) and
-caches one exact per-shard disk optimum per tile.  An insert or delete only
-marks the handful of tiles whose halo region contains the point as *dirty*;
-a query re-runs the ``O(m^2 log m)`` exact sweep on those tiles alone and
-takes the max over all cached shard results
-(:func:`repro.engine.merge.merge_shard_results`).
+engine's halo-expanded spatial tiles (via
+:class:`repro.streaming._shards.LiveShardStore`) and caches one exact
+per-shard disk optimum per tile.  An insert or delete only marks the handful
+of tiles whose halo region contains the point as *dirty*; a query re-runs
+the ``O(m^2 log m)`` exact sweep on those tiles alone and takes the max over
+all cached shard results (:func:`repro.engine.merge.merge_shard_results`).
 
 Compared with :class:`repro.streaming.monitor.ExactRecomputeMonitor` -- which
 re-solves the whole live set from scratch -- answers are identical (the halo
 argument makes the shard maximum exact) while the per-query work after a
 localized update drops from ``O(n^2)`` to ``O(m^2)`` for the ``O(1)`` touched
 tiles of size ``m``.
+
+Beyond the original event-at-a-time interface the monitor is a full
+:class:`~repro.streaming.base.StreamMonitor`:
+
+* **batched ingestion** -- :meth:`observe_batch` / :meth:`apply_batch` file
+  insert runs through the store's vectorised tile-key pass and defer window
+  eviction to run boundaries, with final state provably identical to
+  event-at-a-time application;
+* **kernel-registry backends** -- ``backend="auto" | "python" | "numpy"``
+  selects the per-shard sweep implementation, with ``"auto"`` resolved
+  *per shard* against the shard's population via the engine planner
+  (:func:`repro.engine.planner.resolve_task_backend`), exactly like the batch
+  engine's shard tasks;
+* **pluggable executors** -- ``executor="thread" | "process" | ...`` fans the
+  dirty-shard re-solves of one query out over an engine executor;
+* **sliding windows** -- ``window=N`` keeps only the most recent ``N``
+  observations alive (count-based), ``time_window=T`` keeps only
+  observations with ``timestamp > now - T`` where ``now`` is the largest
+  timestamp seen so far (time-based; timestamps must be non-decreasing).
+  Both may be combined; an eviction behaves exactly like a deletion of the
+  evicted handle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.result import MaxRSResult
 from ..datasets.streams import UpdateEvent
+from ..engine.executors import Executor, get_executor
 from ..engine.merge import merge_shard_results
-from ..engine.sharding import tile_keys_for_point
+from ..engine.planner import resolve_task_backend
 from ..exact.disk2d import maxrs_disk_exact
-from .monitor import HotspotSnapshot
+from ._shards import LiveShardStore
+from .base import StreamMonitor
 
 __all__ = ["ShardedMaxRSMonitor"]
 
@@ -32,7 +56,13 @@ Coords = Tuple[float, ...]
 Key = Tuple[int, ...]
 
 
-class ShardedMaxRSMonitor:
+def _solve_disk_shard(task):
+    """Executor task: exact disk sweep on one shard (picklable payload)."""
+    key, coords, weights, radius, backend = task
+    return key, maxrs_disk_exact(coords, radius=radius, weights=weights, backend=backend)
+
+
+class ShardedMaxRSMonitor(StreamMonitor):
     """Continuous *exact* hotspot monitoring with dirty-shard recomputation.
 
     Parameters
@@ -43,29 +73,66 @@ class ShardedMaxRSMonitor:
         Side of the square spatial tiles; defaults to ``4 * radius`` and is
         clamped to at least ``2 * radius`` so each point lands in at most
         four tiles.
+    backend:
+        Kernel backend for the per-shard sweeps (:mod:`repro.kernels`);
+        ``"auto"`` resolves per shard against the shard population, like the
+        batch engine.
+    executor, workers:
+        Optional engine executor (``"serial"`` / ``"thread"`` / ``"process"``
+        or an :class:`~repro.engine.executors.Executor`) for solving the
+        dirty shards of one query in parallel.  ``None`` (default) solves
+        inline with zero dispatch overhead.
+    window:
+        Count-based sliding window: only the most recent ``window``
+        observations stay alive.
+    time_window:
+        Time-based sliding window: only observations with
+        ``timestamp > now - time_window`` stay alive, where ``now`` is the
+        largest timestamp ingested so far (see :meth:`advance_to`).
+        Observations must carry non-decreasing timestamps.
 
     The interface mirrors the other monitors: :meth:`observe` /
-    :meth:`expire` for direct use, :meth:`apply` / :meth:`replay` for
-    :class:`~repro.datasets.streams.UpdateEvent` streams, and
-    :meth:`current` for the hotspot, whose ``meta`` reports how many shards
-    the query actually had to re-solve.
+    :meth:`expire` for direct use, :meth:`apply` / :meth:`apply_batch` /
+    :meth:`apply_stream` for :class:`~repro.datasets.streams.UpdateEvent`
+    streams, and :meth:`current` for the hotspot, whose ``meta`` reports how
+    many shards the query actually had to re-solve.  When a window is
+    configured, delete events whose target was already evicted are ignored
+    (the window got there first); without windows they raise ``KeyError``.
     """
 
-    def __init__(self, radius: float = 1.0, *, tile_side: Optional[float] = None):
+    def __init__(
+        self,
+        radius: float = 1.0,
+        *,
+        tile_side: Optional[float] = None,
+        backend: str = "auto",
+        executor: Union[str, Executor, None] = None,
+        workers: Optional[int] = None,
+        window: Optional[int] = None,
+        time_window: Optional[float] = None,
+    ):
         if radius <= 0:
             raise ValueError("radius must be positive")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1")
+        if time_window is not None and time_window <= 0:
+            raise ValueError("time_window must be positive")
         self.radius = float(radius)
         side = 4.0 * self.radius if tile_side is None else float(tile_side)
         self.tile_side = max(side, 2.0 * self.radius)
-        self._halo = (self.radius, self.radius)
-        self._sides = (self.tile_side, self.tile_side)
-        # live handle -> (point, weight); handle -> tile keys it was filed under
-        self._live: Dict[int, Tuple[Coords, float]] = {}
-        self._membership: Dict[int, List[Key]] = {}
-        # tile key -> {handle: (point, weight)}
-        self._shards: Dict[Key, Dict[int, Tuple[Coords, float]]] = {}
+        if backend != "auto":
+            resolve_task_backend(backend, 0)  # surface typos at construction
+        self.backend = backend
+        self.window = int(window) if window is not None else None
+        self.time_window = float(time_window) if time_window is not None else None
+        self._executor = None if executor is None else get_executor(executor, workers)
+        self._store = LiveShardStore((self.radius, self.radius),
+                                     (self.tile_side, self.tile_side))
         self._results: Dict[Key, MaxRSResult] = {}
-        self._dirty: Set[Key] = set()
+        # insertion order (lazy: evicted/deleted handles are skipped on pop)
+        self._order: Deque[int] = deque()
+        self._timestamps: Dict[int, float] = {}
+        self._clock = -float("inf")
         self._steps = 0
         self._next_handle = 0
         self.total_recomputes = 0
@@ -75,83 +142,159 @@ class ShardedMaxRSMonitor:
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self._live)
+        return len(self._store)
 
     @property
     def steps(self) -> int:
-        """Number of updates processed so far."""
+        """Number of updates processed so far (window evictions excluded)."""
         return self._steps
 
     @property
     def shard_count(self) -> int:
         """Number of occupied spatial tiles."""
-        return len(self._shards)
+        return self._store.shard_count
 
-    def _insert(self, handle: int, point: Coords, weight: float) -> None:
-        point = tuple(float(c) for c in point)
-        if len(point) != 2:
-            raise ValueError("ShardedMaxRSMonitor expects planar points")
-        if handle in self._live:
-            raise KeyError("observation handle %r is already alive" % handle)
-        keys = tile_keys_for_point(point, self._halo, self._sides)
-        self._live[handle] = (point, weight)
-        self._membership[handle] = keys
-        for key in keys:
-            self._shards.setdefault(key, {})[handle] = (point, weight)
-            self._dirty.add(key)
-        self._steps += 1
+    @property
+    def dirty_shard_count(self) -> int:
+        """Number of tiles whose cached result is stale (re-solved on the
+        next :meth:`current` call; ``0`` immediately after a query)."""
+        return len(self._store.dirty)
+
+    @property
+    def windowed(self) -> bool:
+        """Whether any sliding window (count or time) is active."""
+        return self.window is not None or self.time_window is not None
+
+    def close(self) -> None:
+        """Shut down the executor's worker pool (if any); idempotent."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "ShardedMaxRSMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _remove(self, handle: int) -> None:
-        if handle not in self._live:
-            raise KeyError("unknown observation handle %r" % handle)
-        del self._live[handle]
-        for key in self._membership.pop(handle):
-            shard = self._shards[key]
-            del shard[handle]
-            if shard:
-                self._dirty.add(key)
-            else:
-                del self._shards[key]
-                self._results.pop(key, None)
-                self._dirty.discard(key)
-        self._steps += 1
+        self._timestamps.pop(handle, None)
+        for key in self._store.remove(handle):
+            self._results.pop(key, None)
+
+    def _record_timestamp(self, handle: int, timestamp: Optional[float]) -> None:
+        if timestamp is None:
+            if self.time_window is not None:
+                raise ValueError(
+                    "a time_window monitor needs a timestamp on every observation"
+                )
+            return
+        timestamp = float(timestamp)
+        self._timestamps[handle] = timestamp
+        if timestamp > self._clock:
+            self._clock = timestamp
+
+    def _enforce_windows(self) -> None:
+        """Evict observations the sliding windows no longer cover.
+
+        Called at insert-run boundaries; because evictions always take the
+        *oldest* live observations, end-of-run eviction leaves the same live
+        set as evicting after every single insert would.
+        """
+        if not self.windowed:
+            return
+        if len(self._order) > 2 * len(self._store) + 64:
+            # Explicit deletes leave their handles in the deque (removal from
+            # the middle would be O(n) per event); compact once the dead
+            # entries dominate, keeping the deque linear in the live set.
+            self._order = deque(h for h in self._order if h in self._store.live)
+        if self.time_window is not None:
+            cutoff = self._clock - self.time_window
+            while self._order:
+                handle = self._order[0]
+                if handle not in self._store.live:
+                    self._order.popleft()
+                elif self._timestamps.get(handle, cutoff) <= cutoff:
+                    self._order.popleft()
+                    self._remove(handle)
+                else:
+                    break
+        if self.window is not None:
+            while len(self._store) > self.window:
+                handle = self._order.popleft()
+                if handle in self._store.live:
+                    self._remove(handle)
 
     # ------------------------------------------------------------------ #
     # direct interface
     # ------------------------------------------------------------------ #
 
-    def observe(self, point: Sequence[float], weight: float = 1.0) -> int:
+    def observe(self, point: Sequence[float], weight: float = 1.0, *,
+                timestamp: Optional[float] = None) -> int:
         """Insert an observation; returns a handle usable with :meth:`expire`."""
+        if self.time_window is not None and timestamp is None:
+            raise ValueError(
+                "a time_window monitor needs a timestamp on every observation"
+            )
         handle = self._next_handle
         self._next_handle += 1
-        self._insert(handle, tuple(point), float(weight))
+        self._store.insert(handle, point, float(weight))
+        self._record_timestamp(handle, timestamp)
+        if self.windowed:
+            self._order.append(handle)
+        self._enforce_windows()
+        self._steps += 1
         return handle
+
+    def observe_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        weights: Optional[Sequence[float]] = None,
+        *,
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """Insert a batch of observations in one pass; returns their handles.
+
+        The tile keys of the whole batch are computed in a single vectorised
+        pass and window eviction runs once at the end -- the resulting state
+        is identical to calling :meth:`observe` once per point.
+        """
+        if timestamps is not None and len(timestamps) != len(points):
+            raise ValueError("got %d timestamps for %d points"
+                             % (len(timestamps), len(points)))
+        self._require_timestamps(timestamps, len(points))
+        handles = list(range(self._next_handle, self._next_handle + len(points)))
+        self._next_handle += len(points)
+        self._store.insert_batch(handles, points, weights)
+        for index, handle in enumerate(handles):
+            self._record_timestamp(
+                handle, timestamps[index] if timestamps is not None else None)
+            if self.windowed:
+                self._order.append(handle)
+        self._enforce_windows()
+        self._steps += len(points)
+        return handles
+
+    def _require_timestamps(self, timestamps, count: int) -> None:
+        """Reject a timestamp-less batch *before* any store mutation, so a
+        usage error cannot leave half-applied state behind."""
+        if self.time_window is None or count == 0:
+            return
+        if timestamps is None or any(t is None for t in timestamps):
+            raise ValueError(
+                "a time_window monitor needs a timestamp on every observation"
+            )
 
     def expire(self, handle: int) -> None:
         """Delete a previously observed point by its handle."""
         self._remove(handle)
+        self._steps += 1
 
-    def current(self) -> MaxRSResult:
-        """The current exact hotspot, re-solving only dirty shards."""
-        recomputed = len(self._dirty)
-        for key in sorted(self._dirty):
-            entries = self._shards[key]
-            coords = [point for point, _ in entries.values()]
-            weights = [weight for _, weight in entries.values()]
-            self._results[key] = maxrs_disk_exact(coords, radius=self.radius,
-                                                  weights=weights)
-        self._dirty.clear()
-        self.total_recomputes += recomputed
-
-        empty = MaxRSResult(value=0.0, center=None, shape="ball", exact=True,
-                            meta={"radius": self.radius, "n": 0})
-        ordered = [self._results[key] for key in sorted(self._results)]
-        merged = merge_shard_results(ordered, empty=empty)
-        meta = dict(merged.meta)
-        meta.update({"n": len(self._live), "live": len(self._live),
-                     "recomputed": recomputed})
-        return MaxRSResult(value=merged.value, center=merged.center, shape=merged.shape,
-                           exact=merged.exact, meta=meta)
+    def advance_to(self, now: float) -> None:
+        """Advance the time-window clock to ``now`` (monotone) and evict
+        observations that fell out of the window, without inserting."""
+        if float(now) > self._clock:
+            self._clock = float(now)
+        self._enforce_windows()
 
     # ------------------------------------------------------------------ #
     # stream interface
@@ -159,33 +302,81 @@ class ShardedMaxRSMonitor:
 
     def apply(self, event: UpdateEvent, event_index: int) -> None:
         """Apply one stream event; ``event_index`` is its position in the stream."""
-        if event.kind == "insert":
-            self._insert(event_index, event.point, event.weight)
-        else:
-            if event.target not in self._live:
-                raise KeyError(
-                    "delete event targets stream index %r which is not alive" % event.target
-                )
-            self._remove(event.target)
+        self.apply_batch([event], event_index)
 
-    def replay(
-        self,
-        stream: Iterable[UpdateEvent],
-        *,
-        query_every: int = 1,
-    ) -> List[HotspotSnapshot]:
-        """Replay a stream, reporting the hotspot every ``query_every`` events."""
-        if query_every < 1:
-            raise ValueError("query_every must be >= 1")
-        snapshots: List[HotspotSnapshot] = []
-        for index, event in enumerate(stream):
-            self.apply(event, index)
-            if (index + 1) % query_every == 0:
-                result = self.current()
-                snapshots.append(HotspotSnapshot(
-                    step=index + 1,
-                    value=result.value,
-                    center=result.center,
-                    live_points=len(self._live),
-                ))
-        return snapshots
+    def apply_batch(self, events: Sequence[UpdateEvent], start_index: int = 0) -> None:
+        """Apply a chunk of events in one pass.
+
+        Consecutive insertions are filed through the store's vectorised run
+        path; window evictions fire at run boundaries (equivalent, by the
+        oldest-first eviction argument, to evicting after every event).
+        Delete events are strict -- unknown targets raise ``KeyError`` --
+        unless a sliding window is active, in which case a missing target
+        means the window already evicted it and the event is a no-op.
+        """
+
+        def insert_run(run, first_index):
+            handles = list(range(first_index, first_index + len(run)))
+            self._require_timestamps([e.timestamp for e in run], len(run))
+            self._store.insert_batch(handles, [e.point for e in run],
+                                     [e.weight for e in run])
+            for handle, inserted in zip(handles, run):
+                self._record_timestamp(handle, inserted.timestamp)
+                if self.windowed:
+                    self._order.append(handle)
+            self._enforce_windows()
+            self._steps += len(run)
+
+        def delete_one(event):
+            self._enforce_windows()
+            if event.target in self._store.live:
+                self._remove(event.target)
+            elif not self.windowed:
+                raise KeyError(
+                    "delete event targets stream index %r which is not alive"
+                    % event.target
+                )
+            if event.timestamp is not None and float(event.timestamp) > self._clock:
+                self._clock = float(event.timestamp)
+            self._steps += 1
+
+        self._apply_events_batched(events, start_index, insert_run, delete_one)
+        self._enforce_windows()
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+
+    def current(self) -> MaxRSResult:
+        """The current exact hotspot, re-solving only dirty shards."""
+        dirty = self._store.clean()
+        recomputed = len(dirty)
+        if recomputed:
+            tasks = []
+            for key in dirty:
+                coords, weights, _ = self._store.entries(key)
+                backend = resolve_task_backend(self.backend, len(coords))
+                tasks.append((key, coords, weights, self.radius, backend))
+            if self._executor is not None and len(tasks) > 1:
+                solved = self._executor.map(_solve_disk_shard, tasks)
+            else:
+                solved = [_solve_disk_shard(task) for task in tasks]
+            for key, result in solved:
+                self._results[key] = result
+            self.total_recomputes += recomputed
+
+        empty = MaxRSResult(value=0.0, center=None, shape="ball", exact=True,
+                            meta={"radius": self.radius, "n": 0})
+        ordered = [self._results[key] for key in sorted(self._results)]
+        merged = merge_shard_results(ordered, empty=empty)
+        meta = dict(merged.meta)
+        meta.update({"n": len(self._store), "live": len(self._store),
+                     "recomputed": recomputed, "backend": self.backend})
+        if self._executor is not None:
+            meta["executor"] = self._executor.kind
+        if self.window is not None:
+            meta["window"] = self.window
+        if self.time_window is not None:
+            meta["time_window"] = self.time_window
+        return MaxRSResult(value=merged.value, center=merged.center, shape=merged.shape,
+                           exact=merged.exact, meta=meta)

@@ -1,0 +1,88 @@
+"""Shared stream-scenario registry for the streaming oracle / fuzz suites.
+
+Each scenario is a ``(events, seed) -> UpdateStream`` factory covering one
+workload class the monitors must survive: uniform background churn, clustered
+hotspots, drifting clusters, flash-crowd bursts and the adversarial
+corner-pinned churn that maximises dirty-shard pressure.  Keeping the
+registry in one module guarantees the oracle suite, the equivalence suite
+and the fuzz suite all agree on what a "scenario" is.
+"""
+
+from __future__ import annotations
+
+from repro.core.sampling import default_rng
+from repro.datasets import (
+    UpdateEvent,
+    UpdateStream,
+    adversarial_churn_stream,
+    burst_stream,
+    drift_stream,
+    hotspot_monitoring_stream,
+)
+from repro.exact import maxrs_disk_exact
+
+RADIUS = 1.0
+
+
+def uniform_stream(events: int, seed, extent: float = 8.0,
+                   delete_fraction: float = 0.3) -> UpdateStream:
+    """Uniform insertions mixed with deletions of uniformly chosen live points."""
+    rng = default_rng(seed)
+    out, live = [], []
+    for step in range(events):
+        if live and rng.random() < delete_fraction:
+            position = int(rng.integers(0, len(live)))
+            out.append(UpdateEvent(kind="delete", target=live.pop(position),
+                                   timestamp=float(step)))
+        else:
+            point = tuple(float(c) for c in rng.uniform(0.0, extent, size=2))
+            out.append(UpdateEvent(kind="insert", point=point, timestamp=float(step)))
+            live.append(len(out) - 1)
+    return UpdateStream(out)
+
+
+SCENARIOS = {
+    "uniform": lambda events, seed: uniform_stream(events, seed),
+    "clustered": lambda events, seed: hotspot_monitoring_stream(
+        events, extent=8.0, seed=seed),
+    "drift": lambda events, seed: drift_stream(events, extent=8.0, seed=seed),
+    "burst": lambda events, seed: burst_stream(events, extent=8.0, seed=seed),
+    "churn": lambda events, seed: adversarial_churn_stream(
+        events, radius=RADIUS, span=3, seed=seed),
+}
+
+#: Insert-only scenarios (with timestamps), for the sliding-window monitors.
+INSERT_ONLY_SCENARIOS = {
+    "uniform": lambda events, seed: uniform_stream(events, seed, delete_fraction=0.0),
+    "drift": lambda events, seed: drift_stream(events, extent=8.0,
+                                               delete_fraction=0.0, seed=seed),
+}
+
+
+def live_set(stream: UpdateStream, prefix: int):
+    """(coords, weights) alive after the first ``prefix`` events."""
+    alive = stream.live_points_after(prefix)
+    return [p for p, _ in alive], [w for _, w in alive]
+
+
+def disk_oracle_value(stream: UpdateStream, prefix: int, radius: float = RADIUS) -> float:
+    """Exact from-scratch disk optimum over the live set after ``prefix`` events."""
+    coords, weights = live_set(stream, prefix)
+    if not coords:
+        return 0.0
+    return maxrs_disk_exact(coords, radius=radius, weights=weights).value
+
+
+def rescore_disk(center, coords, weights, radius: float = RADIUS) -> float:
+    """Independently re-score a reported disk placement.
+
+    The boundary slack is generous (the sweep places optimal centers with
+    covered points *exactly* on the boundary); callers assert the re-score is
+    at least the claimed value, so over-inclusion is the safe direction.
+    """
+    if center is None:
+        return 0.0
+    cx, cy = center
+    limit = (radius + 1e-7) ** 2
+    return sum(w for (x, y), w in zip(coords, weights)
+               if (x - cx) ** 2 + (y - cy) ** 2 <= limit)

@@ -6,6 +6,9 @@ import pytest
 
 from repro.core.depth import colored_depth, weighted_depth
 from repro.datasets import (
+    adversarial_churn_stream,
+    burst_stream,
+    drift_stream,
     UpdateEvent,
     UpdateStream,
     clustered_points,
@@ -155,3 +158,86 @@ class TestStreams:
             hotspot_monitoring_stream(10, delete_fraction=1.0)
         with pytest.raises(ValueError):
             sliding_window_stream(10, window=0)
+
+
+class TestScenarioStreams:
+    """The drift / burst / adversarial-churn generators feeding the
+    streaming stress suite."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda seed: drift_stream(80, seed=seed),
+        lambda seed: burst_stream(80, seed=seed),
+        lambda seed: adversarial_churn_stream(80, seed=seed),
+    ])
+    def test_streams_are_replayable_and_seeded(self, factory):
+        stream = factory(21)
+        assert len(stream) == 80
+        events = list(stream)
+        # deletes always undo an earlier, still-live insertion
+        live = set()
+        for position, event in enumerate(events):
+            if event.kind == "insert":
+                live.add(position)
+            else:
+                assert event.target in live
+                live.remove(event.target)
+        assert len(stream.live_points_after(80)) == len(live)
+        # same seed, same stream; different seed, different stream
+        assert list(factory(21)) == events
+        assert list(factory(22)) != events
+
+    def test_timestamps_are_non_decreasing(self):
+        for stream in (drift_stream(60, seed=2), burst_stream(60, seed=3),
+                       adversarial_churn_stream(60, seed=4)):
+            stamps = [event.timestamp for event in stream]
+            assert all(stamp is not None for stamp in stamps)
+            assert stamps == sorted(stamps)
+
+    def test_drift_stream_centers_actually_drift(self):
+        stream = drift_stream(400, clusters=1, drift=0.5, delete_fraction=0.0, seed=5)
+        points = [event.point for event in stream]
+        early = points[:50]
+        late = points[-50:]
+        early_mean = (sum(p[0] for p in early) / 50, sum(p[1] for p in early) / 50)
+        late_mean = (sum(p[0] for p in late) / 50, sum(p[1] for p in late) / 50)
+        moved = math.hypot(late_mean[0] - early_mean[0], late_mean[1] - early_mean[1])
+        assert moved > 1.0
+
+    def test_burst_stream_bursts_are_dense(self):
+        stream = burst_stream(200, burst_every=40, burst_size=15, burst_std=0.2,
+                              seed=6)
+        events = list(stream)
+        # find one burst: 15 consecutive inserts within a tight box
+        found = False
+        for start in range(len(events) - 15):
+            run = events[start:start + 15]
+            if any(event.kind != "insert" for event in run):
+                continue
+            xs = [event.point[0] for event in run]
+            ys = [event.point[1] for event in run]
+            if max(xs) - min(xs) < 2.0 and max(ys) - min(ys) < 2.0:
+                found = True
+                break
+        assert found
+
+    def test_churn_stream_pins_points_to_tile_corners(self):
+        side = 4.0  # default tile side for radius 1.0
+        stream = adversarial_churn_stream(100, radius=1.0, jitter=0.01, seed=7)
+        for event in stream:
+            if event.kind != "insert":
+                continue
+            x, y = event.point
+            assert abs(x / side - round(x / side)) < 0.05
+            assert abs(y / side - round(y / side)) < 0.05
+
+    def test_scenario_stream_validation(self):
+        with pytest.raises(ValueError):
+            drift_stream(10, delete_fraction=1.0)
+        with pytest.raises(ValueError):
+            drift_stream(10, clusters=0)
+        with pytest.raises(ValueError):
+            burst_stream(10, burst_every=0)
+        with pytest.raises(ValueError):
+            adversarial_churn_stream(10, radius=0.0)
+        with pytest.raises(ValueError):
+            adversarial_churn_stream(10, span=0)

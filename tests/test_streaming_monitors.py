@@ -32,6 +32,19 @@ class TestApproximateMonitor:
         with pytest.raises(KeyError):
             monitor.expire(42)
 
+    def test_observe_batch_matches_observe_loop(self):
+        points = [(0.1 * i, 0.2 * (i % 4)) for i in range(12)]
+        loop = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.3, seed=2)
+        for point in points:
+            loop.observe(point)
+        batched = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.3, seed=2)
+        handles = batched.observe_batch(points)
+        assert len(handles) == len(points)
+        assert len(batched) == len(loop)
+        assert batched.current().value == loop.current().value
+        with pytest.raises(ValueError):
+            batched.observe_batch(points, weights=[1.0])
+
     def test_replay_tracks_live_set(self):
         stream = hotspot_monitoring_stream(120, dim=2, extent=8.0, seed=5)
         monitor = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.35, seed=5)
@@ -107,6 +120,12 @@ class TestSlidingWindowMonitor:
         monitor = SlidingWindowMaxRSMonitor(window=5, dim=2, seed=1)
         with pytest.raises(ValueError):
             monitor.replay_points([(0.0, 0.0)], weights=[1.0, 2.0])
+
+    def test_observe_batch_respects_window(self):
+        monitor = SlidingWindowMaxRSMonitor(window=8, dim=2, radius=1.0,
+                                            epsilon=0.3, seed=5)
+        monitor.observe_batch([(0.1 * i, 0.0) for i in range(20)])
+        assert len(monitor) == 8
 
 
 # --------------------------------------------------------------------------- #
