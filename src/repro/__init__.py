@@ -16,7 +16,25 @@ baseline and substrate they rely on:
 * **Exact baselines** -- interval, rectangle [IA83, NB95] and disk [CL86]
   MaxRS plus the straightforward colored disk sweep, in :mod:`repro.exact`.
 * **Workload generators and the benchmark harness** -- :mod:`repro.datasets`
-  and :mod:`repro.bench`.
+  (point clouds, update streams, serving request traces) and
+  :mod:`repro.bench`.
+
+On top of the paper's algorithms the package grows a serving stack
+(``docs/architecture.md`` has the layer diagram and guarantee table):
+
+* **Kernel backends** (:mod:`repro.kernels`) -- pure-Python reference vs
+  vectorised NumPy implementations of every sweep's hot inner loop, behind
+  a registry every solver's ``backend=`` argument selects from.
+* **Sharded execution engine** (:mod:`repro.engine`) -- :class:`QueryEngine`
+  serves heterogeneous :class:`Query` batches over one dataset: halo
+  sharding, pluggable executors, deduplication and an LRU result cache.
+* **Streaming monitors** (:mod:`repro.streaming`) -- continuous hotspot
+  answers over insert/delete streams with batched ingestion, dirty-shard
+  recomputation and sliding windows.
+* **Serving front end** (:mod:`repro.service`) -- :class:`MaxRSService`
+  faces concurrent request traffic with coalescing, micro-batching, TTL'd
+  generation-keyed caching and per-request latency metrics
+  (``docs/serving.md``).
 
 Quickstart
 ----------
@@ -93,13 +111,25 @@ from .engine import Query, QueryEngine
 # Kernel backend registry: every sweep solver accepts backend="auto" |
 # "python" | "numpy"; see repro.kernels for the contract and how to add one.
 from . import kernels
+# Serving layer: the concurrent front end over the engine + monitors, with
+# request coalescing, micro-batching and TTL'd caching (docs/serving.md).
+from . import service
+from .service import MaxRSService, ServiceRequest, ServiceResponse
 from .regions import (
     DecayingMaxRSMonitor,
     top_k_maxrs_disk,
     top_k_maxrs_rectangle,
 )
 
-__version__ = "1.0.0"
+# Single source of truth for the version is the package metadata
+# (pyproject.toml); the literal fallback covers PYTHONPATH=src usage from a
+# checkout, where the distribution is not installed.
+try:  # pragma: no cover - depends on how the package is deployed
+    from importlib.metadata import version as _dist_version
+
+    __version__ = _dist_version("maxrs-repro")
+except Exception:  # pragma: no cover - uninstalled checkout
+    __version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -153,6 +183,11 @@ __all__ = [
     "QueryEngine",
     # pluggable kernel backends (python / numpy)
     "kernels",
+    # concurrent query-serving front end
+    "service",
+    "MaxRSService",
+    "ServiceRequest",
+    "ServiceResponse",
     # region-search extensions (Section 1.6 related work)
     "top_k_maxrs_rectangle",
     "top_k_maxrs_disk",

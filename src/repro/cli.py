@@ -19,10 +19,17 @@ writing Python:
   of ``--batch-size`` events, with ``--backend`` / ``--executor`` control
   over the dirty-shard re-solves and optional ``--window`` /
   ``--time-window`` sliding windows; reports the final hotspot and the
-  sustained events/sec.
+  sustained events/sec;
+* ``serve`` -- replay a mixed request trace (static queries, live-monitor
+  hotspot reads, update batches) through the concurrent serving front end
+  (:mod:`repro.service`) with up to ``--concurrency`` requests in flight
+  together, a ``--cache-ttl``-second result cache, and ``--replay`` to
+  re-run a recorded JSONL trace; reports throughput, coalescing / cache-hit
+  rates and latency percentiles.
 
-Every command prints a short human-readable summary to stdout and exits with
-status 0 on success, 2 on usage errors.
+``repro --version`` prints the installed package version.  Every command
+prints a short human-readable summary to stdout and exits with status 0 on
+success, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -392,15 +399,94 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .datasets.requests import (
+        default_query_catalog,
+        load_trace,
+        request_trace,
+        save_trace,
+    )
+    from .service import MaxRSService
+    from .streaming import ShardedMaxRSMonitor
+
+    if args.concurrency < 1:
+        print("--concurrency must be >= 1", file=sys.stderr)
+        return 2
+    if args.input:
+        table = read_points_csv(args.input)
+        if not table.points:
+            print("input file %s contains no points" % args.input, file=sys.stderr)
+            return 2
+        points, weights, colors = table.points, table.weights, table.colors
+    else:
+        points = clustered_points(args.n, dim=2, extent=args.extent, seed=args.seed)
+        weights = colors = None
+
+    if args.replay:
+        try:
+            trace = load_trace(args.replay)
+        except (OSError, ValueError, KeyError) as error:
+            print("cannot load trace %s: %s" % (args.replay, error), file=sys.stderr)
+            return 2
+    else:
+        catalog = default_query_catalog(colored=colors is not None,
+                                        backend=args.backend)
+        trace = request_trace(args.requests, catalog=catalog, seed=args.seed,
+                              extent=args.extent)
+    if args.save_trace:
+        save_trace(args.save_trace, trace)
+        print("wrote %d requests to %s" % (len(trace), args.save_trace))
+
+    monitor = ShardedMaxRSMonitor(radius=args.radius, backend=args.backend)
+    try:
+        with MaxRSService(points, weights=weights, colors=colors, monitor=monitor,
+                          routing=args.routing, cache_ttl=args.cache_ttl,
+                          cache_size=args.cache_size, max_batch=args.concurrency,
+                          executor=args.executor, workers=args.workers) as service:
+            report = service.serve_trace(trace, window=args.concurrency)
+            snapshot = service.snapshot()
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    counts = trace.counts
+    errors = [r for r in report.responses if not r.ok]
+    print("trace:       %d requests (%d query / %d monitor / %d update, %d stream events)"
+          % (len(trace), counts["query"], counts["monitor"], counts["update"],
+             counts["stream_events"]))
+    print("service:     routing=%s, concurrency=%d, cache_ttl=%gs"
+          % (args.routing, args.concurrency, args.cache_ttl))
+    print("throughput:  %.0f requests/sec (%.3fs total)"
+          % (report.throughput, report.elapsed))
+    print("batching:    %d flushes, mean batch %.1f"
+          % (snapshot["flushes"], snapshot["mean_batch_size"]))
+    print("coalescing:  %d coalesced, %d cache hits, %d solver calls, %d monitor passes"
+          % (snapshot["coalesced"], snapshot["cache_hits"],
+             snapshot["solver_calls"], snapshot["monitor_passes"]))
+    print("latency:     p50=%.2gms p95=%.2gms (queue wait p95=%.2gms)"
+          % (1e3 * snapshot["latency_p50"], 1e3 * snapshot["latency_p95"],
+             1e3 * snapshot["queue_wait_p95"]))
+    if errors:
+        print("errors:      %d requests failed (first: %s)"
+              % (len(errors), errors[0].error), file=sys.stderr)
+        return 1
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Maximum range sum (MaxRS) reproduction toolkit (PODS 2025).",
     )
+    parser.add_argument("--version", action="version",
+                        version="%(prog)s " + __version__,
+                        help="print the package version and exit")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     experiments = subparsers.add_parser(
@@ -495,6 +581,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="side of the stream's bounding square")
     monitor.add_argument("--seed", type=int, default=0)
     monitor.set_defaults(func=_cmd_monitor)
+
+    serve = subparsers.add_parser(
+        "serve", help="replay a mixed request trace through the serving front end")
+    serve.add_argument("--input", default=None,
+                       help="CSV file of static-dataset points (default: generate "
+                            "a clustered workload of --n points)")
+    serve.add_argument("--n", type=int, default=1500,
+                       help="generated dataset size when --input is not given")
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="synthetic trace length when --replay is not given")
+    serve.add_argument("--replay", default=None,
+                       help="replay a JSONL request trace recorded with --save-trace "
+                            "(see repro.datasets.requests.save_trace)")
+    serve.add_argument("--save-trace", default=None,
+                       help="write the replayed trace to this JSONL path")
+    serve.add_argument("--concurrency", type=int, default=64,
+                       help="maximum requests in flight together (the flush window "
+                            "micro-batches and coalescing operate over)")
+    serve.add_argument("--cache-ttl", type=float, default=60.0,
+                       help="seconds a cached answer may be served before expiring")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="entries the TTL'd result cache holds")
+    serve.add_argument("--routing", choices=["direct", "sharded", "auto"],
+                       default="direct",
+                       help="'direct' = bit-identical direct solver calls on cache "
+                            "misses; 'sharded' = flush misses through the sharded "
+                            "engine (same values, possibly different placements); "
+                            "'auto' = plan-aware: shard only the quadratic-cost "
+                            "queries (engine batch_plan)")
+    serve.add_argument("--radius", type=float, default=1.0,
+                       help="disk radius of the live hotspot monitor")
+    serve.add_argument("--backend", choices=["auto", "python", "numpy"], default="auto",
+                       help="kernel backend for the generated trace's queries and "
+                            "the monitor's per-shard sweeps")
+    serve.add_argument("--executor", choices=["serial", "thread", "process"],
+                       default="serial", help="engine executor for sharded routing")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker count for the engine executor")
+    serve.add_argument("--extent", type=float, default=10.0,
+                       help="side of the generated workload's bounding square")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

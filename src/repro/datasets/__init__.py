@@ -34,6 +34,14 @@ from .streams import (
     hotspot_monitoring_stream,
     sliding_window_stream,
 )
+from .requests import (
+    RequestEvent,
+    RequestTrace,
+    default_query_catalog,
+    load_trace,
+    request_trace,
+    save_trace,
+)
 from .trajectories import trajectory_colored_points
 from .io import PointTable, read_points_csv, write_points_csv
 
@@ -52,6 +60,12 @@ __all__ = [
     "drift_stream",
     "burst_stream",
     "adversarial_churn_stream",
+    "RequestEvent",
+    "RequestTrace",
+    "default_query_catalog",
+    "request_trace",
+    "save_trace",
+    "load_trace",
     "PointTable",
     "read_points_csv",
     "write_points_csv",

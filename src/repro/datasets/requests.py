@@ -1,0 +1,284 @@
+"""Synthetic request traces for the query-serving front end.
+
+The serving layer (:mod:`repro.service`) is exercised with *request traces*:
+ordered sequences of heterogeneous service requests -- static MaxRS queries
+against a fixed dataset, hotspot reads against a live stream monitor, and
+update batches that mutate the monitor's live set.  This module synthesises
+the traffic shapes the serving benchmarks and tests replay:
+
+* an **open-loop arrival process** -- requests arrive on exponential
+  interarrival gaps at a base rate, punctuated by *hotspot windows* during
+  which the arrival rate multiplies (the flash-crowd shape that makes
+  micro-batching worthwhile: requests pile up faster than one-at-a-time
+  service can drain them);
+* **Zipf-distributed query popularity** over a finite catalog, so a few
+  queries dominate the traffic (the coalescing / caching opportunity);
+* **update interleaving** -- every so often an update batch from a
+  :func:`~repro.datasets.streams.hotspot_monitoring_stream` arrives, which
+  invalidates monitor-derived cached answers and forces fresh monitor passes.
+
+Traces round-trip through JSON lines (:func:`save_trace` /
+:func:`load_trace`) so a CLI ``repro serve --replay trace.jsonl`` run is
+reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..engine.planner import Query
+from ..core.sampling import default_rng
+from .streams import UpdateEvent, hotspot_monitoring_stream
+
+__all__ = [
+    "RequestEvent",
+    "RequestTrace",
+    "default_query_catalog",
+    "request_trace",
+    "save_trace",
+    "load_trace",
+]
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """One request of a serving trace.
+
+    ``kind`` selects the request family:
+
+    * ``"query"`` -- a static MaxRS query (``query`` is set) against the
+      service's fixed dataset;
+    * ``"monitor"`` -- a hotspot read against the service's live stream
+      monitor (``name`` optionally selects one standing query of a
+      multi-query monitor);
+    * ``"update"`` -- a batch of stream events (``events``) to apply to the
+      monitor, invalidating monitor-derived cached answers.
+
+    ``arrival`` is the request's open-loop arrival time in seconds from the
+    start of the trace (non-decreasing along a trace).
+    """
+
+    kind: str
+    arrival: float = 0.0
+    query: Optional[Query] = None
+    name: Optional[str] = None
+    events: Tuple[UpdateEvent, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in ("query", "monitor", "update"):
+            raise ValueError("request kind must be 'query', 'monitor' or 'update'")
+        if self.kind == "query" and self.query is None:
+            raise ValueError("query requests need a query")
+        if self.kind == "update" and not self.events:
+            raise ValueError("update requests need at least one stream event")
+
+
+class RequestTrace:
+    """An ordered, replayable sequence of :class:`RequestEvent` objects."""
+
+    def __init__(self, requests: Sequence[RequestEvent]):
+        self.requests: List[RequestEvent] = list(requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[RequestEvent]:
+        return iter(self.requests)
+
+    def __getitem__(self, index):
+        return self.requests[index]
+
+    @property
+    def counts(self) -> dict:
+        """Request counts per kind plus the total stream events carried."""
+        counts = {"query": 0, "monitor": 0, "update": 0, "stream_events": 0}
+        for request in self.requests:
+            counts[request.kind] += 1
+            counts["stream_events"] += len(request.events)
+        return counts
+
+
+def default_query_catalog(
+    *,
+    colored: bool = False,
+    heavy: bool = True,
+    backend: str = "auto",
+) -> List[Query]:
+    """The standard static-query catalog the synthetic traces draw from.
+
+    Mostly linearithmic rectangle sweeps (cheap enough that a 10k-request
+    trace replays in seconds), a few exact disk sweeps and approximate
+    d-ball queries (``heavy=True``), and -- when the target dataset carries
+    colors -- a pair of colored disk queries.
+    """
+    catalog: List[Query] = []
+    for width, height in ((1.0, 1.0), (2.0, 1.0), (1.0, 2.0), (2.0, 2.0),
+                          (0.5, 0.5), (3.0, 1.5), (1.5, 3.0), (4.0, 4.0)):
+        catalog.append(Query.rectangle(width, height, backend=backend))
+    if heavy:
+        for radius in (0.5, 1.0):
+            catalog.append(Query.disk(radius, backend=backend))
+        for epsilon in (0.25, 0.4):
+            catalog.append(Query.disk_approx(1.0, epsilon=epsilon, seed=7,
+                                             backend=backend))
+    if colored:
+        catalog.append(Query.colored_disk(0.75, backend=backend))
+        catalog.append(Query.colored_disk_approx(1.0, epsilon=0.4, seed=7,
+                                                 backend=backend))
+    return catalog
+
+
+def request_trace(
+    n_requests: int,
+    *,
+    catalog: Optional[Sequence[Query]] = None,
+    zipf_s: float = 1.1,
+    shuffle: bool = True,
+    monitor_fraction: float = 0.25,
+    update_every: int = 40,
+    update_batch: int = 16,
+    rate: float = 500.0,
+    hotspot_every: int = 1000,
+    hotspot_length: int = 200,
+    hotspot_boost: float = 8.0,
+    extent: float = 10.0,
+    seed=None,
+) -> RequestTrace:
+    """Synthesise a mixed open-loop serving trace of ``n_requests`` requests.
+
+    Parameters
+    ----------
+    catalog:
+        The static queries traffic draws from (default:
+        :func:`default_query_catalog`).  Popularity is Zipf with exponent
+        ``zipf_s`` over a random permutation of the catalog
+        (``shuffle=True``, the default) or over the catalog's own order
+        (``shuffle=False``: the first entry is the most popular -- how the
+        benchmarks pin expensive queries to the popularity tail), so a
+        handful of queries receive most of the traffic.
+    monitor_fraction:
+        Fraction of non-update requests that are live-monitor hotspot reads
+        instead of static queries.
+    update_every, update_batch:
+        Every ``update_every`` requests, one ``"update"`` request carrying
+        ``update_batch`` events of a clustered insert/delete stream is
+        interleaved (0 disables updates).
+    rate, hotspot_every, hotspot_length, hotspot_boost:
+        The open-loop arrival process: exponential interarrival gaps at
+        ``rate`` requests/sec, multiplied by ``hotspot_boost`` for
+        ``hotspot_length``-request windows starting every ``hotspot_every``
+        requests -- the flash-crowd periods in which requests pile up and
+        micro-batches grow.
+    extent, seed:
+        Stream geometry and determinism.
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if zipf_s <= 0:
+        raise ValueError("zipf_s must be positive")
+    if not 0.0 <= monitor_fraction <= 1.0:
+        raise ValueError("monitor_fraction must lie in [0, 1]")
+    if update_every < 0 or update_batch < 1:
+        raise ValueError("update_every must be >= 0 and update_batch >= 1")
+    if rate <= 0 or hotspot_boost < 1.0:
+        raise ValueError("rate must be positive and hotspot_boost >= 1")
+    rng = default_rng(seed)
+    queries = list(catalog) if catalog is not None else default_query_catalog()
+    if not queries:
+        raise ValueError("the query catalog must not be empty")
+    order = rng.permutation(len(queries)) if shuffle else list(range(len(queries)))
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(queries))]
+    total = sum(weights)
+    popularity = [w / total for w in weights]
+
+    # One long update stream, chopped sequentially into the trace's update
+    # batches: delete targets stay consistent because the service replays the
+    # batches in order at monotonically increasing stream offsets.
+    n_updates = 0 if update_every == 0 else (n_requests // update_every + 1)
+    stream = list(hotspot_monitoring_stream(max(1, n_updates * update_batch),
+                                            extent=extent, seed=rng))
+    stream_cursor = 0
+
+    requests: List[RequestEvent] = []
+    clock = 0.0
+    for index in range(n_requests):
+        in_hotspot = hotspot_every > 0 and (index % hotspot_every) < hotspot_length
+        effective_rate = rate * (hotspot_boost if in_hotspot else 1.0)
+        clock += float(rng.exponential(1.0 / effective_rate))
+        if update_every and index % update_every == update_every - 1:
+            chunk = stream[stream_cursor:stream_cursor + update_batch]
+            stream_cursor += len(chunk)
+            if chunk:
+                requests.append(RequestEvent(kind="update", arrival=clock,
+                                             events=tuple(chunk)))
+                continue
+        if rng.random() < monitor_fraction:
+            requests.append(RequestEvent(kind="monitor", arrival=clock))
+        else:
+            choice = int(rng.choice(len(queries), p=popularity))
+            requests.append(RequestEvent(kind="query", arrival=clock,
+                                         query=queries[int(order[choice])]))
+    return RequestTrace(requests)
+
+
+# --------------------------------------------------------------------------- #
+# JSONL persistence
+# --------------------------------------------------------------------------- #
+
+def _query_to_dict(query: Query) -> dict:
+    return {k: v for k, v in asdict(query).items() if v is not None}
+
+
+def _event_to_dict(event: UpdateEvent) -> dict:
+    payload = asdict(event)
+    return {k: v for k, v in payload.items() if v is not None}
+
+
+def save_trace(path: str, trace: RequestTrace) -> None:
+    """Write a trace as JSON lines (one request per line, replayable with
+    ``repro serve --replay``)."""
+    with open(path, "w") as handle:
+        for request in trace:
+            record = {"kind": request.kind, "arrival": request.arrival}
+            if request.query is not None:
+                record["query"] = _query_to_dict(request.query)
+            if request.name is not None:
+                record["name"] = request.name
+            if request.events:
+                record["events"] = [_event_to_dict(e) for e in request.events]
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: str) -> RequestTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    requests: List[RequestEvent] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            query = None
+            if "query" in record:
+                fields = dict(record["query"])
+                # JSON has no tuples; exactness defaults are restored by Query.
+                query = Query(**fields)
+            events = tuple(
+                UpdateEvent(
+                    kind=e["kind"],
+                    point=tuple(e["point"]) if "point" in e else None,
+                    weight=e.get("weight", 1.0),
+                    target=e.get("target"),
+                    timestamp=e.get("timestamp"),
+                    color=e.get("color"),
+                )
+                for e in record.get("events", ())
+            )
+            requests.append(RequestEvent(kind=record["kind"],
+                                         arrival=record.get("arrival", 0.0),
+                                         query=query,
+                                         name=record.get("name"),
+                                         events=events))
+    return RequestTrace(requests)

@@ -33,6 +33,7 @@ from .executors import (
 )
 from .merge import merge_shard_results
 from .planner import (
+    BatchPlan,
     LRUCache,
     Query,
     QueryEngine,
@@ -43,6 +44,7 @@ from .planner import (
 from .sharding import Shard, ShardPlan, choose_tile_sides, plan_shards, tile_keys_for_point
 
 __all__ = [
+    "BatchPlan",
     "Query",
     "QueryEngine",
     "LRUCache",

@@ -49,6 +49,7 @@ from .merge import merge_shard_results
 from .sharding import Shard, ShardPlan, plan_shards
 
 __all__ = [
+    "BatchPlan",
     "Query",
     "QueryEngine",
     "LRUCache",
@@ -294,6 +295,12 @@ class LRUCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def peek(self, key):
+        """Return the cached value without touching recency or the hit/miss
+        counters (used by non-mutating planning passes)."""
+        value = self._data.get(key, _MISSING)
+        return None if value is _MISSING else value
+
     def get(self, key):
         """Return the cached value (refreshing recency) or ``None``."""
         value = self._data.get(key, _MISSING)
@@ -338,6 +345,41 @@ def dataset_fingerprint(
         digest.update(b"c")
         digest.update(repr(list(colors)).encode())
     return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """What executing a query batch would cost, without executing it.
+
+    Produced by :meth:`QueryEngine.batch_plan` for the serving layer
+    (:mod:`repro.service`), which uses it to route micro-batches: a batch
+    that is entirely cache hits can be served without touching an executor,
+    and the shard-task count bounds the work a flush will enqueue.
+
+    Attributes
+    ----------
+    unique:
+        The distinct queries of the batch, in first-appearance order (the
+        order :meth:`QueryEngine.solve_batch` would solve them in).
+    duplicates:
+        How many submitted queries were duplicates of an earlier one (the
+        coalescing opportunity).
+    cached:
+        The subset of ``unique`` already present in the engine's result
+        cache (served without solving).
+    shard_tasks:
+        Executor tasks a flush would submit: the sum of shard counts over
+        the non-cached unique queries.
+    cost_classes:
+        ``query -> cost_class`` for the non-cached unique queries (see
+        :attr:`Query.cost_class`), the routing signal for batch formation.
+    """
+
+    unique: Tuple[Query, ...]
+    duplicates: int
+    cached: Tuple[Query, ...]
+    shard_tasks: int
+    cost_classes: Dict[Query, str]
 
 
 # --------------------------------------------------------------------------- #
@@ -512,6 +554,39 @@ class QueryEngine:
 
     def _empty_result(self, query: Query) -> MaxRSResult:
         return solve_query(query, [], [], [] if self._colors is not None else None)
+
+    def batch_plan(self, queries: Sequence[Query]) -> BatchPlan:
+        """Plan a batch without executing it (the serving layer's routing hook).
+
+        Deduplicates the batch, peeks at the result cache (without touching
+        recency or the hit/miss counters) and sums the shard tasks a
+        :meth:`solve_batch` flush would submit for the remaining queries.
+        Validates every query, so a planned batch cannot fail routing at
+        flush time.
+        """
+        unique: List[Query] = []
+        seen = set()
+        for query in queries:
+            if query not in seen:
+                seen.add(query)
+                unique.append(query)
+        cached: List[Query] = []
+        shard_tasks = 0
+        cost_classes: Dict[Query, str] = {}
+        for query in unique:
+            self._validate(query)
+            if self._cache.peek((self.fingerprint, query)) is not None:
+                cached.append(query)
+                continue
+            cost_classes[query] = query.cost_class
+            shard_tasks += len(self.shard_plan(query).shards) if self._coords else 0
+        return BatchPlan(
+            unique=tuple(unique),
+            duplicates=len(queries) - len(unique),
+            cached=tuple(cached),
+            shard_tasks=shard_tasks,
+            cost_classes=cost_classes,
+        )
 
     # ------------------------------------------------------------------ #
     # solving

@@ -77,6 +77,7 @@ __all__ = [
     "get_kernel",
     "register_backend",
     "resolve_backend",
+    "resolve_batch_backend",
 ]
 
 #: Input size at which ``backend="auto"`` switches from the pure-Python
@@ -154,6 +155,23 @@ def resolve_backend(backend: str, n: int, kernel: Optional[str] = None) -> str:
         return "python"
     get_backend(backend)
     return backend
+
+
+def resolve_batch_backend(backend: str, n: int, batch_size: int = 1) -> str:
+    """Resolve a backend for a *micro-batch* of ``batch_size`` sweeps over
+    one ``n``-point dataset (the serving layer's per-batch resolution).
+
+    A batch amortises NumPy's per-call setup over every sweep it contains,
+    so ``"auto"`` switches to the vectorised kernels once the batch's total
+    work ``n * batch_size`` crosses :data:`AUTO_THRESHOLD`, rather than
+    requiring each individual call to cross it.  Explicit backend names are
+    validated and returned unchanged, exactly like :func:`resolve_backend`.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if backend is None or backend == "auto":
+        return resolve_backend(backend, n * batch_size)
+    return resolve_backend(backend, n)
 
 
 def get_kernel(backend: str, kernel: str, n: int = 0) -> Callable:

@@ -1,0 +1,60 @@
+"""Concurrent query-serving front end for MaxRS workloads.
+
+Everything below :mod:`repro.service` answers *one* query at a time: the
+solver functions are one-shot calls, the engine serves one batch it is
+handed, the monitors answer one ``current()`` pass.  This package is the
+layer that faces *traffic* -- many clients issuing heterogeneous MaxRS
+requests concurrently against shared state -- and turns the machinery
+underneath into a serving system:
+
+* :mod:`repro.service.requests` -- the request/response vocabulary
+  (:class:`ServiceRequest`, :class:`ServiceResponse`): static dataset
+  queries, live-monitor hotspot reads, and monitor update batches;
+* :mod:`repro.service.batcher` -- micro-batch formation: flush windows are
+  split into ordered serve / update groups (updates are barriers) and
+  identical in-flight requests are coalesced onto one backend call;
+* :mod:`repro.service.cache` -- :class:`TTLCache`, the TTL'd LRU result
+  cache whose monitor-side keys embed the monitor's ``generation`` token so
+  update batches implicitly invalidate stale answers;
+* :mod:`repro.service.metrics` -- per-request metrics (queue wait, flush
+  size, latency) and their aggregation (:class:`ServiceStats`,
+  :func:`percentile`);
+* :mod:`repro.service.server` -- :class:`MaxRSService`, the front end
+  itself, with a threaded dispatcher (``submit``/``result``) and a
+  deterministic replay mode (``serve_trace``) sharing one serving core.
+
+Serving preserves the layers' guarantees: with the default
+``routing="direct"`` every served answer is **bit-identical** to the direct
+solver call for the concrete query recorded on the response, and monitor
+reads are bit-identical to querying the monitor yourself at the same stream
+position (``benchmarks/bench_service.py`` enforces both differentially).
+
+Quickstart
+----------
+>>> from repro.engine import Query
+>>> from repro.service import MaxRSService, ServiceRequest
+>>> service = MaxRSService([(0.0, 0.0), (0.5, 0.5), (5.0, 5.0)])
+>>> batch = [ServiceRequest.static(Query.disk(1.0))] * 3
+>>> [r.value for r in (resp.result for resp in service.serve(batch))]
+[2.0, 2.0, 2.0]
+"""
+
+from .batcher import Group, coalesce, form_groups
+from .cache import TTLCache
+from .metrics import ServiceStats, percentile
+from .requests import ServiceRequest, ServiceResponse
+from .server import MaxRSService, PendingResponse, TraceReport
+
+__all__ = [
+    "MaxRSService",
+    "PendingResponse",
+    "TraceReport",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceStats",
+    "TTLCache",
+    "Group",
+    "form_groups",
+    "coalesce",
+    "percentile",
+]

@@ -1,0 +1,115 @@
+"""Per-request service metrics and their aggregation.
+
+Every :class:`~repro.service.requests.ServiceResponse` carries its own
+timings (queue wait, end-to-end latency) and batching facts (flush size, how
+it was served).  :class:`ServiceStats` folds a stream of responses into the
+aggregate view operators actually watch: request counts by kind and serving
+path, coalescing and cache-hit rates, mean flush size, and p50/p95 latency
+percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Sequence
+
+__all__ = ["percentile", "ServiceStats"]
+
+#: How many recent observations the percentile reservoirs keep.  A
+#: long-running service must not grow per-request state without bound, so
+#: latency/queue-wait percentiles are computed over a sliding window of the
+#: most recent requests (counts and means stay exact over the full history).
+RESERVOIR_SIZE = 4096
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile ``q`` (in ``[0, 100]``) of ``values``.
+
+    Returns ``nan`` on an empty sequence; ``q=50`` is the median, ``q=95``
+    the tail most latency SLOs are written against.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must lie in [0, 100]")
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = max(1, int(math.ceil(q / 100.0 * len(ordered))))
+    return float(ordered[rank - 1])
+
+
+class ServiceStats:
+    """Aggregates response metrics into the service's observable counters.
+
+    Counts and means are exact over the whole service lifetime; the latency
+    and queue-wait percentiles are computed over a bounded reservoir of the
+    most recent :data:`RESERVOIR_SIZE` requests, so a long-running threaded
+    service holds O(1) metrics state.
+    """
+
+    def __init__(self):
+        self.requests = 0
+        self.by_kind: Dict[str, int] = {"query": 0, "monitor": 0, "update": 0}
+        self.served_from: Dict[str, int] = {}
+        self.stream_events = 0
+        self.flushes = 0
+        self.solver_calls = 0
+        self.monitor_passes = 0
+        self.planned_shard_tasks = 0
+        self._batch_size_sum = 0
+        self._queue_waits: Deque[float] = deque(maxlen=RESERVOIR_SIZE)
+        self._latencies: Deque[float] = deque(maxlen=RESERVOIR_SIZE)
+
+    def record(self, response) -> None:
+        """Fold one :class:`~repro.service.requests.ServiceResponse` in."""
+        self.requests += 1
+        self.by_kind[response.request.kind] = (
+            self.by_kind.get(response.request.kind, 0) + 1)
+        self.served_from[response.served_from] = (
+            self.served_from.get(response.served_from, 0) + 1)
+        self.stream_events += len(response.request.events)
+        self._batch_size_sum += response.batch_size
+        self._queue_waits.append(response.queue_wait)
+        self._latencies.append(response.latency)
+
+    def record_flush(self, solver_calls: int = 0, monitor_passes: int = 0) -> None:
+        """Count one batch flush and the backend work it actually submitted."""
+        self.flushes += 1
+        self.solver_calls += solver_calls
+        self.monitor_passes += monitor_passes
+
+    @property
+    def coalesced(self) -> int:
+        """Requests that piggybacked on an identical in-flight request."""
+        return self.served_from.get("coalesced", 0)
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests answered from the TTL'd result cache."""
+        return self.served_from.get("cache", 0)
+
+    def mean_batch_size(self) -> float:
+        """Average flush size over all served requests (``nan`` when idle)."""
+        if not self.requests:
+            return float("nan")
+        return self._batch_size_sum / self.requests
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-serialisable dict of every aggregate the service reports."""
+        return {
+            "requests": self.requests,
+            "by_kind": dict(self.by_kind),
+            "served_from": dict(self.served_from),
+            "stream_events": self.stream_events,
+            "flushes": self.flushes,
+            "solver_calls": self.solver_calls,
+            "monitor_passes": self.monitor_passes,
+            "planned_shard_tasks": self.planned_shard_tasks,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "mean_batch_size": self.mean_batch_size(),
+            "queue_wait_p50": percentile(list(self._queue_waits), 50.0),
+            "queue_wait_p95": percentile(list(self._queue_waits), 95.0),
+            "latency_p50": percentile(list(self._latencies), 50.0),
+            "latency_p95": percentile(list(self._latencies), 95.0),
+        }

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.result import MaxRSResult
 from ..datasets.streams import UpdateEvent
@@ -62,8 +62,32 @@ class HotspotSnapshot:
 class StreamMonitor:
     """Base class: event-at-a-time ingestion plus derived batched ingestion."""
 
+    #: Updates processed so far; every concrete monitor maintains this.
+    _steps = 0
+
     def __len__(self) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    @property
+    def steps(self) -> int:
+        """Number of updates processed so far."""
+        return self._steps
+
+    @property
+    def generation(self) -> Hashable:
+        """Cache-invalidation token for answers derived from this monitor.
+
+        The token is an opaque hashable value with one contract: whenever the
+        monitor's state may have changed -- and therefore any externally
+        cached answer may be stale -- the token changes.  The serving layer
+        (:mod:`repro.service`) keys its TTL'd result cache on it, so applying
+        an update batch invalidates every cached monitor answer without an
+        explicit callback.  The base implementation covers every mutation
+        that goes through the update counter; monitors with out-of-band
+        mutations (e.g. :meth:`repro.streaming.ShardedMaxRSMonitor.advance_to`
+        evictions) extend it.
+        """
+        return (self._steps, len(self))
 
     def apply(self, event: UpdateEvent, event_index: int) -> None:
         """Apply one stream event; ``event_index`` is its position in the stream."""

@@ -165,6 +165,16 @@ class ShardedMaxRSMonitor(StreamMonitor):
         """Whether any sliding window (count or time) is active."""
         return self.window is not None or self.time_window is not None
 
+    @property
+    def generation(self):
+        """Cache-invalidation token (see :attr:`StreamMonitor.generation`).
+
+        Extends the base token with the time-window clock so that
+        :meth:`advance_to` -- which can evict observations without processing
+        an update event -- also invalidates externally cached answers.
+        """
+        return (self._steps, len(self._store), self._clock)
+
     def close(self) -> None:
         """Shut down the executor's worker pool (if any); idempotent."""
         if self._executor is not None:

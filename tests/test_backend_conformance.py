@@ -281,3 +281,27 @@ class TestRegistry:
             kernels.register_backend("auto", object())
         with pytest.raises(ValueError):
             kernels.register_backend("", object())
+
+
+class TestResolveBatchBackend:
+    """Per-micro-batch backend resolution (the serving layer's hook)."""
+
+    def test_batch_amortisation_lowers_the_auto_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        n = kernels.AUTO_THRESHOLD // 4
+        assert kernels.resolve_batch_backend("auto", n, batch_size=1) == "python"
+        assert kernels.resolve_batch_backend("auto", n, batch_size=8) == "numpy"
+        # a single-call batch behaves exactly like resolve_backend
+        assert (kernels.resolve_batch_backend("auto", 2 * kernels.AUTO_THRESHOLD)
+                == kernels.resolve_backend("auto", 2 * kernels.AUTO_THRESHOLD))
+
+    def test_explicit_backend_passes_through_validated(self):
+        assert kernels.resolve_batch_backend("python", 10, batch_size=100) == "python"
+        with pytest.raises(ValueError):
+            kernels.resolve_batch_backend("no-such-backend", 10)
+        with pytest.raises(ValueError):
+            kernels.resolve_batch_backend("auto", 10, batch_size=0)
+
+    def test_environment_override_wins_for_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert kernels.resolve_batch_backend("auto", 10_000, batch_size=64) == "python"

@@ -179,6 +179,73 @@ class TestCli:
         assert out.count("value:") == 2
 
 
+class TestCliVersionAndEntryPoint:
+    """``repro --version`` and the shared module / console entry point."""
+
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "repro %s" % repro.__version__
+
+    def test_version_matches_project_metadata_fallback(self):
+        """The uninstalled-checkout fallback must track pyproject.toml."""
+        import re
+        from pathlib import Path
+        import repro
+        pyproject = (Path(__file__).resolve().parent.parent / "pyproject.toml").read_text()
+        declared = re.search(r'^version = "([^"]+)"', pyproject, re.M).group(1)
+        assert repro.__version__ == declared
+
+    def test_module_and_console_script_share_one_entry_point(self):
+        """``python -m repro`` and the ``repro`` console script must dispatch
+        to the same callable (repro.cli:main)."""
+        import repro.__main__ as module_entry
+        from pathlib import Path
+        assert module_entry.main is main
+        pyproject = (Path(__file__).resolve().parent.parent / "pyproject.toml").read_text()
+        assert 'repro = "repro.cli:main"' in pyproject
+
+
+class TestCliServe:
+    """Smoke tests for the ``serve`` subcommand (the serving front end)."""
+
+    def test_serve_generated_trace(self, capsys):
+        assert main(["serve", "--requests", "80", "--n", "120",
+                     "--concurrency", "16", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out and "coalescing:" in out and "latency:" in out
+
+    def test_serve_save_and_replay_roundtrip(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        assert main(["serve", "--requests", "60", "--n", "100",
+                     "--save-trace", trace_path, "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--replay", trace_path, "--n", "100",
+                     "--seed", "3", "--routing", "sharded",
+                     "--cache-ttl", "5", "--cache-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "routing=sharded" in out and "60 requests" in out
+
+    def test_serve_with_input_csv(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "pts.csv")
+        assert main(["generate", "clustered", "--output", csv_path,
+                     "--n", "90", "--seed", "5"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--input", csv_path, "--requests", "50",
+                     "--radius", "0.5", "--backend", "python"]) == 0
+        assert "throughput:" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_flags(self, tmp_path, capsys):
+        assert main(["serve", "--requests", "10", "--concurrency", "0"]) == 2
+        assert main(["serve", "--replay", str(tmp_path / "missing.jsonl")]) == 2
+        csv_path = tmp_path / "empty.csv"
+        csv_path.write_text("x1,x2\n")
+        assert main(["serve", "--input", str(csv_path), "--requests", "10"]) == 2
+
+
 class TestCliShardedEngine:
     """Smoke tests for the ``--engine sharded`` / ``--workers`` flags."""
 

@@ -430,3 +430,53 @@ class TestShardedMonitor:
         monitor = ShardedMaxRSMonitor(radius=1.0)
         with pytest.raises(ValueError):
             monitor.observe((1.0, 2.0, 3.0))
+
+
+# --------------------------------------------------------------------------- #
+# batch planning hook (the serving layer's routing signal)
+# --------------------------------------------------------------------------- #
+
+class TestBatchPlan:
+    """QueryEngine.batch_plan: plan a batch without executing it."""
+
+    def _engine(self):
+        return QueryEngine(clustered_points(120, dim=2, extent=8.0, seed=5))
+
+    def test_plan_deduplicates_and_counts_shard_tasks(self):
+        with self._engine() as engine:
+            disk, rect = Query.disk(1.0), Query.rectangle(2.0, 2.0)
+            plan = engine.batch_plan([disk, rect, disk, disk])
+            assert plan.unique == (disk, rect)
+            assert plan.duplicates == 2
+            assert plan.cached == ()
+            assert plan.shard_tasks == (len(engine.shard_plan(disk).shards)
+                                        + len(engine.shard_plan(rect).shards))
+            assert plan.cost_classes[disk] == "quadratic"
+            assert plan.cost_classes[rect] == "linearithmic"
+
+    def test_plan_sees_cached_results_without_touching_counters(self):
+        with self._engine() as engine:
+            disk = Query.disk(1.0)
+            engine.solve(disk)
+            before = dict(engine.stats)
+            plan = engine.batch_plan([disk, Query.rectangle(1.0, 1.0)])
+            assert plan.cached == (disk,)
+            assert disk not in plan.cost_classes
+            # peeking must not perturb the cache hit/miss statistics
+            assert engine.stats["cache_hits"] == before["cache_hits"]
+            assert engine.stats["cache_misses"] == before["cache_misses"]
+
+    def test_plan_validates_queries(self):
+        with self._engine() as engine:
+            with pytest.raises(ValueError):
+                engine.batch_plan([Query.colored_disk(1.0)])  # no colors
+
+    def test_lru_peek_does_not_refresh_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        cache.put("c", 3)  # evicts "a": the peek did not refresh it
+        assert cache.peek("a") is None
+        assert cache.hits == 0 and cache.misses == 0

@@ -1,0 +1,469 @@
+"""Tests for the concurrent query-serving front end (repro.service).
+
+Covers the serving pipeline layer by layer -- TTL cache, micro-batch
+formation, coalescing, metrics -- and the front end end-to-end: the
+bit-identical differential guarantee of direct routing, update barriers and
+monitor-generation cache invalidation, trace replay, and the threaded
+dispatcher under concurrent submitters.
+"""
+
+import threading
+
+import pytest
+
+from repro.datasets import (
+    RequestEvent,
+    clustered_points,
+    load_trace,
+    request_trace,
+    save_trace,
+)
+from repro.datasets.streams import UpdateEvent
+from repro.engine import Query, QueryEngine
+from repro.engine.planner import solve_query
+from repro.service import (
+    MaxRSService,
+    ServiceRequest,
+    ServiceStats,
+    TTLCache,
+    coalesce,
+    form_groups,
+    percentile,
+)
+from repro.streaming import MultiQueryMonitor, ShardedMaxRSMonitor
+
+POINTS = clustered_points(180, dim=2, extent=8.0, seed=3)
+COLORS = [index % 7 for index in range(len(POINTS))]
+
+
+def insert(x, y, weight=1.0):
+    return UpdateEvent(kind="insert", point=(x, y), weight=weight)
+
+
+# --------------------------------------------------------------------------- #
+# TTL cache
+# --------------------------------------------------------------------------- #
+
+class TestTTLCache:
+    def test_hit_before_expiry_miss_after(self):
+        cache = TTLCache(maxsize=4, ttl=10.0)
+        cache.put("k", 42, now=0.0)
+        assert cache.get("k", now=5.0) == 42
+        assert cache.get("k", now=10.0) is None  # expired exactly at deadline
+        assert cache.stats["expirations"] == 1
+
+    def test_lru_eviction(self):
+        cache = TTLCache(maxsize=2, ttl=100.0)
+        cache.put("a", 1, now=0.0)
+        cache.put("b", 2, now=0.0)
+        assert cache.get("a", now=1.0) == 1  # refresh "a"
+        cache.put("c", 3, now=1.0)           # evicts "b"
+        assert cache.get("b", now=1.0) is None
+        assert cache.get("a", now=1.0) == 1 and cache.get("c", now=1.0) == 3
+
+    def test_purge_drops_only_expired(self):
+        cache = TTLCache(maxsize=8, ttl=5.0)
+        cache.put("old", 1, now=0.0)
+        cache.put("new", 2, now=3.0)
+        assert cache.purge(now=6.0) == 1
+        assert len(cache) == 1 and cache.get("new", now=6.0) == 2
+
+    def test_zero_size_disables(self):
+        cache = TTLCache(maxsize=0, ttl=5.0)
+        cache.put("k", 1, now=0.0)
+        assert cache.get("k", now=0.0) is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TTLCache(maxsize=-1)
+        with pytest.raises(ValueError):
+            TTLCache(ttl=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# micro-batch formation
+# --------------------------------------------------------------------------- #
+
+class TestBatcher:
+    def test_updates_are_barriers(self):
+        q = ServiceRequest.static(Query.disk(1.0))
+        u = ServiceRequest.update([insert(0.0, 0.0)])
+        m = ServiceRequest.read()
+        groups = form_groups([q, q, u, u, q, m, u, m])
+        assert [(g.kind, len(g)) for g in groups] == [
+            ("serve", 2), ("update", 2), ("serve", 2), ("update", 1), ("serve", 1)]
+        # positions preserve submission order
+        assert [g.positions for g in groups] == [[0, 1], [2, 3], [4, 5], [6], [7]]
+
+    def test_coalesce_identical_queries(self):
+        a = ServiceRequest.static(Query.disk(1.0))
+        b = ServiceRequest.static(Query.rectangle(1.0, 2.0))
+        group = form_groups([a, b, a, a])[0]
+        order, waiters = coalesce(group)
+        assert order == [a.coalesce_key, b.coalesce_key]
+        assert waiters[a.coalesce_key] == [0, 2, 3]
+        assert waiters[b.coalesce_key] == [1]
+
+    def test_monitor_reads_coalesce_by_name(self):
+        r1, r2 = ServiceRequest.read(), ServiceRequest.read("ops")
+        order, waiters = coalesce(form_groups([r1, r2, r1])[0])
+        assert len(order) == 2
+        assert waiters[r1.coalesce_key] == [0, 2]
+
+    def test_update_groups_refuse_to_coalesce(self):
+        group = form_groups([ServiceRequest.update([insert(0.0, 0.0)])])[0]
+        with pytest.raises(ValueError):
+            coalesce(group)
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------------- #
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50.0) == 20.0
+        assert percentile(values, 95.0) == 40.0
+        assert percentile([], 50.0) != percentile([], 50.0)  # nan
+        with pytest.raises(ValueError):
+            percentile(values, 101.0)
+
+    def test_stats_snapshot_counts(self):
+        with MaxRSService(POINTS) as service:
+            batch = [ServiceRequest.static(Query.disk(1.0))] * 3
+            service.serve(batch)
+            snapshot = service.snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["served_from"] == {"solver": 1, "coalesced": 2}
+        assert snapshot["coalesced"] == 2
+        assert snapshot["flushes"] == 1
+        assert snapshot["solver_calls"] == 1
+        assert snapshot["mean_batch_size"] == 3.0
+        assert isinstance(ServiceStats().snapshot()["latency_p95"], float)
+
+    def test_percentile_reservoirs_are_bounded(self):
+        """Counts and means stay exact forever; the percentile reservoirs cap
+        at RESERVOIR_SIZE entries (long-running services hold O(1) state)."""
+        from repro.service.metrics import RESERVOIR_SIZE
+        from repro.service.requests import ServiceResponse
+
+        stats = ServiceStats()
+        total = RESERVOIR_SIZE + 50
+        for index in range(total):
+            stats.record(ServiceResponse(request=ServiceRequest.read(),
+                                         served_from="cache", batch_size=2,
+                                         queue_wait=0.0, latency=float(index)))
+        assert stats.requests == total
+        assert stats.mean_batch_size() == 2.0
+        assert len(stats._latencies) == RESERVOIR_SIZE
+        # the reservoir holds the most recent observations
+        assert stats.snapshot()["latency_p50"] >= 50.0
+
+
+# --------------------------------------------------------------------------- #
+# request validation
+# --------------------------------------------------------------------------- #
+
+class TestServiceRequest:
+    def test_rejects_malformed_requests(self):
+        with pytest.raises(ValueError):
+            ServiceRequest(kind="nope")
+        with pytest.raises(ValueError):
+            ServiceRequest(kind="query")
+        with pytest.raises(ValueError):
+            ServiceRequest(kind="update")
+
+    def test_trace_conversion(self):
+        event = RequestEvent(kind="query", query=Query.disk(1.0), arrival=2.5)
+        request = ServiceRequest.from_trace(event)
+        assert request.kind == "query" and request.query == Query.disk(1.0)
+
+
+# --------------------------------------------------------------------------- #
+# the serving core
+# --------------------------------------------------------------------------- #
+
+class TestStaticServing:
+    def test_direct_routing_is_bit_identical(self):
+        queries = [Query.disk(1.0), Query.rectangle(2.0, 2.0),
+                   Query.disk_approx(1.0, epsilon=0.4, seed=7),
+                   Query.colored_disk(0.75)]
+        with MaxRSService(POINTS, colors=COLORS) as service:
+            responses = service.serve([ServiceRequest.static(q) for q in queries])
+        for response in responses:
+            assert response.ok
+            reference = solve_query(response.served_query, list(POINTS), None,
+                                    COLORS if response.served_query.colored else None)
+            assert (reference.value, reference.center, reference.exact) == (
+                response.result.value, response.result.center, response.result.exact)
+
+    def test_sharded_routing_matches_values(self):
+        queries = [Query.disk(1.0), Query.rectangle(2.0, 2.0)]
+        with MaxRSService(POINTS, routing="sharded") as sharded, \
+                MaxRSService(POINTS) as direct:
+            for query in queries:
+                a = sharded.request(ServiceRequest.static(query))
+                b = direct.request(ServiceRequest.static(query))
+                assert a.result.value == b.result.value
+
+    def test_auto_routing_shards_only_quadratic_queries(self):
+        """routing='auto' consults QueryEngine.batch_plan: the quadratic disk
+        sweep flushes through the sharded engine, the linearithmic rectangle
+        stays on the bit-identical direct path."""
+        disk, rect = Query.disk(1.0), Query.rectangle(2.0, 2.0)
+        with MaxRSService(POINTS, routing="auto") as service:
+            responses = service.serve([ServiceRequest.static(disk),
+                                       ServiceRequest.static(rect)])
+            engine_stats = service.engine.stats
+            snapshot = service.snapshot()
+        assert all(r.ok for r in responses)
+        # only the disk went through solve_batch (solve_direct does not count)
+        assert engine_stats["queries"] == 1
+        assert snapshot["planned_shard_tasks"] > 0
+        # the direct-routed rectangle keeps the bit-identical guarantee
+        reference = solve_query(responses[1].served_query, list(POINTS), None, None)
+        assert (reference.value, reference.center) == (
+            responses[1].result.value, responses[1].result.center)
+        # the sharded disk still reports the exact optimum value
+        disk_reference = solve_query(responses[0].served_query, list(POINTS),
+                                     None, None)
+        assert disk_reference.value == responses[0].result.value
+
+    def test_coalescing_and_caching(self):
+        query = ServiceRequest.static(Query.disk(1.0))
+        with MaxRSService(POINTS) as service:
+            first = service.serve([query, query, query])
+            second = service.serve([query])
+        assert [r.served_from for r in first] == ["solver", "coalesced", "coalesced"]
+        assert all(r.result.value == first[0].result.value for r in first)
+        assert second[0].served_from == "cache"
+        assert second[0].result.value == first[0].result.value
+
+    def test_ttl_expiry_forces_resolve(self):
+        clock = [0.0]
+        query = ServiceRequest.static(Query.disk(1.0))
+        with MaxRSService(POINTS, cache_ttl=10.0, clock=lambda: clock[0]) as service:
+            assert service.serve([query])[0].served_from == "solver"
+            clock[0] = 5.0
+            assert service.serve([query])[0].served_from == "cache"
+            clock[0] = 20.0
+            assert service.serve([query])[0].served_from == "solver"
+
+    def test_error_is_per_request_not_per_flush(self):
+        good = ServiceRequest.static(Query.disk(1.0))
+        bad = ServiceRequest.static(Query.colored_disk(1.0))  # no colors
+        with MaxRSService(POINTS) as service:
+            responses = service.serve([good, bad, good])
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok
+        assert isinstance(responses[1].error, ValueError)
+        with MaxRSService(POINTS) as service:
+            with pytest.raises(ValueError):
+                service.request(bad)
+
+    def test_monitor_only_service_rejects_static_queries(self):
+        with MaxRSService(monitor=ShardedMaxRSMonitor(radius=1.0)) as service:
+            response = service.serve([ServiceRequest.static(Query.disk(1.0))])[0]
+        assert not response.ok and "without a dataset" in str(response.error)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MaxRSService()
+        with pytest.raises(ValueError):
+            MaxRSService(POINTS, routing="psychic")
+        with pytest.raises(ValueError):
+            MaxRSService(POINTS, max_batch=0)
+        with pytest.raises(ValueError):
+            MaxRSService(POINTS, engine=QueryEngine(POINTS))
+
+
+class TestMonitorServing:
+    def test_updates_then_reads_see_new_state(self):
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        with MaxRSService(monitor=monitor) as service:
+            responses = service.serve([
+                ServiceRequest.update([insert(0.0, 0.0), insert(0.2, 0.0)]),
+                ServiceRequest.read(),
+                ServiceRequest.update([insert(0.1, 0.1)]),
+                ServiceRequest.read(),
+            ])
+        assert responses[1].result.value == 2.0
+        assert responses[3].result.value == 3.0
+
+    def test_update_barrier_inside_one_window(self):
+        """A read submitted after an update in the same flush must observe it."""
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        with MaxRSService(monitor=monitor, max_batch=16) as service:
+            read = ServiceRequest.read()
+            responses = service.serve([
+                read,
+                ServiceRequest.update([insert(1.0, 1.0)]),
+                read,
+            ])
+        assert responses[0].result.value == 0.0
+        assert responses[2].result.value == 1.0
+
+    def test_generation_invalidates_monitor_cache(self):
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        with MaxRSService(monitor=monitor) as service:
+            read = ServiceRequest.read()
+            assert service.serve([read])[0].served_from == "monitor"
+            assert service.serve([read])[0].served_from == "cache"
+            service.serve([ServiceRequest.update([insert(0.0, 0.0)])])
+            after = service.serve([read])[0]
+        assert after.served_from == "monitor"  # generation changed -> miss
+        assert after.result.value == 1.0
+
+    def test_delete_targets_resolve_across_batches(self):
+        """Stream positions keep advancing across update requests, so delete
+        targets recorded at trace-generation time stay valid."""
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        with MaxRSService(monitor=monitor) as service:
+            service.serve([ServiceRequest.update([insert(0.0, 0.0),
+                                                  insert(0.1, 0.1)])])
+            service.serve([ServiceRequest.update(
+                [UpdateEvent(kind="delete", target=0)])])
+            response = service.serve([ServiceRequest.read()])[0]
+        assert response.result.value == 1.0
+        assert len(monitor) == 1
+
+    def test_failed_update_batch_does_not_poison_later_batches(self):
+        """A mid-batch failure must not desync stream offsets: the group's
+        offsets are consumed whole, so later batches get fresh handles."""
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        with MaxRSService(monitor=monitor) as service:
+            bad = ServiceRequest.update([
+                insert(0.0, 0.0),
+                UpdateEvent(kind="delete", target=99),  # unknown target
+                insert(1.0, 1.0),
+            ])
+            failed = service.serve([bad])[0]
+            assert not failed.ok and isinstance(failed.error, KeyError)
+            recovered = service.serve([ServiceRequest.update([insert(2.0, 2.0)]),
+                                       ServiceRequest.read()])
+        assert all(r.ok for r in recovered)
+        assert recovered[1].result.value >= 1.0
+
+    def test_multi_query_monitor_reads_by_name(self):
+        monitor = MultiQueryMonitor({"ops": Query.disk(1.0),
+                                     "planning": Query.rectangle(2.0, 2.0)})
+        with MaxRSService(monitor=monitor) as service:
+            service.serve([ServiceRequest.update([insert(0.0, 0.0),
+                                                  insert(0.3, 0.3)])])
+            responses = service.serve([ServiceRequest.read("ops"),
+                                       ServiceRequest.read("planning"),
+                                       ServiceRequest.read("nope")])
+        assert responses[0].result.value == 2.0
+        assert responses[1].result.value == 2.0
+        assert not responses[2].ok and isinstance(responses[2].error, KeyError)
+        # one shared pass answered both valid reads
+        assert responses[0].served_from == "monitor"
+        assert responses[1].served_from in ("monitor", "cache")
+
+    def test_read_without_monitor_fails_cleanly(self):
+        with MaxRSService(POINTS) as service:
+            responses = service.serve([ServiceRequest.read(),
+                                       ServiceRequest.update([insert(0.0, 0.0)])])
+        assert not responses[0].ok and not responses[1].ok
+
+
+class TestTraceReplay:
+    def test_trace_replay_matches_serial_baseline(self):
+        trace = request_trace(160, seed=21, update_every=25, update_batch=6)
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        with MaxRSService(POINTS, monitor=monitor) as service:
+            report = service.serve_trace(trace, window=32)
+        assert report.requests == len(trace)
+        assert all(r.ok for r in report.responses)
+
+        baseline_monitor = ShardedMaxRSMonitor(radius=1.0)
+        position = 0
+        for event, response in zip(trace, report.responses):
+            if event.kind == "query":
+                reference = solve_query(response.served_query, list(POINTS),
+                                        None, None)
+                assert reference.value == response.result.value
+                assert reference.center == response.result.center
+            elif event.kind == "monitor":
+                baseline = baseline_monitor.current()
+                assert (baseline.value, baseline.center) == (
+                    response.result.value, response.result.center)
+            else:
+                for update in event.events:
+                    baseline_monitor.apply(update, position)
+                    position += 1
+
+    def test_trace_roundtrips_through_jsonl(self, tmp_path):
+        trace = request_trace(60, seed=4, monitor_fraction=0.3)
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.counts == trace.counts
+        for a, b in zip(trace, loaded):
+            assert (a.kind, a.query, a.name, a.events) == (
+                b.kind, b.query, b.name, b.events)
+            assert a.arrival == pytest.approx(b.arrival)
+
+    def test_trace_generator_validation(self):
+        with pytest.raises(ValueError):
+            request_trace(0)
+        with pytest.raises(ValueError):
+            request_trace(10, catalog=[])
+        with pytest.raises(ValueError):
+            request_trace(10, monitor_fraction=1.5)
+
+    def test_arrivals_are_nondecreasing_and_hotspots_compress(self):
+        trace = request_trace(400, seed=9, rate=100.0, hotspot_every=200,
+                              hotspot_length=100, hotspot_boost=10.0,
+                              update_every=0)
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+        hot = arrivals[99] - arrivals[0]      # inside the boosted window
+        cold = arrivals[199] - arrivals[100]  # outside it
+        assert hot < cold
+
+
+class TestThreadedFrontEnd:
+    def test_concurrent_submitters_get_identical_answers(self):
+        with MaxRSService(POINTS, max_batch=32) as service:
+            reference = service.request(
+                ServiceRequest.static(Query.disk(1.0))).result.value
+            results = []
+            errors = []
+
+            def client():
+                try:
+                    pending = service.submit(ServiceRequest.static(Query.disk(1.0)))
+                    results.append(pending.result(timeout=30.0))
+                except Exception as exc:  # pragma: no cover - surfaced by assert
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client) for _ in range(12)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert len(results) == 12
+        assert all(r.ok and r.result.value == reference for r in results)
+        assert all(r.served_from in ("cache", "coalesced", "solver")
+                   for r in results)
+
+    def test_close_serves_already_queued_requests(self):
+        service = MaxRSService(POINTS).start()
+        pending = [service.submit(ServiceRequest.static(Query.rectangle(1.0, 1.0)))
+                   for _ in range(4)]
+        service.close()
+        responses = [p.result(timeout=10.0) for p in pending]
+        assert all(r.ok for r in responses)
+
+    def test_pending_result_times_out(self):
+        service = MaxRSService(POINTS)  # dispatcher never started
+        from repro.service.server import PendingResponse
+        pending = PendingResponse(ServiceRequest.static(Query.disk(1.0)), 0.0)
+        assert not pending.done()
+        with pytest.raises(TimeoutError):
+            pending.result(timeout=0.01)
+        service.close()

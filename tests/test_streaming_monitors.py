@@ -161,3 +161,48 @@ class TestExactRecomputeMonitor:
         for a, e in zip(approx_snaps, exact_snaps):
             assert a.step == e.step
             assert a.value <= e.value + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# generation tokens (the serving layer's cache-invalidation hook)
+# --------------------------------------------------------------------------- #
+
+class TestGenerationTokens:
+    def test_every_mutation_changes_the_token(self):
+        from repro.streaming import ShardedMaxRSMonitor
+
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        seen = {monitor.generation}
+        handle = monitor.observe((0.0, 0.0))
+        assert monitor.generation not in seen
+        seen.add(monitor.generation)
+        monitor.expire(handle)
+        assert monitor.generation not in seen
+
+    def test_queries_do_not_change_the_token(self):
+        from repro.streaming import ShardedMaxRSMonitor
+
+        monitor = ShardedMaxRSMonitor(radius=1.0)
+        monitor.observe((0.0, 0.0))
+        token = monitor.generation
+        monitor.current()
+        monitor.current()
+        assert monitor.generation == token
+
+    def test_advance_to_eviction_changes_the_token(self):
+        from repro.streaming import ShardedMaxRSMonitor
+
+        monitor = ShardedMaxRSMonitor(radius=1.0, time_window=5.0)
+        monitor.observe((0.0, 0.0), timestamp=0.0)
+        token = monitor.generation
+        monitor.advance_to(10.0)  # evicts without processing an update event
+        assert monitor.generation != token
+        assert len(monitor) == 0
+
+    def test_base_monitors_expose_steps_and_generation(self):
+        monitor = ApproximateMaxRSMonitor(dim=2, radius=1.0, epsilon=0.3, seed=0)
+        assert monitor.steps == 0
+        token = monitor.generation
+        monitor.observe((0.0, 0.0))
+        assert monitor.steps == 1
+        assert monitor.generation != token

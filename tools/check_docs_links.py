@@ -1,0 +1,78 @@
+"""Markdown link checker for README.md and docs/.
+
+Validates every inline markdown link ``[text](target)``:
+
+* relative targets must resolve to an existing file or directory (anchors
+  are stripped; a bare ``#anchor`` is checked against the same file's
+  headings);
+* absolute ``http(s)`` targets are only syntax-checked (CI has no network
+  access by design -- external availability is not this checker's job).
+
+Exit status 0 when every link resolves, 1 otherwise (one line per broken
+link). Run from anywhere::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK_PATTERN = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def document_anchors(text: str) -> set:
+    return {slugify(h) for h in HEADING_PATTERN.findall(text)}
+
+
+def check_file(path: Path) -> list:
+    """Return human-readable problem strings for one markdown file."""
+    problems = []
+    text = path.read_text()
+    anchors = document_anchors(text)
+    for target in LINK_PATTERN.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                problems.append("%s: missing anchor %s" % (path.name, target))
+            continue
+        relative, _, _anchor = target.partition("#")
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append("%s: broken link %s" % (path.name, target))
+    return problems
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print("missing documentation files: %s" % ", ".join(missing))
+        return 1
+    problems = []
+    links = 0
+    for path in files:
+        links += len(LINK_PATTERN.findall(path.read_text()))
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print("checked %d links across %d files: %s"
+          % (links, len(files), "FAIL" if problems else "ok"))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
