@@ -28,6 +28,12 @@ On top of the paper's algorithms the package grows a serving stack
 * **Sharded execution engine** (:mod:`repro.engine`) -- :class:`QueryEngine`
   serves heterogeneous :class:`Query` batches over one dataset: halo
   sharding, pluggable executors, deduplication and an LRU result cache.
+* **Zero-copy process execution** (:mod:`repro.parallel`) --
+  :class:`SharedDatasetStore` publishes a dataset once as OS shared-memory
+  arrays and :class:`SharedMemoryProcessExecutor` runs persistent,
+  crash-recovering workers that receive only shard index descriptors
+  (``executor="shared-process"`` everywhere an executor is named;
+  ``docs/parallel.md``).
 * **Streaming monitors** (:mod:`repro.streaming`) -- continuous hotspot
   answers over insert/delete streams with batched ingestion, dirty-shard
   recomputation and sliding windows.
@@ -108,6 +114,12 @@ from .streaming import (
 # etc.): re-exporting them here would shadow the incompatible
 # concurrent.futures classes of the same names.
 from .engine import Query, QueryEngine
+# Zero-copy shared-memory process execution: the dataset is published once
+# as shared_memory-backed arrays and workers receive only shard descriptors
+# (docs/parallel.md).  SharedMemoryProcessExecutor has no stdlib name
+# collision, so it is re-exported alongside its store.
+from . import parallel
+from .parallel import SharedDatasetStore, SharedMemoryProcessExecutor
 # Kernel backend registry: every sweep solver accepts backend="auto" |
 # "python" | "numpy"; see repro.kernels for the contract and how to add one.
 from . import kernels
@@ -181,6 +193,10 @@ __all__ = [
     # sharded parallel execution engine
     "Query",
     "QueryEngine",
+    # zero-copy shared-memory process execution
+    "parallel",
+    "SharedDatasetStore",
+    "SharedMemoryProcessExecutor",
     # pluggable kernel backends (python / numpy)
     "kernels",
     # concurrent query-serving front end

@@ -180,7 +180,9 @@ def _solve_with_engine(args: argparse.Namespace, table) -> int:
     if query is None:
         print("colored solvers need a 'color' column in the input CSV", file=sys.stderr)
         return 2
-    executor = args.executor or ("thread" if args.workers > 1 else "serial")
+    # No --executor: --workers > 1 implies the thread pool, otherwise the
+    # default executor (REPRO_EXECUTOR if set, serial below that).
+    executor = args.executor or ("thread" if args.workers > 1 else None)
     try:
         with QueryEngine(table.points, weights=table.weights, colors=table.colors,
                          executor=executor, workers=args.workers) as engine:
@@ -191,7 +193,7 @@ def _solve_with_engine(args: argparse.Namespace, table) -> int:
     shards = result.meta.get("shards", 1)
     _print_result(result)
     print("engine:    sharded (%s, workers=%d, shards=%s)"
-          % (executor, args.workers, shards))
+          % (result.meta.get("executor", "serial"), args.workers, shards))
     return 0
 
 
@@ -531,8 +533,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "the parallel execution engine (repro.engine)")
     solve.add_argument("--workers", type=int, default=1,
                        help="worker count for the sharded engine's executor")
-    solve.add_argument("--executor", choices=["serial", "thread", "process"], default=None,
-                       help="sharded engine backend (default: thread when --workers > 1)")
+    solve.add_argument("--executor",
+                       choices=["serial", "thread", "process", "shared-process"],
+                       default=None,
+                       help="sharded engine backend (default: thread when "
+                            "--workers > 1, else REPRO_EXECUTOR or serial); "
+                            "'shared-process' publishes the dataset to OS "
+                            "shared memory and sends workers only shard "
+                            "index descriptors (repro.parallel)")
     solve.set_defaults(func=_cmd_solve)
 
     monitor = subparsers.add_parser(
@@ -551,8 +559,12 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--backend", choices=["auto", "python", "numpy"], default="auto",
                          help="kernel backend for the per-shard sweeps; 'auto' resolves "
                               "per shard like the batch engine")
-    monitor.add_argument("--executor", choices=["serial", "thread", "process"], default=None,
-                         help="engine executor for dirty-shard re-solves (default: inline)")
+    monitor.add_argument("--executor",
+                         choices=["serial", "thread", "process", "shared-process"],
+                         default=None,
+                         help="engine executor for dirty-shard re-solves "
+                              "(default: inline; 'shared-process' keeps a "
+                              "persistent crash-recovering worker pool)")
     monitor.add_argument("--workers", type=int, default=None,
                          help="worker count for the executor")
     monitor.add_argument("--radius", type=float, default=1.0,
@@ -615,8 +627,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", choices=["auto", "python", "numpy"], default="auto",
                        help="kernel backend for the generated trace's queries and "
                             "the monitor's per-shard sweeps")
-    serve.add_argument("--executor", choices=["serial", "thread", "process"],
-                       default="serial", help="engine executor for sharded routing")
+    serve.add_argument("--executor",
+                       choices=["serial", "thread", "process", "shared-process"],
+                       default=None,
+                       help="engine executor for sharded routing (default: "
+                            "REPRO_EXECUTOR or serial; 'shared-process' = "
+                            "zero-copy shared-memory workers)")
     serve.add_argument("--workers", type=int, default=None,
                        help="worker count for the engine executor")
     serve.add_argument("--extent", type=float, default=10.0,

@@ -21,6 +21,8 @@ from __future__ import annotations
 from math import isfinite
 from typing import Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .geometry import ColoredPoint, Point, WeightedPoint, validate_dimension
 
 __all__ = ["normalize_weighted", "normalize_colored", "normalize_coords"]
@@ -63,18 +65,68 @@ def normalize_coords(points: Sequence) -> List[Coords]:
     return [_extract_coords(p) for p in points]
 
 
+def _normalize_weighted_arrays(
+    points: np.ndarray,
+    weights: Optional[Sequence[float]],
+    require_positive: bool,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Vectorised normalisation for a 2-d float array of coordinates.
+
+    Semantically identical to the generic path -- same validation, same
+    error messages, same float64 values -- but returns the (possibly
+    zero-copy) arrays themselves, skipping the per-point Python loops.  The
+    shared-memory execution path (:mod:`repro.parallel`) depends on this:
+    store-backed shard slices flow to the NumPy kernels without ever being
+    rebuilt as tuple lists.
+    """
+    coords = np.asarray(points, dtype=float)
+    if weights is None:
+        weight_arr = np.ones(coords.shape[0], dtype=float)
+    else:
+        weight_arr = np.asarray(weights, dtype=float)
+        if weight_arr.shape != (coords.shape[0],):
+            raise ValueError(
+                "got %d weights for %d points" % (weight_arr.size, coords.shape[0])
+            )
+    if not np.isfinite(coords).all():
+        # Reuse the generic checker for its pinpointed error message.
+        _require_finite_coords([tuple(row) for row in coords.tolist()])
+    if not np.isfinite(weight_arr).all():
+        _require_finite_weights(weight_arr.tolist())
+    if require_positive and bool((weight_arr <= 0).any()):
+        raise ValueError(
+            "weights must be strictly positive for this solver; "
+            "negative or zero weights would void the approximation guarantee"
+        )
+    dim = coords.shape[1]
+    if coords.shape[0] and dim < 1:
+        raise ValueError("points must live in dimension >= 1")
+    return coords, weight_arr, (dim if coords.shape[0] else 0)
+
+
 def normalize_weighted(
     points: Sequence,
     weights: Optional[Sequence[float]] = None,
     *,
     require_positive: bool = True,
+    prefer_arrays: bool = False,
 ) -> Tuple[List[Coords], List[float], int]:
     """Normalise weighted input points.
 
     Returns ``(coords, weights, dim)``.  When ``points`` contains
     :class:`WeightedPoint` instances their weights are used unless an explicit
     ``weights`` sequence is also given (which then takes precedence).
+
+    With ``prefer_arrays=True`` and a 2-d NumPy array input, validation is
+    vectorised and the arrays are returned as-is (``coords`` an ``(n, dim)``
+    float array, ``weights`` an ``(n,)`` float array) instead of Python
+    lists -- the zero-copy path the array-aware solvers opt into.  Callers
+    passing ``prefer_arrays=True`` must treat the returned containers
+    length-generically (``len(coords)``, not ``if coords``).
     """
+    if (prefer_arrays and isinstance(points, np.ndarray)
+            and points.ndim == 2):
+        return _normalize_weighted_arrays(points, weights, require_positive)
     coords: List[Coords] = []
     inherent_weights: List[float] = []
     for p in points:

@@ -13,10 +13,20 @@ agnostic about *where* shard tasks run:
   the backend that actually buys multi-core speedups for the CPU-bound exact
   sweeps; tasks and their payloads must be picklable (the planner's task
   payloads are).
+* ``"shared-process"`` resolves to
+  :class:`repro.parallel.SharedMemoryProcessExecutor`: worker processes that
+  attach to a shared-memory dataset store on spawn and receive only shard
+  descriptors (index ranges), removing the per-task point-payload pickling
+  the plain process backend pays (see :mod:`repro.parallel`).
 
 Pools are created lazily on first use and are reusable across batches, so a
 long-lived :class:`~repro.engine.planner.QueryEngine` pays the pool start-up
 cost once.  All executors are context managers.
+
+When no executor is named (``spec=None``), the ``REPRO_EXECUTOR``
+environment variable picks the default -- that is how CI forces the whole
+tier-1 suite through the shared-memory backend.  An explicit name always
+beats the environment.
 """
 
 from __future__ import annotations
@@ -101,6 +111,11 @@ class _PooledExecutor(Executor):
         if len(items) == 1:
             # Not worth a pool round-trip (and, for processes, a pickle).
             return [fn(items[0])]
+        return self._map_pooled(fn, items)
+
+    def _map_pooled(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
+        """Dispatch an above-threshold batch to the pool (the one copy of
+        the chunking policy; subclasses wrap this for crash recovery)."""
         pool = self._ensure_pool()
         chunksize = max(1, len(items) // (4 * self.workers))
         return list(pool.map(fn, items, chunksize=chunksize))
@@ -129,22 +144,31 @@ class ProcessPoolExecutor(_PooledExecutor):
     _pool_factory = futures.ProcessPoolExecutor
 
 
+def _shared_process_factory(workers: Optional[int] = None) -> Executor:
+    # Imported lazily: repro.parallel builds on this module.
+    from ..parallel.executor import SharedMemoryProcessExecutor
+
+    return SharedMemoryProcessExecutor(workers=workers)
+
+
 _EXECUTORS = {
     "serial": SerialExecutor,
     "thread": ThreadPoolExecutor,
     "process": ProcessPoolExecutor,
+    "shared-process": _shared_process_factory,
 }
 
 
 def get_executor(
-    spec: Union[str, Executor, None] = "serial",
+    spec: Union[str, Executor, None] = None,
     workers: Optional[int] = None,
 ) -> Executor:
     """Resolve an executor from a name (``"serial"``, ``"thread"``,
-    ``"process"``), an existing :class:`Executor` (returned as-is), or
-    ``None`` (serial)."""
+    ``"process"``, ``"shared-process"``), an existing :class:`Executor`
+    (returned as-is), or ``None`` -- the default, which honours the
+    ``REPRO_EXECUTOR`` environment variable and otherwise stays serial."""
     if spec is None:
-        return SerialExecutor()
+        spec = os.environ.get("REPRO_EXECUTOR", "").strip().lower() or "serial"
     if isinstance(spec, Executor):
         return spec
     try:

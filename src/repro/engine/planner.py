@@ -274,6 +274,24 @@ def _solve_shard_task(task: Tuple[Query, Shard]) -> MaxRSResult:
     return solve_query(query, shard.coords, shard.weights, shard.colors)
 
 
+def _solve_shard_descriptor_task(task) -> MaxRSResult:
+    """Executor task for the shared-memory path: solve one query on one
+    shard addressed by a :class:`repro.parallel.ShardDescriptor`.
+
+    The descriptor resolves against the process-local attachment cache, so
+    the task's pickled payload is the query plus a few segment names and an
+    index range -- no point data crosses the process boundary.  Exact
+    weighted queries bound for the NumPy kernels resolve as raw array
+    slices (the solvers' ``prefer_arrays`` fast path skips per-point
+    normalisation entirely); everything else materialises the usual
+    parallel lists, bit-identically to the pickled payloads.
+    """
+    query, descriptor = task
+    arrays = query.exact and not query.colored and query.backend == "numpy"
+    coords, weights, colors = descriptor.resolve(arrays=arrays)
+    return solve_query(query, coords, weights, colors)
+
+
 # --------------------------------------------------------------------------- #
 # caching
 # --------------------------------------------------------------------------- #
@@ -396,8 +414,14 @@ class QueryEngine:
         kept only when supplied explicitly or carried by ``ColoredPoint``
         inputs; colored queries require them.
     executor:
-        ``"serial"`` (default), ``"thread"``, ``"process"``, or an
-        :class:`~repro.engine.executors.Executor` instance.
+        ``"serial"``, ``"thread"``, ``"process"``, ``"shared-process"``, or
+        an :class:`~repro.engine.executors.Executor` instance.  ``None``
+        (the default) honours the ``REPRO_EXECUTOR`` environment variable
+        and otherwise stays serial.  ``"shared-process"`` publishes the
+        dataset once to a :class:`repro.parallel.SharedDatasetStore` the
+        engine owns (released on :meth:`close`) and submits shard
+        *descriptors* -- index ranges into the store -- instead of pickled
+        point payloads.
     workers:
         Worker count for the pooled executors; defaults to the CPU count.
     target_shards:
@@ -421,7 +445,7 @@ class QueryEngine:
         *,
         weights: Optional[Sequence[float]] = None,
         colors: Optional[Sequence[Hashable]] = None,
-        executor: Union[str, Executor, None] = "serial",
+        executor: Union[str, Executor, None] = None,
         workers: Optional[int] = None,
         target_shards: Optional[int] = None,
         cache_size: int = 128,
@@ -450,8 +474,24 @@ class QueryEngine:
         self.fingerprint = dataset_fingerprint(coords, self._weights, self._colors)
         self._cache = LRUCache(cache_size)
         self._plans: Dict[Tuple, ShardPlan] = {}  # (halo..., target_shards) -> plan
+        self._index_blocks: Dict[Tuple, "IndexBlockHandle"] = {}  # same keys
         self._shards_solved = 0
         self._queries_served = 0
+
+        # The shared-memory path: publish the dataset once so worker
+        # processes resolve shard index ranges against it instead of
+        # receiving pickled point payloads.  The engine owns this store and
+        # releases it on close(); empty datasets stay store-less (there is
+        # nothing to publish and no shard tasks to run).
+        self._store = None
+        if self._executor.kind == "shared-process" and self._coords:
+            from ..parallel import SharedDatasetStore
+
+            self._store = SharedDatasetStore(
+                self._coords, weights=self._weights, colors=self._colors)
+            bind = getattr(self._executor, "bind_store", None)
+            if bind is not None and getattr(self._executor, "store", None) is None:
+                bind(self._store)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -467,8 +507,20 @@ class QueryEngine:
         self.close()
 
     def close(self) -> None:
-        """Shut down the executor's worker pool (if any)."""
+        """Shut down the executor's worker pool (if any) and release the
+        shared-memory dataset store the engine owns (if any); idempotent."""
         self._executor.close()
+        if self._store is not None:
+            self._store.release()
+            self._store = None
+            self._index_blocks.clear()
+
+    @property
+    def store(self):
+        """The engine-owned :class:`repro.parallel.SharedDatasetStore`
+        backing the ``"shared-process"`` executor (``None`` otherwise) --
+        exposed for the lifecycle/leak regression tests."""
+        return self._store
 
     def clear_cache(self) -> None:
         """Drop all cached results (keeps the memoised shardings)."""
@@ -521,6 +573,22 @@ class QueryEngine:
         sampled approximate solvers get one shard per worker (their
         per-call fixed costs dwarf their dependence on shard size).
         """
+        key = self._plan_key(query)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = plan_shards(
+                self._coords,
+                key[:-1],
+                weights=self._weights,
+                colors=self._colors,
+                target_shards=key[-1],
+            )
+            self._plans[key] = plan
+        return plan
+
+    def _plan_key(self, query: Query) -> Tuple:
+        """The memoisation key of a query's sharding: its halo plus the
+        target granularity its cost class (or ``target_shards``) picks."""
         halo = query.halo(self.dim)
         if self.target_shards is not None:
             target = self.target_shards
@@ -539,18 +607,19 @@ class QueryEngine:
                 target = max(16, 4 * self._executor.workers)
             else:
                 target = max(1, self._executor.workers)
-        key = halo + (target,)
-        plan = self._plans.get(key)
-        if plan is None:
-            plan = plan_shards(
-                self._coords,
-                halo,
-                weights=self._weights,
-                colors=self._colors,
-                target_shards=target,
-            )
-            self._plans[key] = plan
-        return plan
+        return halo + (target,)
+
+    def _shard_index_block(self, query: Query, plan: ShardPlan):
+        """The (memoised) shared-memory index block of one sharding plan:
+        every shard's point indices concatenated into one segment, published
+        once per plan so repeat queries re-send nothing."""
+        key = self._plan_key(query)
+        block = self._index_blocks.get(key)
+        if block is None:
+            block = self._store.publish_index_block(
+                [shard.indices for shard in plan.shards])
+            self._index_blocks[key] = block
+        return block
 
     def _empty_result(self, query: Query) -> MaxRSResult:
         return solve_query(query, [], [], [] if self._colors is not None else None)
@@ -627,24 +696,35 @@ class QueryEngine:
                 misses.append(query)
 
         if misses:
-            tasks: List[Tuple[Query, Shard]] = []
+            tasks: List[Tuple] = []
             spans: List[Tuple[Query, int]] = []
             for query in misses:
                 self._validate(query)
                 plan = self.shard_plan(query)
                 spans.append((query, len(plan.shards)))
+                # The shared-memory path replaces each shard's point payload
+                # with a descriptor (segment names + index range) resolved
+                # inside the worker against the published dataset store.
+                block = (self._shard_index_block(query, plan)
+                         if self._store is not None else None)
+                dataset = self._store.handle() if self._store is not None else None
                 # Per-shard backend selection: "auto" is resolved against each
                 # shard's population, so fine shards run the pure-Python loops
                 # (no NumPy per-call overhead) while big shards vectorise.
                 # Explicit backends pass through untouched; the cache keeps
                 # keying on the original query.
-                for shard in plan.shards:
+                for ordinal, shard in enumerate(plan.shards):
                     task_query = query
                     if query.backend == "auto":
                         task_query = replace(query, backend=resolve_task_backend("auto", len(shard)))
-                    tasks.append((task_query, shard))
+                    if block is not None:
+                        tasks.append((task_query, block.descriptor(dataset, ordinal)))
+                    else:
+                        tasks.append((task_query, shard))
 
-            shard_results = self._executor.map(_solve_shard_task, tasks)
+            task_fn = (_solve_shard_descriptor_task if self._store is not None
+                       else _solve_shard_task)
+            shard_results = self._executor.map(task_fn, tasks)
             self._shards_solved += len(tasks)
 
             cursor = 0

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..core._inputs import normalize_weighted
 from ..core.result import MaxRSResult
-from ..kernels import get_kernel
+from ..kernels import get_kernel, resolve_backend
 from ..kernels.python_backend import (  # noqa: F401  (re-exported API)
     TWO_PI,
     _split_interval,
@@ -56,12 +58,22 @@ def maxrs_disk_exact(
     """
     if radius <= 0:
         raise ValueError("radius must be positive")
-    coords, weight_list, dim = normalize_weighted(points, weights, require_positive=False)
-    if coords and dim != 2:
+    # prefer_arrays: ndarray inputs (shared-memory shard slices) stay arrays
+    # all the way into the kernel -- but only when this call resolves to the
+    # NumPy kernel; the pure-Python sweep expects tuple lists.
+    prefer_arrays = (
+        isinstance(points, np.ndarray) and points.ndim == 2
+        and resolve_backend(backend, len(points), "disk_sweep") == "numpy")
+    coords, weight_list, dim = normalize_weighted(points, weights,
+                                                  require_positive=False,
+                                                  prefer_arrays=prefer_arrays)
+    if len(coords) and dim != 2:
         raise ValueError("maxrs_disk_exact expects points in the plane")
-    if any(w < 0 for w in weight_list):
+    negative = ((weight_list < 0).any() if isinstance(weight_list, np.ndarray)
+                else any(w < 0 for w in weight_list))
+    if negative:
         raise ValueError("maxrs_disk_exact requires non-negative weights")
-    if not coords:
+    if not len(coords):
         return MaxRSResult(value=0.0, center=None, shape="ball", exact=True,
                            meta={"radius": radius, "n": 0})
 

@@ -18,15 +18,29 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core._inputs import normalize_weighted
 from ..core.result import MaxRSResult
-from ..kernels import get_kernel
+from ..kernels import get_kernel, resolve_backend
 
 __all__ = ["maxrs_interval_exact", "maxrs_interval_bruteforce"]
 
 
-def _to_1d(points: Sequence, weights: Optional[Sequence[float]]) -> Tuple[List[float], List[float]]:
+def _to_1d(points: Sequence, weights: Optional[Sequence[float]],
+           backend: Optional[str] = None) -> Tuple[List[float], List[float]]:
     """Accept 1-d coordinates given as floats, 1-tuples or WeightedPoints."""
+    if (backend is not None
+            and isinstance(points, np.ndarray) and points.ndim == 2
+            and points.shape[1] == 1
+            and resolve_backend(backend, len(points), "interval_sweep") == "numpy"):
+        # Array fast path (shared-memory shard slices): validate vectorised
+        # and hand the NumPy kernel the column itself.  The pure-Python
+        # reference sweep keeps receiving plain lists.
+        coords, weight_arr, _ = normalize_weighted(points, weights,
+                                                   require_positive=False,
+                                                   prefer_arrays=True)
+        return coords[:, 0], weight_arr
     prepared = []
     for p in points:
         if isinstance(p, (int, float)):
@@ -74,8 +88,8 @@ def maxrs_interval_exact(
     """
     if length < 0:
         raise ValueError("interval length must be non-negative")
-    xs, ws = _to_1d(points, weights)
-    if not xs:
+    xs, ws = _to_1d(points, weights, backend)
+    if not len(xs):
         return MaxRSResult(value=0.0, center=None, shape="interval", exact=True,
                            meta={"length": length, "n": 0})
 

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..core._inputs import normalize_weighted
 from ..core.result import MaxRSResult
-from ..kernels import get_kernel
+from ..kernels import get_kernel, resolve_backend
 
 __all__ = ["maxrs_rectangle_exact"]
 
@@ -56,12 +58,23 @@ def maxrs_rectangle_exact(
     """
     if width <= 0 or height <= 0:
         raise ValueError("rectangle side lengths must be positive")
-    coords, weight_list, dim = normalize_weighted(points, weights, require_positive=False)
-    if coords and dim != 2:
+    # prefer_arrays: a 2-d ndarray input (e.g. a shared-memory shard slice,
+    # repro.parallel) skips the per-point normalisation loops and flows to
+    # the kernel as-is -- but only when this call resolves to the NumPy
+    # kernel; the pure-Python reference loops expect tuple lists.
+    prefer_arrays = (
+        isinstance(points, np.ndarray) and points.ndim == 2
+        and resolve_backend(backend, len(points), "rectangle_sweep") == "numpy")
+    coords, weight_list, dim = normalize_weighted(points, weights,
+                                                  require_positive=False,
+                                                  prefer_arrays=prefer_arrays)
+    if len(coords) and dim != 2:
         raise ValueError("maxrs_rectangle_exact expects points in the plane")
-    if any(w < 0 for w in weight_list):
+    negative = ((weight_list < 0).any() if isinstance(weight_list, np.ndarray)
+                else any(w < 0 for w in weight_list))
+    if negative:
         raise ValueError("maxrs_rectangle_exact requires non-negative weights")
-    if not coords:
+    if not len(coords):
         return MaxRSResult(value=0.0, center=None, shape="rectangle", exact=True,
                            meta={"width": width, "height": height, "n": 0})
 

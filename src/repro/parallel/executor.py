@@ -1,0 +1,142 @@
+"""The shared-memory process executor: persistent workers, descriptor tasks,
+crash recovery.
+
+:class:`SharedMemoryProcessExecutor` plugs into the same two-method
+``map`` / ``close`` interface as the executors in
+:mod:`repro.engine.executors`, so every engine, monitor and service that
+takes ``executor=`` can run on it.  It differs from the plain
+``ProcessPoolExecutor`` backend in three ways:
+
+* **zero-copy tasks** -- when a :class:`~repro.parallel.store.SharedDatasetStore`
+  is bound (:meth:`bind_store`; the engine does this automatically for
+  ``executor="shared-process"``), workers pre-attach the dataset segments in
+  their pool initializer and tasks carry only
+  :class:`~repro.parallel.store.ShardDescriptor` index ranges -- the
+  per-task pickle is a few hundred bytes regardless of dataset size;
+* **persistent workers** -- the pool is created lazily and reused across
+  batches (like the other pooled executors), so attachments and the
+  workers' materialisation caches survive from one query batch to the next;
+* **crash recovery** -- a worker dying mid-batch (OOM-killed, segfaulted,
+  ``SIGKILL``-ed by an operator) breaks a ``concurrent.futures`` process
+  pool permanently.  ``map`` detects the broken pool, rebuilds it once and
+  retries the whole batch; a second failure raises the typed
+  :class:`WorkerCrashError` instead of deadlocking or returning partial
+  results.  Ordinary task exceptions (poison inputs) propagate unchanged --
+  they are the caller's bug, not a pool failure.
+
+Without a bound store the executor still works as a persistent pickle-based
+process pool (that is how the streaming monitors use it), so
+``executor="shared-process"`` is accepted everywhere an executor name is.
+"""
+
+from __future__ import annotations
+
+from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, TypeVar
+
+from ..engine.executors import _PooledExecutor
+from .store import DatasetHandle, SharedDatasetStore, attach_dataset
+
+__all__ = ["SharedMemoryProcessExecutor", "WorkerCrashError"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class WorkerCrashError(RuntimeError):
+    """A shared-memory worker pool died twice on the same batch.
+
+    Raised by :meth:`SharedMemoryProcessExecutor.map` after its one
+    rebuild-and-retry attempt also lost a worker; the batch's results are
+    not available, but the executor stays usable (the next ``map`` starts a
+    fresh pool).
+    """
+
+
+def _worker_init(handle: Optional[DatasetHandle]) -> None:
+    """Pool initializer: pre-attach the published dataset (if any) so the
+    first descriptor task pays no attach latency."""
+    if handle is not None:
+        attach_dataset(handle)
+
+
+class SharedMemoryProcessExecutor(_PooledExecutor):
+    """Run tasks on a persistent process pool whose workers attach to a
+    shared-memory dataset store on spawn.
+
+    The lazy-pool plumbing, single-task inline bypass and chunking policy
+    are inherited from the shared ``_PooledExecutor`` base (so the three
+    pooled backends cannot drift apart); this class adds the pool
+    initializer and the crash recovery around the pooled dispatch.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (defaults to the CPU count).
+    store:
+        Optional :class:`~repro.parallel.store.SharedDatasetStore` to bind
+        immediately (otherwise :meth:`bind_store` can bind one before the
+        pool first starts).  Binding is an optimisation -- descriptor tasks
+        carry their own handles and attach lazily -- but pre-attaching in
+        the initializer moves that cost off the first batch's critical path.
+        The executor does **not** own the store; whoever created it releases
+        it.
+    """
+
+    kind = "shared-process"
+
+    def __init__(self, workers: Optional[int] = None,
+                 store: Optional[SharedDatasetStore] = None):
+        super().__init__(workers)
+        self._store = store
+        self.restarts = 0  #: pools rebuilt after a worker crash
+
+    @property
+    def store(self) -> Optional[SharedDatasetStore]:
+        """The bound dataset store (``None`` when running store-less)."""
+        return self._store
+
+    def bind_store(self, store: SharedDatasetStore) -> None:
+        """Bind the store whose handle future pools pre-attach.
+
+        A pool that is already running keeps serving -- its workers attach
+        lazily per task -- and picks the new handle up on its next restart.
+        """
+        self._store = store
+
+    def _ensure_pool(self) -> futures.ProcessPoolExecutor:
+        if self._pool is None:
+            handle = None
+            if self._store is not None and not self._store.closed:
+                handle = self._store.handle()
+            self._pool = futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(handle,),
+            )
+        return self._pool
+
+    def _map_pooled(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
+        """The pooled dispatch, with one rebuild-and-retry on a crashed
+        pool (the inline bypass for single tasks is inherited: descriptor
+        resolution works in the parent process too)."""
+        last_crash: Optional[BaseException] = None
+        for attempt in range(2):
+            try:
+                return super()._map_pooled(fn, items)
+            except BrokenProcessPool as crash:
+                # A worker died (kill -9, OOM, segfault): the pool is
+                # permanently broken.  Drop it and retry the batch once on a
+                # fresh pool; tasks are pure functions of their payloads, so
+                # re-running the whole batch is safe.
+                last_crash = crash
+                self.restarts += 1
+                broken, self._pool = self._pool, None
+                if broken is not None:
+                    broken.shutdown(wait=False)
+        raise WorkerCrashError(
+            "worker pool crashed twice on one %d-task batch (workers=%d); "
+            "a task is killing its worker deterministically"
+            % (len(items), self.workers)
+        ) from last_crash

@@ -138,6 +138,11 @@ class MaxRSService:
         Flush window size: how many queued requests one dispatch drains.
     executor, workers:
         Forwarded to the engine built from ``points``.
+        ``executor="shared-process"`` is the zero-copy serving mode: the
+        engine publishes the dataset once to a shared-memory store
+        (:mod:`repro.parallel`) and sharded flushes send workers only index
+        descriptors.  ``None`` (the default) honours the ``REPRO_EXECUTOR``
+        environment variable and otherwise stays serial.
     clock:
         Monotonic time source (injected for deterministic tests).
     """
@@ -154,7 +159,7 @@ class MaxRSService:
         cache_ttl: float = 60.0,
         cache_size: int = 4096,
         max_batch: int = 64,
-        executor: Union[str, Executor, None] = "serial",
+        executor: Union[str, Executor, None] = None,
         workers: Optional[int] = None,
         clock=time.perf_counter,
     ):

@@ -21,6 +21,7 @@ import pytest
 SURFACES = [
     "repro",
     "repro.engine",
+    "repro.parallel",
     "repro.streaming",
     "repro.kernels",
     "repro.service",

@@ -347,13 +347,22 @@ class TestValidation:
 # --------------------------------------------------------------------------- #
 
 class TestExecutors:
-    def test_get_executor_resolution(self):
+    def test_get_executor_resolution(self, monkeypatch):
+        from repro.parallel import SharedMemoryProcessExecutor
+
         assert isinstance(get_executor("serial"), SerialExecutor)
         assert isinstance(get_executor("thread", workers=2), ThreadPoolExecutor)
         assert isinstance(get_executor("process", workers=2), ProcessPoolExecutor)
+        assert isinstance(get_executor("shared-process", workers=2),
+                          SharedMemoryProcessExecutor)
         serial = SerialExecutor()
         assert get_executor(serial) is serial
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
         assert isinstance(get_executor(None), SerialExecutor)
+        # REPRO_EXECUTOR picks the *default*; explicit names still win.
+        monkeypatch.setenv("REPRO_EXECUTOR", "shared-process")
+        assert isinstance(get_executor(None), SharedMemoryProcessExecutor)
+        assert isinstance(get_executor("serial"), SerialExecutor)
         with pytest.raises(ValueError, match="unknown executor"):
             get_executor("gpu")
         with pytest.raises(ValueError):
@@ -365,7 +374,8 @@ class TestExecutors:
             with executor:
                 assert executor.map(_square, items) == [i * i for i in items]
 
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process",
+                                         "shared-process"])
     def test_executor_equivalence_on_exact_solves(self, backend):
         points, weights = weighted_hotspot_points(220, dim=2, extent=10.0, seed=71)
         reference = maxrs_disk_exact(points, radius=1.0, weights=weights).value
