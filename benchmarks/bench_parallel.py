@@ -40,10 +40,36 @@ from typing import Dict, List
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+import repro.obs as obs  # noqa: E402
 from repro.datasets import uniform_weighted_points  # noqa: E402
 from repro.engine import Query, QueryEngine  # noqa: E402
 
 EXECUTORS = ("serial", "process", "shared-process")
+
+
+def trace_phase_summary(points, weights, queries, workers: int) -> Dict:
+    """Replay the batch once on ``shared-process`` with tracing forced on
+    and return the per-phase span summary.  Runs outside the timed rounds,
+    so the gated comparison above never pays for span capture."""
+    sink = obs.ListSink()
+    obs.add_sink(sink)
+    obs.set_enabled(True)
+    try:
+        engine = QueryEngine(points, weights=weights,
+                             executor="shared-process", workers=workers,
+                             cache_size=0)
+        try:
+            engine.solve_batch(queries)
+        finally:
+            engine.close()
+    finally:
+        obs.set_enabled(None)
+        obs.remove_sink(sink)
+    return {
+        "executor": "shared-process",
+        "queries": len(queries),
+        "spans": obs.summarize_spans(sink.spans()),
+    }
 
 
 def run_engine(label: str, points, weights, queries, warmup, rounds: int,
@@ -158,6 +184,14 @@ def main(argv=None) -> int:
             round(warm_process / warm_shared, 3)
             if warm_process and warm_shared else None),
     }
+
+    span_summary = trace_phase_summary(points, weights, queries, args.workers)
+    report["span_summary"] = span_summary
+    heaviest = sorted(span_summary["spans"].items(),
+                      key=lambda kv: -kv[1]["total_s"])[:3]
+    print("[spans] heaviest phases: %s"
+          % ", ".join("%s %.0fms" % (name, 1e3 * stats["total_s"])
+                      for name, stats in heaviest))
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -64,6 +64,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.datasets import clustered_points, request_trace
 from repro.engine import Query
 from repro.engine.planner import solve_query
@@ -215,6 +216,27 @@ def run_section(name, trace, coords, colors, window, routings):
     }
 
 
+def trace_phase_summary(coords, colors, window, seed, extent) -> Dict:
+    """Replay a small trace with span tracing on and aggregate the spans by
+    name (repro.obs.summarize_spans), so the BENCH artifact records *where*
+    serving time goes -- flush vs static solving vs per-shard kernel work --
+    not just end-to-end totals.  Runs outside the timed sections: tracing
+    is off during every gated measurement."""
+    trace = request_trace(300, catalog=headline_catalog(), shuffle=False,
+                          zipf_s=1.3, update_every=100, update_batch=8,
+                          seed=seed, extent=extent)
+    sink = obs.ListSink()
+    obs.add_sink(sink)
+    previous = obs.set_enabled(True)
+    try:
+        run_service(trace, coords, colors, routing="sharded", window=window)
+    finally:
+        obs.set_enabled(previous)
+        obs.remove_sink(sink)
+    return {"requests": len(trace), "routing": "sharded",
+            "spans": obs.summarize_spans(sink.spans())}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -250,6 +272,14 @@ def main() -> int:
     hetero = run_section("heterogeneous", hetero_trace, coords, colors,
                          args.window, routings=("direct",))
 
+    span_summary = trace_phase_summary(coords, colors, args.window,
+                                       args.seed + 2, extent)
+    heaviest = sorted(span_summary["spans"].items(),
+                      key=lambda kv: -kv[1]["total_s"])[:3]
+    print("[spans] heaviest phases: %s"
+          % ", ".join("%s %.0fms" % (name, 1e3 * stats["total_s"])
+                      for name, stats in heaviest))
+
     speedup = headline["variants"][0]["speedup_vs_serial"]
     payload = {
         "schema": "bench_service/v1",
@@ -265,6 +295,7 @@ def main() -> int:
         },
         "headline": headline,
         "heterogeneous": hetero,
+        "span_summary": span_summary,
         "summary": {
             "speedup_vs_serial": speedup,
             "min_required": MIN_SPEEDUP,

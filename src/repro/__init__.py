@@ -41,6 +41,11 @@ On top of the paper's algorithms the package grows a serving stack
   faces concurrent request traffic with coalescing, micro-batching, TTL'd
   generation-keyed caching and per-request latency metrics
   (``docs/serving.md``).
+* **Observability** (:mod:`repro.obs`) -- hierarchical spans threaded
+  through service, engine, executors and kernels (worker-side capture
+  included), a counters/gauges/histograms registry, and JSONL /
+  Prometheus / tree exporters behind ``REPRO_TRACE=1``, the CLI
+  ``--trace-out`` flags and ``repro stats`` (``docs/observability.md``).
 
 Quickstart
 ----------
@@ -127,6 +132,9 @@ from . import kernels
 # request coalescing, micro-batching and TTL'd caching (docs/serving.md).
 from . import service
 from .service import MaxRSService, ServiceRequest, ServiceResponse
+# Observability: hierarchical spans + metrics + exporters across every layer
+# above (REPRO_TRACE=1, --trace-out, repro stats; docs/observability.md).
+from . import obs
 from .regions import (
     DecayingMaxRSMonitor,
     top_k_maxrs_disk,
@@ -204,6 +212,8 @@ __all__ = [
     "MaxRSService",
     "ServiceRequest",
     "ServiceResponse",
+    # cross-layer tracing + metrics
+    "obs",
     # region-search extensions (Section 1.6 related work)
     "top_k_maxrs_rectangle",
     "top_k_maxrs_disk",

@@ -25,7 +25,11 @@ writing Python:
   (:mod:`repro.service`) with up to ``--concurrency`` requests in flight
   together, a ``--cache-ttl``-second result cache, and ``--replay`` to
   re-run a recorded JSONL trace; reports throughput, coalescing / cache-hit
-  rates and latency percentiles.
+  rates and latency percentiles;
+* ``stats`` -- render a span-trace JSONL file recorded with ``--trace-out``
+  (available on ``solve``, ``monitor`` and ``serve``) as a per-span-name
+  summary table, the full span tree, or Prometheus-style text exposition
+  (:mod:`repro.obs`; ``docs/observability.md``).
 
 ``repro --version`` prints the installed package version.  Every command
 prints a short human-readable summary to stdout and exits with status 0 on
@@ -35,9 +39,13 @@ success, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from . import obs
 
 from .bench import experiments as _experiments
 from .bench import experiments_extended as _experiments_extended
@@ -91,6 +99,26 @@ def experiment_registry() -> Dict[str, Callable[[], ExperimentReport]]:
 # --------------------------------------------------------------------------- #
 # command implementations
 # --------------------------------------------------------------------------- #
+
+@contextlib.contextmanager
+def _trace_sink(path: Optional[str]) -> Iterator[None]:
+    """Force-enable tracing and stream every finished trace to a JSONL file
+    for the duration of one command (``--trace-out``); no-op when ``path``
+    is ``None``."""
+    if path is None:
+        yield
+        return
+    sink = obs.JsonlSink(path)
+    obs.add_sink(sink)
+    previous = obs.set_enabled(True)
+    try:
+        yield
+    finally:
+        obs.set_enabled(previous)
+        obs.remove_sink(sink)
+        sink.close()
+        print("trace:     wrote %d spans to %s" % (sink.spans_written, path))
+
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     registry = experiment_registry()
@@ -213,6 +241,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if not table.points:
         print("input file %s contains no points" % args.input, file=sys.stderr)
         return 2
+    with _trace_sink(args.trace_out):
+        with obs.trace("cli.solve", shape=args.shape, engine=args.engine,
+                       points=len(table.points)):
+            return _solve_table(args, table)
+
+
+def _solve_table(args: argparse.Namespace, table) -> int:
+    """Route one ``solve`` invocation (direct or engine-backed) over a
+    parsed point table."""
     if args.engine == "sharded":
         return _solve_with_engine(args, table)
     points = table.points
@@ -365,8 +402,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                    else max(1, len(stream) // 10))
     started = time.perf_counter()
     try:
-        snapshots = monitor.apply_stream(stream, chunk_size=args.batch_size,
-                                         query_every=query_every)
+        with _trace_sink(args.trace_out):
+            with obs.trace("cli.monitor", monitor=args.monitor,
+                           stream=args.stream, events=len(stream)):
+                snapshots = monitor.apply_stream(stream, chunk_size=args.batch_size,
+                                                 query_every=query_every)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -441,12 +481,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     monitor = ShardedMaxRSMonitor(radius=args.radius, backend=args.backend)
     try:
-        with MaxRSService(points, weights=weights, colors=colors, monitor=monitor,
-                          routing=args.routing, cache_ttl=args.cache_ttl,
-                          cache_size=args.cache_size, max_batch=args.concurrency,
-                          executor=args.executor, workers=args.workers) as service:
-            report = service.serve_trace(trace, window=args.concurrency)
-            snapshot = service.snapshot()
+        # Each serving flush roots its own service.flush trace, so the
+        # JSONL file carries one span tree per flush rather than one
+        # replay-sized blob.
+        with _trace_sink(args.trace_out):
+            with MaxRSService(points, weights=weights, colors=colors, monitor=monitor,
+                              routing=args.routing, cache_ttl=args.cache_ttl,
+                              cache_size=args.cache_size, max_batch=args.concurrency,
+                              executor=args.executor, workers=args.workers) as service:
+                report = service.serve_trace(trace, window=args.concurrency)
+                snapshot = service.snapshot()
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -472,6 +516,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("errors:      %d requests failed (first: %s)"
               % (len(errors), errors[0].error), file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        records = obs.load_trace_jsonl(args.trace)
+    except OSError as error:
+        print("cannot read trace %s: %s" % (args.trace, error), file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as error:
+        print("malformed trace %s: %s" % (args.trace, error), file=sys.stderr)
+        return 2
+    if not records:
+        print("trace %s contains no spans" % args.trace, file=sys.stderr)
+        return 1
+    if args.format == "tree":
+        print(obs.render_tree(records))
+    elif args.format == "prometheus":
+        print(obs.render_prometheus(obs.registry_from_spans(records)), end="")
+    else:
+        traces = len({record.trace_id for record in records})
+        print("trace file: %s (%d spans, %d traces)"
+              % (args.trace, len(records), traces))
+        print(obs.render_summary(records, top=args.top))
     return 0
 
 
@@ -541,6 +609,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "'shared-process' publishes the dataset to OS "
                             "shared memory and sends workers only shard "
                             "index descriptors (repro.parallel)")
+    solve.add_argument("--trace-out", default=None,
+                       help="record the solve's span trace (repro.obs) to this "
+                            "JSONL file; inspect it with 'repro stats'")
     solve.set_defaults(func=_cmd_solve)
 
     monitor = subparsers.add_parser(
@@ -592,6 +663,9 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--extent", type=float, default=10.0,
                          help="side of the stream's bounding square")
     monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument("--trace-out", default=None,
+                         help="record the replay's span traces (repro.obs) to "
+                              "this JSONL file; inspect with 'repro stats'")
     monitor.set_defaults(func=_cmd_monitor)
 
     serve = subparsers.add_parser(
@@ -638,7 +712,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--extent", type=float, default=10.0,
                        help="side of the generated workload's bounding square")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--trace-out", default=None,
+                       help="record one span trace per serving flush "
+                            "(repro.obs) to this JSONL file; inspect with "
+                            "'repro stats'")
     serve.set_defaults(func=_cmd_serve)
+
+    stats = subparsers.add_parser(
+        "stats", help="render a span trace recorded with --trace-out")
+    stats.add_argument("--trace", required=True,
+                       help="JSONL span-trace file written by a --trace-out run")
+    stats.add_argument("--format", choices=["summary", "tree", "prometheus"],
+                       default="summary",
+                       help="'summary' = per-span-name totals and percentiles, "
+                            "'tree' = the full indented span hierarchy, "
+                            "'prometheus' = text exposition of per-span count/"
+                            "duration metrics")
+    stats.add_argument("--top", type=int, default=0,
+                       help="keep only the N heaviest span names in the "
+                            "summary (0 = all)")
+    stats.set_defaults(func=_cmd_stats)
 
     return parser
 
@@ -647,4 +740,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro``; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro stats ... | head`);
+        # point it at devnull so interpreter shutdown does not re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0

@@ -44,6 +44,7 @@ from ..exact import (
     maxrs_rectangle_exact,
 )
 from ..kernels import resolve_backend
+from ..obs import tracing as obs
 from .executors import Executor, get_executor
 from .merge import merge_shard_results
 from .sharding import Shard, ShardPlan, plan_shards
@@ -227,7 +228,23 @@ def solve_query(
     per shard, possibly in a worker process) and the direct path (one call on
     the whole dataset).  Module-level so it is picklable for
     :class:`~repro.engine.executors.ProcessPoolExecutor`.
+
+    Under an active trace each call emits one ``kernel.solve`` span tagged
+    with the query's shape/backend/mode and the input population -- the
+    leaf every traced request tree bottoms out in.
     """
+    with obs.span("kernel.solve", shape=query.shape, backend=query.backend,
+                  exact=query.exact, colored=query.colored, n=len(coords)):
+        return _route_query(query, coords, weights, colors)
+
+
+def _route_query(
+    query: Query,
+    coords: Sequence[Coords],
+    weights: Optional[Sequence[float]],
+    colors: Optional[Sequence[Hashable]],
+) -> MaxRSResult:
+    """The un-traced solver dispatch behind :func:`solve_query`."""
     if query.colored:
         if query.shape == "disk":
             if query.exact:
@@ -290,6 +307,34 @@ def _solve_shard_descriptor_task(task) -> MaxRSResult:
     arrays = query.exact and not query.colored and query.backend == "numpy"
     coords, weights, colors = descriptor.resolve(arrays=arrays)
     return solve_query(query, coords, weights, colors)
+
+
+def _solve_shard_task_traced(task):
+    """Traced executor task: like :func:`_solve_shard_task`, but runs under
+    a worker-side span capture and returns ``(result, records)`` so the
+    parent can graft the shard's ``shard.solve`` subtree into its trace.
+
+    The capture is unconditional -- the parent already decided to trace
+    when it chose this task function, and worker processes may not share
+    its environment or programmatic tracing switch.
+    """
+    query, shard, tags = task
+    with obs.capture("shard.solve", **tags) as captured:
+        result = solve_query(query, shard.coords, shard.weights, shard.colors)
+    return result, captured.records
+
+
+def _solve_shard_descriptor_task_traced(task):
+    """Traced executor task for the shared-memory path: like
+    :func:`_solve_shard_descriptor_task`, returning ``(result, records)``
+    with the worker-captured ``shard.solve`` subtree (see
+    :func:`_solve_shard_task_traced`)."""
+    query, descriptor, tags = task
+    with obs.capture("shard.solve", **tags) as captured:
+        arrays = query.exact and not query.colored and query.backend == "numpy"
+        coords, weights, colors = descriptor.resolve(arrays=arrays)
+        result = solve_query(query, coords, weights, colors)
+    return result, captured.records
 
 
 # --------------------------------------------------------------------------- #
@@ -668,8 +713,10 @@ class QueryEngine:
     def solve_direct(self, query: Query) -> MaxRSResult:
         """Bypass sharding and caching: run the underlying solver once on the
         whole dataset.  The reference path the engine is validated against."""
-        self._validate(query)
-        return solve_query(query, self._coords, self._weights, self._colors)
+        with obs.trace("engine.solve_direct", query=query.describe(),
+                       n=len(self._coords)):
+            self._validate(query)
+            return solve_query(query, self._coords, self._weights, self._colors)
 
     def solve_batch(self, queries: Sequence[Query]) -> List[MaxRSResult]:
         """Solve a heterogeneous batch.
@@ -678,7 +725,22 @@ class QueryEngine:
         without solving, and the shard tasks of all remaining queries are
         flattened into a single executor submission (parallel across queries
         and shards at once).  Results come back in input order.
+
+        Under tracing (``REPRO_TRACE=1``, :func:`repro.obs.set_enabled`, or
+        an enclosing trace) the flush emits an ``engine.solve_batch`` span
+        tree: per-query ``engine.plan`` / ``engine.merge`` spans, one
+        ``engine.execute`` span around the executor submission with a
+        ``shard.solve`` child per task (captured inside the worker, grafted
+        back here), and a derived ``engine.queue`` span attributing the
+        dispatch wall time the shard solves themselves do not account for.
         """
+        with obs.trace("engine.solve_batch", queries=len(queries),
+                       executor=self._executor.kind) as batch_span:
+            return self._solve_batch_spanned(queries, batch_span)
+
+    def _solve_batch_spanned(self, queries: Sequence[Query],
+                             batch_span) -> List[MaxRSResult]:
+        """The body of :meth:`solve_batch`, run inside its root span."""
         unique: List[Query] = []
         seen = set()
         for query in queries:
@@ -694,14 +756,19 @@ class QueryEngine:
                 resolved[query] = cached
             else:
                 misses.append(query)
+        batch_span.tag(unique=len(unique), misses=len(misses))
 
         if misses:
+            traced = obs.tracing_active()
             tasks: List[Tuple] = []
-            spans: List[Tuple[Query, int]] = []
+            groups: List[Tuple[Query, int]] = []
             for query in misses:
-                self._validate(query)
-                plan = self.shard_plan(query)
-                spans.append((query, len(plan.shards)))
+                with obs.span("engine.plan",
+                              query=query.describe()) as plan_span:
+                    self._validate(query)
+                    plan = self.shard_plan(query)
+                    plan_span.tag(shards=len(plan.shards))
+                groups.append((query, len(plan.shards)))
                 # The shared-memory path replaces each shard's point payload
                 # with a descriptor (segment names + index range) resolved
                 # inside the worker against the published dataset store.
@@ -717,27 +784,63 @@ class QueryEngine:
                     task_query = query
                     if query.backend == "auto":
                         task_query = replace(query, backend=resolve_task_backend("auto", len(shard)))
-                    if block is not None:
-                        tasks.append((task_query, block.descriptor(dataset, ordinal)))
+                    payload = (block.descriptor(dataset, ordinal)
+                               if block is not None else shard)
+                    if traced:
+                        # Traced tasks carry their span tags and return the
+                        # worker-captured records alongside the result.
+                        tasks.append((task_query, payload, {
+                            "query": query.describe(), "shard": ordinal,
+                            "backend": task_query.backend,
+                            "points": len(shard)}))
                     else:
-                        tasks.append((task_query, shard))
+                        tasks.append((task_query, payload))
 
-            task_fn = (_solve_shard_descriptor_task if self._store is not None
-                       else _solve_shard_task)
-            shard_results = self._executor.map(task_fn, tasks)
+            if self._store is not None:
+                task_fn = (_solve_shard_descriptor_task_traced if traced
+                           else _solve_shard_descriptor_task)
+            else:
+                task_fn = (_solve_shard_task_traced if traced
+                           else _solve_shard_task)
+            with obs.span("engine.execute", tasks=len(tasks),
+                          executor=self._executor.kind,
+                          workers=self._executor.workers) as exec_span:
+                shard_results = self._executor.map(task_fn, tasks)
             self._shards_solved += len(tasks)
 
+            if traced:
+                # Graft every worker-captured shard subtree under the
+                # execute span, then attribute the dispatch wall time the
+                # shard solves do not cover as a derived engine.queue span
+                # (busy time is divided by the effective parallelism, so
+                # with one worker queue + shard time = execute wall time).
+                busy = 0.0
+                plain: List[MaxRSResult] = []
+                for result, records in shard_results:
+                    exec_span.graft(records)
+                    busy += sum(record.duration for record in records
+                                if record.parent_id is None)
+                    plain.append(result)
+                shard_results = plain
+                parallelism = max(1, min(self._executor.workers, len(tasks)))
+                exec_span.child(
+                    "engine.queue",
+                    max(0.0, exec_span.duration - busy / parallelism),
+                    tasks=len(tasks), parallelism=parallelism)
+
             cursor = 0
-            for query, count in spans:
+            for query, count in groups:
                 group = shard_results[cursor:cursor + count]
                 cursor += count
-                merged = merge_shard_results(group, empty=self._empty_result(query))
-                meta = dict(merged.meta)
-                if "n" in meta:
-                    meta["n"] = len(self._coords)  # not the winning shard's population
-                meta["executor"] = self._executor.kind
-                merged = MaxRSResult(value=merged.value, center=merged.center,
-                                     shape=merged.shape, exact=merged.exact, meta=meta)
+                with obs.span("engine.merge", query=query.describe(),
+                              shards=count):
+                    merged = merge_shard_results(group, empty=self._empty_result(query))
+                    meta = dict(merged.meta)
+                    if "n" in meta:
+                        meta["n"] = len(self._coords)  # not the winning shard's population
+                    meta["executor"] = self._executor.kind
+                    merged = MaxRSResult(value=merged.value, center=merged.center,
+                                         shape=merged.shape, exact=merged.exact, meta=meta)
                 self._cache.put((self.fingerprint, query), merged)
                 resolved[query] = merged
 

@@ -1,0 +1,102 @@
+"""Cross-layer observability: hierarchical spans, metrics, exporters.
+
+``repro.obs`` is the zero-dependency telemetry substrate the serving stack
+reports through.  One traced request produces a *span tree* attributing
+wall time to each layer -- the service flush at the root, the engine batch
+under it, planning and merging per query, the executor dispatch, and every
+per-shard kernel solve (tagged with shard ordinal, backend, and point
+count) even when it ran in a worker process.  Alongside the spans, a
+process-safe :class:`MetricsRegistry` holds counters, gauges, and
+bounded-reservoir histograms -- the primitives ``ServiceStats`` is built
+on.
+
+The three moving parts:
+
+* **tracing** -- :func:`trace` marks a layer entry point (roots a trace
+  when tracing is enabled and none is active; nests otherwise),
+  :func:`span` times a child step, :func:`capture` records inside worker
+  processes for the parent to :meth:`Span.graft` back in.  When tracing is
+  off every call returns a shared no-op span: the hot paths stay free.
+* **metrics** -- :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  instruments in a get-or-create :class:`MetricsRegistry`;
+  :func:`percentile` is the shared nearest-rank statistic.
+* **exporters** -- :class:`JsonlSink` streams finished traces to disk,
+  :func:`render_tree` / :func:`render_summary` produce human-readable
+  views, :func:`render_prometheus` exposes a registry as Prometheus text.
+
+Switch tracing on with ``REPRO_TRACE=1`` in the environment or
+:func:`set_enabled`; route traces to a file with
+``add_sink(JsonlSink(path))`` or any of the CLI ``--trace-out`` flags, and
+inspect the result with ``repro stats``.
+"""
+
+from .tracing import (
+    Capture,
+    Span,
+    SpanRecord,
+    Tracer,
+    add_sink,
+    capture,
+    current_span,
+    enabled,
+    get_tracer,
+    last_trace,
+    remove_sink,
+    set_enabled,
+    span,
+    trace,
+    tracing_active,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+)
+from .exporters import (
+    JsonlSink,
+    ListSink,
+    load_trace_jsonl,
+    render_prometheus,
+    render_summary,
+    render_tree,
+    registry_from_spans,
+    summarize_spans,
+)
+
+__all__ = [
+    # tracing
+    "Capture",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "add_sink",
+    "capture",
+    "current_span",
+    "enabled",
+    "get_tracer",
+    "last_trace",
+    "remove_sink",
+    "set_enabled",
+    "span",
+    "trace",
+    "tracing_active",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "percentile",
+    # exporters
+    "JsonlSink",
+    "ListSink",
+    "load_trace_jsonl",
+    "render_prometheus",
+    "render_summary",
+    "render_tree",
+    "registry_from_spans",
+    "summarize_spans",
+]

@@ -1,0 +1,260 @@
+"""Trace and metric exporters: JSONL sink, tree/summary renderers,
+Prometheus-style text exposition.
+
+Three consumers, three formats:
+
+* machines replaying a run read the **JSONL sink** -- one
+  :class:`repro.obs.SpanRecord` per line, append-only, loadable with
+  :func:`load_trace_jsonl`;
+* humans debugging a request read the **tree renderer** -- the span
+  hierarchy indented with durations and tags -- or the **summary table**,
+  which aggregates spans by name (count, total, p50/p95/max);
+* scrapers read the **Prometheus text exposition** of a
+  :class:`repro.obs.MetricsRegistry` (counters, gauges, summary-style
+  histogram lines).
+
+All output is deterministic given the input records (ordering is by span
+start time, ties by span id), so tests can assert on rendered text.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .metrics import MetricsRegistry, percentile
+from .tracing import SpanRecord
+
+__all__ = [
+    "JsonlSink",
+    "ListSink",
+    "load_trace_jsonl",
+    "render_prometheus",
+    "render_summary",
+    "render_tree",
+    "registry_from_spans",
+    "summarize_spans",
+]
+
+
+class JsonlSink:
+    """Appends every exported span as one JSON line to ``path``.
+
+    Register with ``repro.obs.add_sink``; traces arrive whole (one record
+    list per finished trace) and are written under a lock, so concurrent
+    flush threads interleave at trace granularity, not mid-line.  Call
+    :meth:`close` (or use as a context manager) to flush and release the
+    file handle; ``spans_written`` counts the lines emitted.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.spans_written = 0
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def export(self, records: Sequence[SpanRecord]) -> None:
+        """Write one finished trace's records as JSON lines."""
+        with self._lock:
+            if self._handle is None:
+                return
+            for record in records:
+                self._handle.write(json.dumps(record.to_dict(),
+                                              sort_keys=True) + "\n")
+                self.spans_written += 1
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+class ListSink:
+    """Collects exported traces in memory -- the sink tests and benchmarks
+    use to inspect spans without touching disk.
+
+    ``traces`` is the list of record lists (one per finished trace);
+    ``spans()`` flattens them.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.traces: List[List[SpanRecord]] = []
+
+    def export(self, records: Sequence[SpanRecord]) -> None:
+        """Retain one finished trace's records."""
+        with self._lock:
+            self.traces.append(list(records))
+
+    def spans(self) -> List[SpanRecord]:
+        """Every retained span, across all traces, in arrival order."""
+        with self._lock:
+            return [r for trace in self.traces for r in trace]
+
+
+def load_trace_jsonl(path: str) -> List[SpanRecord]:
+    """Read a :class:`JsonlSink` file back into :class:`SpanRecord` objects
+    (blank lines are skipped)."""
+    records: List[SpanRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+def _format_tags(tags: Dict[str, object]) -> str:
+    if not tags:
+        return ""
+    parts = ["%s=%s" % (key, tags[key]) for key in sorted(tags)]
+    return "  {%s}" % ", ".join(parts)
+
+
+def _children_index(records: Sequence[SpanRecord]):
+    by_parent: Dict[Optional[str], List[SpanRecord]] = defaultdict(list)
+    for record in records:
+        by_parent[record.parent_id].append(record)
+    for siblings in by_parent.values():
+        siblings.sort(key=lambda r: (r.start, r.span_id))
+    return by_parent
+
+def render_tree(records: Sequence[SpanRecord]) -> str:
+    """Render spans as an indented tree with durations and tags.
+
+    Roots are records whose ``parent_id`` is absent from the record set;
+    multiple traces in one record list render as successive trees.
+    """
+    if not records:
+        return "(no spans)"
+    ids = {r.span_id for r in records}
+    by_parent = _children_index(records)
+    roots = sorted((r for r in records
+                    if r.parent_id is None or r.parent_id not in ids),
+                   key=lambda r: (r.start, r.span_id))
+    lines: List[str] = []
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        lines.append("%s%-24s %9.3f ms%s" % (
+            "  " * depth, record.name, record.duration * 1e3,
+            _format_tags(record.tags)))
+        for child in by_parent.get(record.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def summarize_spans(records: Sequence[SpanRecord]) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name: count, total/mean duration, p50/p95/max.
+
+    The per-name totals are what the benchmark artifacts embed -- a
+    per-phase time attribution that survives after the raw trace is gone.
+    """
+    by_name: Dict[str, List[float]] = defaultdict(list)
+    for record in records:
+        by_name[record.name].append(record.duration)
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, durations in by_name.items():
+        total = sum(durations)
+        summary[name] = {
+            "count": len(durations),
+            "total_s": total,
+            "mean_s": total / len(durations),
+            "p50_s": percentile(durations, 50),
+            "p95_s": percentile(durations, 95),
+            "max_s": max(durations),
+        }
+    return summary
+
+
+def render_summary(records: Sequence[SpanRecord], top: int = 0) -> str:
+    """Human-readable table of :func:`summarize_spans`, sorted by total
+    time descending; ``top`` > 0 keeps only the first ``top`` rows."""
+    summary = summarize_spans(records)
+    if not summary:
+        return "(no spans)"
+    rows = sorted(summary.items(), key=lambda kv: -kv[1]["total_s"])
+    if top > 0:
+        rows = rows[:top]
+    lines = ["%-24s %7s %12s %12s %12s %12s"
+             % ("span", "count", "total ms", "mean ms", "p95 ms", "max ms")]
+    for name, stats in rows:
+        lines.append("%-24s %7d %12.3f %12.3f %12.3f %12.3f" % (
+            name, stats["count"], stats["total_s"] * 1e3,
+            stats["mean_s"] * 1e3, stats["p95_s"] * 1e3,
+            stats["max_s"] * 1e3))
+    return "\n".join(lines)
+
+
+def _metric_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      prefix: str = "repro") -> str:
+    """Prometheus-style text exposition of a registry's instruments.
+
+    Counters/gauges emit ``# TYPE`` headers and a single sample; histograms
+    emit summary-style lines (``_count``, ``_sum``, and ``{quantile=...}``
+    samples).  Names are sanitized to the Prometheus charset and prefixed.
+    """
+    lines: List[str] = []
+    for name, entry in registry.snapshot().items():
+        metric = "%s_%s" % (prefix, _metric_name(name))
+        kind = entry["type"]
+        if kind == "counter":
+            lines.append("# TYPE %s counter" % metric)
+            lines.append("%s %d" % (metric, entry["value"]))
+        elif kind == "gauge":
+            lines.append("# TYPE %s gauge" % metric)
+            lines.append("%s %s" % (metric, _format_value(entry["value"])))
+        elif kind == "histogram":
+            lines.append("# TYPE %s summary" % metric)
+            for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
+                                   ("0.99", "p99")):
+                lines.append('%s{quantile="%s"} %s'
+                             % (metric, q_label,
+                                _format_value(entry[q_key])))
+            lines.append("%s_sum %s" % (metric, _format_value(entry["sum"])))
+            lines.append("%s_count %d" % (metric, entry["count"]))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    return repr(value)
+
+
+def registry_from_spans(records: Iterable[SpanRecord],
+                        registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Distill span records into a registry: per-name count counters and
+    duration histograms (``span_<name>_seconds``) -- the bridge that lets
+    ``repro stats --format prometheus`` expose a trace file."""
+    registry = registry if registry is not None else MetricsRegistry()
+    for record in records:
+        registry.counter("span_%s_total" % record.name).inc()
+        registry.histogram("span_%s_seconds" % record.name).observe(
+            record.duration)
+    return registry

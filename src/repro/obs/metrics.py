@@ -1,0 +1,285 @@
+"""Process-safe metric primitives: counters, gauges, reservoir histograms.
+
+These generalize the percentile bookkeeping that grew up inside
+``repro.service.metrics.ServiceStats`` into reusable, individually locked
+instruments.  Everything here is dependency-free and cheap enough to leave
+in hot paths: a counter increment is one lock acquisition and an integer
+add; a histogram observation appends to a bounded deque.
+
+The :class:`MetricsRegistry` is the get-or-create directory instruments
+live in.  Registries snapshot to plain dictionaries (JSON-ready) and can
+*merge* snapshots from other registries -- the mechanism worker processes
+use to ship their counts back to the parent without sharing memory.
+
+:func:`percentile` is the one shared statistic: nearest-rank percentiles
+over a plain sequence, with explicit edge behaviour (empty input -> NaN,
+single element -> that element for every q, q outside [0, 100] ->
+``ValueError``).  ``repro.service.metrics`` re-exports it for
+back-compatibility.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "percentile",
+]
+
+#: Bounded-reservoir size for histograms: large enough for stable tail
+#: percentiles, small enough that a long-running service cannot grow
+#: unboundedly.
+RESERVOIR_SIZE = 4096
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (unsorted ok).
+
+    Edge behaviour, deliberately explicit:
+
+    * empty ``values`` -> ``float('nan')`` (there is no order statistic to
+      report, and 0.0 would be indistinguishable from a real measurement);
+    * a single element -> that element, for *every* ``q`` in [0, 100];
+    * ``q = 0`` -> the minimum, ``q = 100`` -> the maximum;
+    * ``q`` outside [0, 100] -> ``ValueError`` (silent clamping would turn
+      a caller bug into a wrong-but-plausible number).
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be within [0, 100], got %r" % (q,))
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+class Counter:
+    """A monotonically increasing count (requests served, cache hits, ...).
+
+    Thread-safe; increments are non-negative.  Read with :attr:`value`.
+    """
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase; got %r" % (amount,))
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time measurement that moves both ways (queue depth,
+    live shard count, window size)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the gauge by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current reading."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A bounded-reservoir distribution (latencies, queue waits, sizes).
+
+    Exact ``count``/``sum``/``min``/``max`` over *everything* observed;
+    percentiles come from the newest ``reservoir`` observations (a
+    ``deque(maxlen=...)``), which keeps memory constant while tracking the
+    current regime rather than ancient history.  ``len(h)`` is the number
+    of samples currently in the reservoir (<= ``count``).
+    """
+
+    __slots__ = ("name", "_lock", "_samples", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, reservoir: int = RESERVOIR_SIZE):
+        self.name = name
+        self._lock = threading.Lock()
+        self._samples: "deque[float]" = deque(maxlen=reservoir)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._samples.append(value)
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (not capped by the reservoir)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of every observation."""
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the current reservoir
+        (see :func:`percentile` for edge behaviour)."""
+        with self._lock:
+            samples = list(self._samples)
+        return percentile(samples, q)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict: count, sum, mean, min, max, p50/p95/p99."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+        mean = total / count if count else float("nan")
+        return {
+            "count": count,
+            "sum": total,
+            "mean": mean,
+            "min": float("nan") if low is None else low,
+            "max": float("nan") if high is None else high,
+            "p50": percentile(samples, 50),
+            "p95": percentile(samples, 95),
+            "p99": percentile(samples, 99),
+        }
+
+
+class MetricsRegistry:
+    """A get-or-create directory of named instruments.
+
+    ``counter(name)`` / ``gauge(name)`` / ``histogram(name)`` return the
+    existing instrument or create it; asking for a name under a different
+    type raises ``TypeError`` (two call sites silently sharing one name
+    across types is always a bug).  :meth:`snapshot` renders everything to
+    a plain dict; :meth:`merge_snapshot` folds another registry's snapshot
+    in -- counters add, gauges take the incoming reading, histogram
+    percentiles cannot be merged so their counts/sums accumulate into a
+    counter-like entry.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        "metric %r already registered as %s, not %s"
+                        % (name, type(existing).__name__, cls.__name__))
+                return existing
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, reservoir: int = RESERVOIR_SIZE) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(name, Histogram, reservoir=reservoir)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view of every instrument, keyed by name; each entry
+        carries a ``type`` discriminator plus the instrument's values."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, Dict[str, object]] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value}
+            elif isinstance(metric, Histogram):
+                entry: Dict[str, object] = {"type": "histogram"}
+                entry.update(metric.snapshot())
+                out[name] = entry
+        return out
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` from another registry (typically a worker
+        process) into this one: counters add, gauges adopt the incoming
+        reading, histograms accumulate count/sum."""
+        for name, entry in snapshot.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(entry.get("value", 0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(entry.get("value", 0.0)))
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                with hist._lock:
+                    hist._count += int(entry.get("count", 0))
+                    hist._sum += float(entry.get("sum", 0.0))
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY

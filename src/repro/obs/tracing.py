@@ -1,0 +1,475 @@
+"""Hierarchical spans: the cross-layer timing substrate.
+
+A *trace* is one request's tree of timed *spans*: the serving flush at the
+root, the engine batch under it, per-query plan/merge work, the executor
+dispatch, and -- grafted in from worker threads and processes -- every
+per-shard solve.  The design constraints, in order:
+
+* **zero overhead when off** -- :func:`span` costs one context-variable read
+  when no trace is active (it returns the shared no-op span), so the tier-1
+  hot paths are indistinguishable from the untraced build;
+* **zero dependencies** -- monotonic clocks, ``contextvars`` and dataclasses
+  only; records are plain picklable data;
+* **process-correct timing** -- every record carries a wall-clock ``start``
+  (comparable across processes on one host) and a ``perf_counter``-derived
+  ``duration`` (immune to wall-clock steps), so per-shard durations measured
+  inside worker processes sum meaningfully against parent-side wall spans;
+* **worker capture, parent graft** -- a worker cannot see the parent's live
+  trace, so it records under :func:`capture` (always on; the *parent*
+  decided to trace when it picked the traced task variant) and ships the
+  finished records back with its result.  The parent adopts them with
+  :meth:`Span.graft`, which rewires the captured roots onto the grafting
+  span, giving one connected tree across process boundaries.
+
+Enablement: :func:`set_enabled` is the programmatic switch; when unset, the
+``REPRO_TRACE`` environment variable (``1``/``true``/``yes``/``on``) decides.
+:func:`trace` starts a new trace only where none is active (and tracing is
+enabled); nested calls degrade to plain child spans, so every layer can mark
+its entry point without coordinating on who owns the root.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Capture",
+    "Tracer",
+    "add_sink",
+    "capture",
+    "current_span",
+    "enabled",
+    "get_tracer",
+    "last_trace",
+    "remove_sink",
+    "set_enabled",
+    "span",
+    "trace",
+    "tracing_active",
+]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Programmatic override of the tracing switch; ``None`` defers to the
+#: ``REPRO_TRACE`` environment variable.
+_ENABLED: Optional[bool] = None
+
+_IDS = itertools.count(1)
+
+
+def _new_id() -> str:
+    """A span/trace id unique across the processes of one run (pid-prefixed)."""
+    return "%x-%x" % (os.getpid(), next(_IDS))
+
+
+def enabled() -> bool:
+    """Whether tracing is globally enabled (:func:`set_enabled`, else the
+    ``REPRO_TRACE`` environment variable)."""
+    if _ENABLED is not None:
+        return _ENABLED
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in _TRUTHY
+
+
+def set_enabled(flag: Optional[bool]) -> Optional[bool]:
+    """Set the global tracing switch; returns the previous value.
+
+    ``True`` / ``False`` force tracing on / off; ``None`` restores the
+    default behaviour of deferring to ``REPRO_TRACE``.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = None if flag is None else bool(flag)
+    return previous
+
+
+# --------------------------------------------------------------------------- #
+# records and trace state
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class SpanRecord:
+    """One finished span: plain picklable data, the unit every sink exports.
+
+    ``start`` is wall-clock epoch seconds (``time.time``; comparable across
+    the processes of one host), ``duration`` is ``perf_counter``-derived
+    elapsed seconds (immune to wall-clock adjustment).  ``parent_id`` is
+    ``None`` only for trace roots and un-grafted capture roots.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    duration: float
+    tags: Dict[str, object] = field(default_factory=dict)
+    pid: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the JSONL sink's line payload)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "tags": self.tags,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output (JSONL loading)."""
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=(None if payload.get("parent_id") is None
+                       else str(payload["parent_id"])),
+            name=str(payload["name"]),
+            start=float(payload["start"]),
+            duration=float(payload["duration"]),
+            tags=dict(payload.get("tags") or {}),
+            pid=int(payload.get("pid") or 0),
+        )
+
+
+class _TraceState:
+    """The mutable state of one live trace: its id, the finished records,
+    and the stack of open spans (top = current parent)."""
+
+    __slots__ = ("trace_id", "records", "stack")
+
+    def __init__(self, trace_id: str):
+        self.trace_id = trace_id
+        self.records: List[SpanRecord] = []
+        self.stack: List["Span"] = []
+
+
+_ACTIVE: ContextVar[Optional[_TraceState]] = ContextVar("repro_obs_trace",
+                                                        default=None)
+
+
+def tracing_active() -> bool:
+    """Whether a trace is live in the current context (thread/task).
+
+    This is the check hot paths use to pick traced task variants: it is one
+    context-variable read and does not consult the environment.
+    """
+    return _ACTIVE.get() is not None
+
+
+# --------------------------------------------------------------------------- #
+# spans
+# --------------------------------------------------------------------------- #
+
+class _NoopSpan:
+    """The shared do-nothing span returned whenever tracing is off.
+
+    Every :class:`Span` method exists here as a no-op returning ``self``, so
+    instrumented code never branches on whether tracing is live.
+    """
+
+    __slots__ = ()
+
+    span_id: Optional[str] = None
+    trace_id: Optional[str] = None
+    name = ""
+    start = 0.0
+    duration = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def tag(self, **tags) -> "_NoopSpan":
+        return self
+
+    def child(self, name, duration, **tags) -> "_NoopSpan":
+        return self
+
+    def graft(self, records) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span: a context manager that appends one :class:`SpanRecord`
+    to its trace on exit.
+
+    Use :func:`span` / :func:`trace` to obtain instances; the constructor is
+    internal.  ``tag()`` adds attributes while open; ``child()`` and
+    ``graft()`` stay usable after exit for post-hoc attribution (derived
+    overhead records, worker-captured subtrees) for as long as the enclosing
+    trace is live.
+    """
+
+    __slots__ = ("name", "tags", "span_id", "parent_id", "start", "duration",
+                 "_state", "_t0")
+
+    def __init__(self, state: _TraceState, name: str, tags: Dict[str, object]):
+        self._state = state
+        self.name = name
+        self.tags = dict(tags)
+        self.span_id = _new_id()
+        parent = state.stack[-1] if state.stack else None
+        self.parent_id = parent.span_id if parent is not None else None
+        self.start = 0.0
+        self.duration = 0.0
+        self._t0 = 0.0
+
+    @property
+    def trace_id(self) -> str:
+        """The id of the trace this span belongs to."""
+        return self._state.trace_id
+
+    def __enter__(self) -> "Span":
+        self._state.stack.append(self)
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        stack = self._state.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._state.records.append(SpanRecord(
+            trace_id=self._state.trace_id, span_id=self.span_id,
+            parent_id=self.parent_id, name=self.name, start=self.start,
+            duration=self.duration, tags=self.tags, pid=os.getpid()))
+        return False
+
+    def tag(self, **tags) -> "Span":
+        """Attach (or overwrite) tag values; returns ``self`` for chaining."""
+        self.tags.update(tags)
+        return self
+
+    def child(self, name: str, duration: float, **tags) -> "Span":
+        """Append a *derived* child record of ``duration`` seconds.
+
+        For time that is attributed arithmetically rather than measured
+        in-line -- e.g. executor queue/dispatch overhead computed as the
+        dispatch wall time minus the workers' busy time.  The record is
+        tagged ``derived=True`` so exporters can distinguish it.
+        """
+        merged = {"derived": True}
+        merged.update(tags)
+        self._state.records.append(SpanRecord(
+            trace_id=self._state.trace_id, span_id=_new_id(),
+            parent_id=self.span_id, name=name, start=self.start,
+            duration=float(duration), tags=merged, pid=os.getpid()))
+        return self
+
+    def graft(self, records: Sequence[SpanRecord]) -> "Span":
+        """Adopt worker-captured records as children of this span.
+
+        Captured roots (``parent_id is None``) are re-parented onto this
+        span and every record is rewritten onto this trace's id; interior
+        parent links and worker-side timings are preserved untouched.
+        """
+        for record in records:
+            self._state.records.append(SpanRecord(
+                trace_id=self._state.trace_id,
+                span_id=record.span_id,
+                parent_id=(self.span_id if record.parent_id is None
+                           else record.parent_id),
+                name=record.name,
+                start=record.start,
+                duration=record.duration,
+                tags=record.tags,
+                pid=record.pid,
+            ))
+        return self
+
+
+class _RootSpan(Span):
+    """A span that owns its trace: activates the trace state on entry and
+    emits the finished record list to the tracer on exit."""
+
+    __slots__ = ("_token",)
+
+    def __init__(self, name: str, tags: Dict[str, object]):
+        super().__init__(_TraceState(_new_id()), name, tags)
+        self._token = None
+
+    def __enter__(self) -> "Span":
+        self._token = _ACTIVE.set(self._state)
+        return super().__enter__()
+
+    def __exit__(self, *exc_info) -> bool:
+        super().__exit__(*exc_info)
+        _ACTIVE.reset(self._token)
+        get_tracer()._emit(self._state.records)
+        return False
+
+
+def span(name: str, **tags) -> Span:
+    """A child span of the current context's live trace.
+
+    Returns the shared no-op span when no trace is active -- :func:`span`
+    never starts a trace on its own, so un-rooted hot paths stay free.
+    """
+    state = _ACTIVE.get()
+    if state is None:
+        return NOOP_SPAN
+    return Span(state, name, tags)
+
+
+def trace(name: str, **tags) -> Span:
+    """Mark a layer entry point: root a new trace here, or nest.
+
+    * a trace is already active -> a plain child span (layers compose);
+    * tracing enabled, no active trace -> a new root span whose records are
+      emitted to the tracer's sinks when it closes;
+    * tracing disabled -> the shared no-op span.
+    """
+    state = _ACTIVE.get()
+    if state is not None:
+        return Span(state, name, tags)
+    if not enabled():
+        return NOOP_SPAN
+    return _RootSpan(name, tags)
+
+
+def current_span() -> Span:
+    """The innermost open span of the active trace (no-op span if none)."""
+    state = _ACTIVE.get()
+    if state is None or not state.stack:
+        return NOOP_SPAN
+    return state.stack[-1]
+
+
+# --------------------------------------------------------------------------- #
+# worker-side capture
+# --------------------------------------------------------------------------- #
+
+class Capture:
+    """Record spans in a context that cannot see the live trace (a worker
+    thread or process) and hand the finished records back for grafting.
+
+    Unlike :func:`trace`, capture is **unconditional**: the parent decided
+    to trace when it dispatched the captured task, so the worker must not
+    re-consult a switch (worker processes may not share the parent's
+    environment or programmatic override).  Records are returned on
+    ``records`` -- never emitted to sinks -- and the capture root keeps
+    ``parent_id=None`` so :meth:`Span.graft` can rewire it.
+    """
+
+    __slots__ = ("name", "tags", "records", "_span", "_state", "_token")
+
+    def __init__(self, name: str, tags: Dict[str, object]):
+        self.name = name
+        self.tags = dict(tags)
+        self.records: List[SpanRecord] = []
+        self._span: Optional[Span] = None
+        self._state: Optional[_TraceState] = None
+        self._token = None
+
+    def __enter__(self) -> "Capture":
+        self._state = _TraceState("capture-" + _new_id())
+        self._token = _ACTIVE.set(self._state)
+        self._span = Span(self._state, self.name, self.tags)
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._span.__exit__(*exc_info)
+        _ACTIVE.reset(self._token)
+        self.records = self._state.records
+        return False
+
+    def tag(self, **tags) -> "Capture":
+        """Attach tags to the capture's root span; returns ``self``."""
+        self._span.tag(**tags)
+        return self
+
+
+def capture(name: str, **tags) -> Capture:
+    """Worker-side span capture (see :class:`Capture`): always records, and
+    returns the records instead of emitting them."""
+    return Capture(name, tags)
+
+
+# --------------------------------------------------------------------------- #
+# the tracer
+# --------------------------------------------------------------------------- #
+
+class Tracer:
+    """Receives every finished trace and forwards it to registered sinks.
+
+    Keeps a small ring of recent traces for programmatic inspection
+    (:meth:`last_trace`); sinks (anything with an ``export(records)``
+    method, e.g. :class:`repro.obs.JsonlSink`) receive each trace's record
+    list once, in completion order.  Thread-safe: the serving dispatcher and
+    direct callers may finish traces concurrently.
+    """
+
+    def __init__(self, keep: int = 16):
+        self._lock = threading.Lock()
+        self._sinks: List[object] = []
+        self._recent: "deque[List[SpanRecord]]" = deque(maxlen=keep)
+
+    def add_sink(self, sink) -> None:
+        """Register a sink; it receives every subsequently finished trace."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Deregister a sink; unknown sinks are ignored."""
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def _emit(self, records: List[SpanRecord]) -> None:
+        with self._lock:
+            self._recent.append(list(records))
+            sinks = list(self._sinks)
+        for sink in sinks:
+            sink.export(records)
+
+    def last_trace(self) -> List[SpanRecord]:
+        """The most recently finished trace's records (empty list if none)."""
+        with self._lock:
+            return list(self._recent[-1]) if self._recent else []
+
+    def recent_traces(self) -> List[List[SpanRecord]]:
+        """The retained ring of recent traces, oldest first."""
+        with self._lock:
+            return [list(records) for records in self._recent]
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer every root span emits to."""
+    return _TRACER
+
+
+def last_trace() -> List[SpanRecord]:
+    """Shorthand for ``get_tracer().last_trace()``."""
+    return _TRACER.last_trace()
+
+
+def add_sink(sink) -> None:
+    """Shorthand for ``get_tracer().add_sink(sink)``."""
+    _TRACER.add_sink(sink)
+
+
+def remove_sink(sink) -> None:
+    """Shorthand for ``get_tracer().remove_sink(sink)``."""
+    _TRACER.remove_sink(sink)

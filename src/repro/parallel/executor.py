@@ -36,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, TypeVar
 
 from ..engine.executors import _PooledExecutor
+from ..obs import tracing as obs
 from .store import DatasetHandle, SharedDatasetStore, attach_dataset
 
 __all__ = ["SharedMemoryProcessExecutor", "WorkerCrashError"]
@@ -124,7 +125,9 @@ class SharedMemoryProcessExecutor(_PooledExecutor):
         last_crash: Optional[BaseException] = None
         for attempt in range(2):
             try:
-                return super()._map_pooled(fn, items)
+                with obs.span("pool.map", kind=self.kind, tasks=len(items),
+                              workers=self.workers, attempt=attempt):
+                    return super()._map_pooled(fn, items)
             except BrokenProcessPool as crash:
                 # A worker died (kill -9, OOM, segfault): the pool is
                 # permanently broken.  Drop it and retry the batch once on a

@@ -6,13 +6,19 @@ it was served).  :class:`ServiceStats` folds a stream of responses into the
 aggregate view operators actually watch: request counts by kind and serving
 path, coalescing and cache-hit rates, mean flush size, and p50/p95 latency
 percentiles.
+
+The percentile machinery lives in :mod:`repro.obs.metrics` --
+:func:`repro.obs.metrics.percentile` (re-exported here for compatibility)
+and the bounded-reservoir :class:`repro.obs.Histogram` that backs the
+queue-wait and latency distributions.  ``ServiceStats`` is the service's
+view over those shared primitives; its ``snapshot()`` schema is unchanged.
 """
 
 from __future__ import annotations
 
-import math
-from collections import deque
-from typing import Deque, Dict, Sequence
+from typing import Dict
+
+from ..obs.metrics import Histogram, percentile
 
 __all__ = ["percentile", "ServiceStats"]
 
@@ -23,28 +29,14 @@ __all__ = ["percentile", "ServiceStats"]
 RESERVOIR_SIZE = 4096
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile ``q`` (in ``[0, 100]``) of ``values``.
-
-    Returns ``nan`` on an empty sequence; ``q=50`` is the median, ``q=95``
-    the tail most latency SLOs are written against.
-    """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("q must lie in [0, 100]")
-    if not values:
-        return float("nan")
-    ordered = sorted(values)
-    rank = max(1, int(math.ceil(q / 100.0 * len(ordered))))
-    return float(ordered[rank - 1])
-
-
 class ServiceStats:
     """Aggregates response metrics into the service's observable counters.
 
     Counts and means are exact over the whole service lifetime; the latency
-    and queue-wait percentiles are computed over a bounded reservoir of the
-    most recent :data:`RESERVOIR_SIZE` requests, so a long-running threaded
-    service holds O(1) metrics state.
+    and queue-wait percentiles come from bounded
+    :class:`repro.obs.Histogram` reservoirs over the most recent
+    :data:`RESERVOIR_SIZE` requests, so a long-running threaded service
+    holds O(1) metrics state.
     """
 
     def __init__(self):
@@ -57,8 +49,10 @@ class ServiceStats:
         self.monitor_passes = 0
         self.planned_shard_tasks = 0
         self._batch_size_sum = 0
-        self._queue_waits: Deque[float] = deque(maxlen=RESERVOIR_SIZE)
-        self._latencies: Deque[float] = deque(maxlen=RESERVOIR_SIZE)
+        self._queue_waits = Histogram("service.queue_wait",
+                                      reservoir=RESERVOIR_SIZE)
+        self._latencies = Histogram("service.latency",
+                                    reservoir=RESERVOIR_SIZE)
 
     def record(self, response) -> None:
         """Fold one :class:`~repro.service.requests.ServiceResponse` in."""
@@ -69,8 +63,8 @@ class ServiceStats:
             self.served_from.get(response.served_from, 0) + 1)
         self.stream_events += len(response.request.events)
         self._batch_size_sum += response.batch_size
-        self._queue_waits.append(response.queue_wait)
-        self._latencies.append(response.latency)
+        self._queue_waits.observe(response.queue_wait)
+        self._latencies.observe(response.latency)
 
     def record_flush(self, solver_calls: int = 0, monitor_passes: int = 0) -> None:
         """Count one batch flush and the backend work it actually submitted."""
@@ -108,8 +102,8 @@ class ServiceStats:
             "coalesced": self.coalesced,
             "cache_hits": self.cache_hits,
             "mean_batch_size": self.mean_batch_size(),
-            "queue_wait_p50": percentile(list(self._queue_waits), 50.0),
-            "queue_wait_p95": percentile(list(self._queue_waits), 95.0),
-            "latency_p50": percentile(list(self._latencies), 50.0),
-            "latency_p95": percentile(list(self._latencies), 95.0),
+            "queue_wait_p50": self._queue_waits.percentile(50.0),
+            "queue_wait_p95": self._queue_waits.percentile(95.0),
+            "latency_p50": self._latencies.percentile(50.0),
+            "latency_p95": self._latencies.percentile(95.0),
         }

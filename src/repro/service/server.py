@@ -51,6 +51,7 @@ from ..datasets.requests import RequestEvent, RequestTrace
 from ..engine.executors import Executor
 from ..engine.planner import Query, QueryEngine
 from ..kernels import resolve_batch_backend
+from ..obs import tracing as obs
 from ..streaming.base import StreamMonitor
 from .batcher import coalesce, form_groups
 from .cache import TTLCache
@@ -349,13 +350,20 @@ class MaxRSService:
             responses: List[Optional[ServiceResponse]] = [None] * len(window)
             solver_calls = 0
             monitor_passes = 0
-            for group in form_groups(window):
-                if group.kind == "update":
-                    self._apply_update_group(group, window, responses, batch_id)
-                    continue
-                calls, passes = self._serve_group(group, window, responses, batch_id)
-                solver_calls += calls
-                monitor_passes += passes
+            # The trace root of one serving flush: everything the flush does
+            # (update application, static solving, monitor passes, and the
+            # whole engine subtree under them) nests below this span.
+            with obs.trace("service.flush", batch_id=batch_id,
+                           requests=len(window)) as flush_span:
+                for group in form_groups(window):
+                    if group.kind == "update":
+                        self._apply_update_group(group, window, responses, batch_id)
+                        continue
+                    calls, passes = self._serve_group(group, window, responses, batch_id)
+                    solver_calls += calls
+                    monitor_passes += passes
+                flush_span.tag(solver_calls=solver_calls,
+                               monitor_passes=monitor_passes)
             done = self._clock()
             for entry, response in zip(entries, responses):
                 response.queue_wait = max(0.0, flush_started - entry.submitted)
@@ -379,7 +387,9 @@ class MaxRSService:
             start_index = self._stream_position
             self._stream_position += len(events)
             try:
-                self._monitor.apply_batch(events, start_index=start_index)
+                with obs.span("service.update", events=len(events),
+                              requests=len(group.requests)):
+                    self._monitor.apply_batch(events, start_index=start_index)
             except Exception as exc:  # surfaced per response, never raised
                 error = exc
         for position in group.positions:
@@ -393,8 +403,16 @@ class MaxRSService:
         monitor_names = [key[1] for key in order if key[0] == "m"]
         answers: Dict[Hashable, Tuple[Optional[MaxRSResult], Optional[Query],
                                       str, Optional[Exception]]] = {}
-        solver_calls = self._answer_static(static_keys, answers)
-        monitor_passes = self._answer_monitor(monitor_names, answers)
+        solver_calls = 0
+        monitor_passes = 0
+        if static_keys:
+            with obs.span("service.static", queries=len(static_keys)) as static_span:
+                solver_calls = self._answer_static(static_keys, answers)
+                static_span.tag(solver_calls=solver_calls)
+        if monitor_names:
+            with obs.span("service.monitor", reads=len(monitor_names)) as monitor_span:
+                monitor_passes = self._answer_monitor(monitor_names, answers)
+                monitor_span.tag(passes=monitor_passes)
         for key in order:
             result, served_query, source, error = answers[key]
             for rank, position in enumerate(waiters[key]):

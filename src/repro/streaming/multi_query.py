@@ -44,6 +44,7 @@ from ..datasets.streams import UpdateEvent
 from ..engine.executors import Executor, get_executor
 from ..engine.merge import merge_shard_results
 from ..engine.planner import Query, resolve_task_backend, solve_query
+from ..obs import tracing as obs
 from ._shards import LiveShardStore
 from .base import StreamMonitor
 
@@ -284,10 +285,12 @@ class MultiQueryMonitor(StreamMonitor):
                     task_query = replace(
                         query, backend=resolve_task_backend("auto", len(coords)))
                 tasks.append((name, key, task_query, coords, weights, color_list))
-        if self._executor is not None and len(tasks) > 1:
-            solved = self._executor.map(_solve_named_shard, tasks)
-        else:
-            solved = [_solve_named_shard(task) for task in tasks]
+        with obs.trace("monitor.refresh", dirty=len(dirty),
+                       queries=len(self.queries), cells=len(tasks)):
+            if self._executor is not None and len(tasks) > 1:
+                solved = self._executor.map(_solve_named_shard, tasks)
+            else:
+                solved = [_solve_named_shard(task) for task in tasks]
         for name, key, result in solved:
             self._results[name][key] = result
         self.total_shard_solves += len(tasks)

@@ -47,6 +47,7 @@ from ..engine.executors import Executor, get_executor
 from ..engine.merge import merge_shard_results
 from ..engine.planner import resolve_task_backend
 from ..exact.disk2d import maxrs_disk_exact
+from ..obs import tracing as obs
 from ._shards import LiveShardStore
 from .base import StreamMonitor
 
@@ -60,6 +61,18 @@ def _solve_disk_shard(task):
     """Executor task: exact disk sweep on one shard (picklable payload)."""
     key, coords, weights, radius, backend = task
     return key, maxrs_disk_exact(coords, radius=radius, weights=weights, backend=backend)
+
+
+def _solve_disk_shard_traced(task):
+    """Traced executor task: like :func:`_solve_disk_shard` but run under a
+    worker-side span capture, returning ``(key, result, records)`` so the
+    monitor can graft the shard's ``shard.solve`` span into its trace."""
+    key, coords, weights, radius, backend = task
+    with obs.capture("shard.solve", shard=str(key), backend=backend,
+                     points=len(coords)) as captured:
+        result = maxrs_disk_exact(coords, radius=radius, weights=weights,
+                                  backend=backend)
+    return key, result, captured.records
 
 
 class ShardedMaxRSMonitor(StreamMonitor):
@@ -350,35 +363,51 @@ class ShardedMaxRSMonitor(StreamMonitor):
                 self._clock = float(event.timestamp)
             self._steps += 1
 
-        self._apply_events_batched(events, start_index, insert_run, delete_one)
-        self._enforce_windows()
+        with obs.span("monitor.apply_batch", events=len(events)):
+            self._apply_events_batched(events, start_index, insert_run, delete_one)
+            self._enforce_windows()
 
     # ------------------------------------------------------------------ #
     # querying
     # ------------------------------------------------------------------ #
 
     def current(self) -> MaxRSResult:
-        """The current exact hotspot, re-solving only dirty shards."""
+        """The current exact hotspot, re-solving only dirty shards.
+
+        Under tracing each read emits a ``monitor.query`` span with one
+        worker-captured ``shard.solve`` child per dirty shard and a
+        ``monitor.merge`` span over the cached-result fold.
+        """
         dirty = self._store.clean()
         recomputed = len(dirty)
-        if recomputed:
-            tasks = []
-            for key in dirty:
-                coords, weights, _ = self._store.entries(key)
-                backend = resolve_task_backend(self.backend, len(coords))
-                tasks.append((key, coords, weights, self.radius, backend))
-            if self._executor is not None and len(tasks) > 1:
-                solved = self._executor.map(_solve_disk_shard, tasks)
-            else:
-                solved = [_solve_disk_shard(task) for task in tasks]
-            for key, result in solved:
-                self._results[key] = result
-            self.total_recomputes += recomputed
+        with obs.trace("monitor.query", dirty=recomputed,
+                       live=len(self._store)) as query_span:
+            if recomputed:
+                traced = obs.tracing_active()
+                tasks = []
+                for key in dirty:
+                    coords, weights, _ = self._store.entries(key)
+                    backend = resolve_task_backend(self.backend, len(coords))
+                    tasks.append((key, coords, weights, self.radius, backend))
+                task_fn = _solve_disk_shard_traced if traced else _solve_disk_shard
+                if self._executor is not None and len(tasks) > 1:
+                    solved = self._executor.map(task_fn, tasks)
+                else:
+                    solved = [task_fn(task) for task in tasks]
+                if traced:
+                    for key, result, records in solved:
+                        query_span.graft(records)
+                        self._results[key] = result
+                else:
+                    for key, result in solved:
+                        self._results[key] = result
+                self.total_recomputes += recomputed
 
-        empty = MaxRSResult(value=0.0, center=None, shape="ball", exact=True,
-                            meta={"radius": self.radius, "n": 0})
-        ordered = [self._results[key] for key in sorted(self._results)]
-        merged = merge_shard_results(ordered, empty=empty)
+            empty = MaxRSResult(value=0.0, center=None, shape="ball", exact=True,
+                                meta={"radius": self.radius, "n": 0})
+            ordered = [self._results[key] for key in sorted(self._results)]
+            with obs.span("monitor.merge", shards=len(ordered)):
+                merged = merge_shard_results(ordered, empty=empty)
         meta = dict(merged.meta)
         meta.update({"n": len(self._store), "live": len(self._store),
                      "recomputed": recomputed, "backend": self.backend})

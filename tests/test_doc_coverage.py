@@ -26,6 +26,7 @@ SURFACES = [
     "repro.kernels",
     "repro.service",
     "repro.datasets",
+    "repro.obs",
 ]
 
 

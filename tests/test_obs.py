@@ -1,0 +1,423 @@
+"""Unit tests for the observability substrate (repro.obs).
+
+Covers the three moving parts in isolation -- tracing (span trees, the
+no-op fast path, worker-side capture + graft), metrics (percentile edge
+behaviour, counters/gauges/histograms, registry get-or-create and merge)
+and exporters (JSONL round-trip, tree/summary renderers, Prometheus text
+exposition) -- plus the back-compat contract of the ``ServiceStats``
+refactor onto these primitives.
+"""
+
+import json
+import math
+import os
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.tracing import NOOP_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracing():
+    """Every test starts and ends with tracing at its environment default
+    and no lingering sinks."""
+    obs.set_enabled(None)
+    yield
+    obs.set_enabled(None)
+
+
+@pytest.fixture()
+def collect():
+    """An attached ListSink that detaches on teardown."""
+    sink = obs.ListSink()
+    obs.add_sink(sink)
+    yield sink
+    obs.remove_sink(sink)
+
+
+# --------------------------------------------------------------------------- #
+# percentile edge behaviour (satellite: documented + tested edges)
+# --------------------------------------------------------------------------- #
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [10, 20, 30, 40]
+        assert obs.percentile(values, 50) == 20
+        assert obs.percentile(values, 95) == 40
+        assert obs.percentile(values, 25) == 10
+
+    def test_empty_input_is_nan(self):
+        assert math.isnan(obs.percentile([], 50))
+        assert math.isnan(obs.percentile([], 0))
+        assert math.isnan(obs.percentile([], 100))
+
+    def test_single_element_for_every_q(self):
+        for q in (0, 1, 50, 99, 100):
+            assert obs.percentile([7.5], q) == 7.5
+
+    def test_q_zero_is_min_q_hundred_is_max(self):
+        values = [3.0, 1.0, 2.0]
+        assert obs.percentile(values, 0) == 1.0
+        assert obs.percentile(values, 100) == 3.0
+
+    @pytest.mark.parametrize("q", [-0.001, -1, 100.001, 101, 1000])
+    def test_q_outside_range_raises(self, q):
+        with pytest.raises(ValueError):
+            obs.percentile([1.0, 2.0], q)
+        # the edge case must raise even when there is nothing to rank
+        with pytest.raises(ValueError):
+            obs.percentile([], q)
+
+    def test_service_reexport_is_the_same_function(self):
+        from repro.service.metrics import percentile as service_percentile
+        assert service_percentile is obs.percentile
+
+
+# --------------------------------------------------------------------------- #
+# metric instruments
+# --------------------------------------------------------------------------- #
+
+class TestInstruments:
+    def test_counter(self):
+        counter = obs.Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = obs.Gauge("g")
+        gauge.set(3.5)
+        gauge.inc(-1.5)
+        assert gauge.value == 2.0
+
+    def test_histogram_exact_aggregates_and_bounded_reservoir(self):
+        hist = obs.Histogram("h", reservoir=8)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.count == 100
+        assert hist.sum == sum(range(100))
+        assert len(hist) == 8  # reservoir keeps only the newest 8
+        # percentiles come from the newest samples (92..99)
+        assert hist.percentile(0) == 92.0
+        assert hist.percentile(100) == 99.0
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 0.0 and snap["max"] == 99.0
+        assert snap["mean"] == pytest.approx(49.5)
+
+    def test_empty_histogram_snapshot_is_nan_not_zero(self):
+        snap = obs.Histogram("h").snapshot()
+        assert snap["count"] == 0
+        for key in ("mean", "min", "max", "p50", "p95", "p99"):
+            assert math.isnan(snap[key])
+
+    def test_histogram_is_thread_safe(self):
+        hist = obs.Histogram("h")
+        def worker():
+            for _ in range(1000):
+                hist.observe(1.0)
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 4000
+        assert hist.sum == 4000.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = obs.MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.names() == ["a", "h"]
+        assert registry.get("a") is registry.counter("a")
+        assert registry.get("nope") is None
+
+    def test_type_conflict_raises(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_snapshot_shapes(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 3}
+        assert snap["g"] == {"type": "gauge", "value": 1.5}
+        assert snap["h"]["type"] == "histogram"
+        assert snap["h"]["count"] == 1 and snap["h"]["sum"] == 2.0
+        json.dumps(snap)  # JSON-serialisable end to end
+
+    def test_merge_snapshot_accumulates_worker_counts(self):
+        parent, worker = obs.MetricsRegistry(), obs.MetricsRegistry()
+        parent.counter("tasks").inc(2)
+        worker.counter("tasks").inc(5)
+        worker.gauge("depth").set(7)
+        worker.histogram("lat").observe(1.0)
+        worker.histogram("lat").observe(3.0)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("tasks").value == 7
+        assert parent.gauge("depth").value == 7.0
+        assert parent.histogram("lat").count == 2
+        assert parent.histogram("lat").sum == 4.0
+
+    def test_global_registry_is_stable(self):
+        assert obs.get_registry() is obs.get_registry()
+
+
+# --------------------------------------------------------------------------- #
+# spans and traces
+# --------------------------------------------------------------------------- #
+
+class TestTracing:
+    def test_disabled_everything_is_noop(self, collect):
+        obs.set_enabled(False)
+        with obs.trace("root") as root:
+            with obs.span("child") as child:
+                pass
+        assert root is NOOP_SPAN and child is NOOP_SPAN
+        assert collect.traces == []
+        # the no-op span absorbs the whole Span surface
+        assert root.tag(a=1) is root
+        assert root.child("x", 0.1) is root
+        assert root.graft([]) is root
+        assert not obs.tracing_active()
+
+    def test_span_without_trace_is_noop_even_when_enabled(self, collect):
+        obs.set_enabled(True)
+        assert obs.span("orphan") is NOOP_SPAN
+
+    def test_trace_roots_and_emits(self, collect):
+        obs.set_enabled(True)
+        with obs.trace("root", a=1) as root:
+            assert obs.tracing_active()
+            assert obs.current_span() is root
+            with obs.span("child", b=2) as child:
+                assert obs.current_span() is child
+            root.tag(late=True)
+        assert not obs.tracing_active()
+        assert len(collect.traces) == 1
+        records = collect.traces[0]
+        by_name = {record.name: record for record in records}
+        assert set(by_name) == {"root", "child"}
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["root"].parent_id is None
+        assert by_name["root"].tags == {"a": 1, "late": True}
+        assert by_name["child"].trace_id == by_name["root"].trace_id
+        assert by_name["root"].pid == os.getpid()
+        assert by_name["root"].duration >= by_name["child"].duration >= 0.0
+
+    def test_nested_trace_degrades_to_child_span(self, collect):
+        obs.set_enabled(True)
+        with obs.trace("outer"):
+            with obs.trace("inner"):
+                pass
+        assert len(collect.traces) == 1  # one emission, not two
+        names = {record.name for record in collect.traces[0]}
+        assert names == {"outer", "inner"}
+
+    def test_env_variable_enables(self, collect, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert obs.enabled()
+        with obs.trace("root"):
+            pass
+        assert len(collect.traces) == 1
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not obs.enabled()
+        # the programmatic switch overrides the environment
+        obs.set_enabled(True)
+        assert obs.enabled()
+
+    def test_exception_still_records_span(self, collect):
+        obs.set_enabled(True)
+        with pytest.raises(RuntimeError):
+            with obs.trace("root"):
+                with obs.span("boom"):
+                    raise RuntimeError("x")
+        names = [record.name for record in collect.traces[0]]
+        assert names == ["boom", "root"]
+
+    def test_derived_child_record(self, collect):
+        obs.set_enabled(True)
+        with obs.trace("root") as root:
+            # derived attribution happens while the trace is still open
+            # (the engine does this right after its execute span closes)
+            root.child("overhead", 0.25, kind="queue")
+        records = collect.traces[0]
+        assert [r.name for r in records] == ["overhead", "root"]
+        derived, root_record = records
+        assert derived.parent_id == root_record.span_id
+        assert derived.duration == 0.25
+        assert derived.tags["derived"] is True and derived.tags["kind"] == "queue"
+
+    def test_capture_and_graft(self, collect):
+        # Capture works with tracing globally *disabled* -- the parent
+        # decided, the worker must not re-check.
+        obs.set_enabled(False)
+        with obs.capture("shard.solve", shard=3) as captured:
+            with obs.span("kernel.solve"):
+                pass
+        assert len(captured.records) == 2
+        roots = [r for r in captured.records if r.parent_id is None]
+        assert len(roots) == 1 and roots[0].name == "shard.solve"
+        assert roots[0].tags == {"shard": 3}
+
+        obs.set_enabled(True)
+        with obs.trace("engine.execute") as exec_span:
+            exec_span.graft(captured.records)
+        records = collect.traces[0]
+        grafted = {r.name: r for r in records if r.name != "engine.execute"}
+        root_record = next(r for r in records if r.name == "engine.execute")
+        assert grafted["shard.solve"].parent_id == root_record.span_id
+        assert grafted["kernel.solve"].parent_id == grafted["shard.solve"].span_id
+        assert all(r.trace_id == root_record.trace_id for r in records)
+
+    def test_capture_tag(self):
+        with obs.capture("t") as captured:
+            captured.tag(extra=1)
+        assert captured.records[-1].tags == {"extra": 1}
+
+    def test_capture_records_are_picklable(self):
+        import pickle
+        with obs.capture("t", x=1) as captured:
+            pass
+        clone = pickle.loads(pickle.dumps(captured.records))
+        assert clone[0].name == "t" and clone[0].tags == {"x": 1}
+
+    def test_span_ids_unique(self, collect):
+        obs.set_enabled(True)
+        with obs.trace("root"):
+            for _ in range(50):
+                with obs.span("s"):
+                    pass
+        ids = [record.span_id for record in collect.traces[0]]
+        assert len(ids) == len(set(ids))
+
+    def test_recent_traces_ring(self, collect):
+        obs.set_enabled(True)
+        for index in range(3):
+            with obs.trace("t%d" % index):
+                pass
+        recent = obs.get_tracer().recent_traces()
+        assert [t[0].name for t in recent[-3:]] == ["t0", "t1", "t2"]
+        assert obs.last_trace()[0].name == "t2"
+
+
+# --------------------------------------------------------------------------- #
+# exporters
+# --------------------------------------------------------------------------- #
+
+def _sample_records():
+    obs.set_enabled(True)
+    sink = obs.ListSink()
+    obs.add_sink(sink)
+    try:
+        with obs.trace("root", n=10):
+            with obs.span("child", shard=0):
+                pass
+            with obs.span("child", shard=1):
+                pass
+    finally:
+        obs.remove_sink(sink)
+        obs.set_enabled(None)
+    return sink.spans()
+
+
+class TestExporters:
+    def test_jsonl_roundtrip(self, tmp_path):
+        records = _sample_records()
+        path = tmp_path / "trace.jsonl"
+        with obs.JsonlSink(str(path)) as sink:
+            sink.export(records)
+            assert sink.spans_written == len(records)
+        loaded = obs.load_trace_jsonl(str(path))
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+
+    def test_jsonl_sink_appends(self, tmp_path):
+        records = _sample_records()
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with obs.JsonlSink(str(path)) as sink:
+                sink.export(records)
+        assert len(obs.load_trace_jsonl(str(path))) == 2 * len(records)
+
+    def test_jsonl_close_is_idempotent(self, tmp_path):
+        sink = obs.JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+        sink.export(_sample_records())  # after close: dropped, no crash
+        assert sink.spans_written == 0
+
+    def test_render_tree(self):
+        records = _sample_records()
+        tree = obs.render_tree(records)
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert all(line.startswith("  child") for line in lines[1:])
+        assert "{shard=0}" in tree and "{n=10}" in tree
+        assert obs.render_tree([]) == "(no spans)"
+
+    def test_summarize_spans(self):
+        summary = obs.summarize_spans(_sample_records())
+        assert summary["child"]["count"] == 2
+        assert summary["root"]["count"] == 1
+        assert summary["root"]["total_s"] >= summary["child"]["total_s"]
+        text = obs.render_summary(_sample_records())
+        assert "child" in text and "root" in text
+        top = obs.render_summary(_sample_records(), top=1)
+        assert "child" not in top  # root dominates; only 1 row kept
+
+    def test_render_prometheus(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("queue-depth").set(2)
+        registry.histogram("latency").observe(0.5)
+        text = obs.render_prometheus(registry)
+        assert "# TYPE repro_requests counter" in text
+        assert "repro_requests 3" in text
+        assert "repro_queue_depth 2.0" in text  # sanitized name
+        assert 'repro_latency{quantile="0.5"} 0.5' in text
+        assert "repro_latency_count 1" in text
+        assert text.endswith("\n")
+
+    def test_registry_from_spans(self):
+        records = _sample_records()
+        registry = obs.registry_from_spans(records)
+        assert registry.counter("span_child_total").value == 2
+        assert registry.histogram("span_child_seconds").count == 2
+
+
+# --------------------------------------------------------------------------- #
+# ServiceStats on obs primitives: the back-compat contract
+# --------------------------------------------------------------------------- #
+
+class TestServiceStatsCompat:
+    def test_reservoirs_are_obs_histograms(self):
+        from repro.service.metrics import RESERVOIR_SIZE, ServiceStats
+        stats = ServiceStats()
+        assert isinstance(stats._latencies, obs.Histogram)
+        assert isinstance(stats._queue_waits, obs.Histogram)
+        assert stats._latencies._samples.maxlen == RESERVOIR_SIZE
+
+    def test_snapshot_schema_unchanged(self):
+        from repro.service.metrics import ServiceStats
+        snapshot = ServiceStats().snapshot()
+        assert set(snapshot) == {
+            "requests", "by_kind", "served_from", "stream_events", "flushes",
+            "solver_calls", "monitor_passes", "planned_shard_tasks",
+            "coalesced", "cache_hits", "mean_batch_size",
+            "queue_wait_p50", "queue_wait_p95", "latency_p50", "latency_p95",
+        }
+        assert snapshot["requests"] == 0
+        assert math.isnan(snapshot["latency_p50"])
+        json.dumps(snapshot)
