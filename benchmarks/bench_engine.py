@@ -1,133 +1,44 @@
-"""Engine benchmarks: serial solver calls vs the sharded execution engine.
+"""Engine benchmarks -- thin wrapper over ``repro bench grid``.
 
-Two workloads of >= 10k points compare the direct (serial, one-shot) solver
-path against :class:`repro.engine.QueryEngine`:
+The workload declarations (direct one-shot solver calls vs the sharded
+:class:`repro.engine.QueryEngine` on the linearithmic rectangle and
+quadratic disk workloads, value-equality checks, and the full-size
+acceptance gate that the sharded disk path beats the direct sweep
+outright) live in :class:`repro.bench.suites.EngineSuite`; this script
+runs that one suite and writes the unified ``repro-bench-grid/1``
+artifact to ``BENCH_engine.json``::
 
-* **rectangle**: the direct sweep is already ``O(n log n)``, so the sharded
-  path competes on partitioning overhead vs smaller per-shard sweeps and
-  should sit at parity on one core;
-* **disk**: the direct sweep is ``O(n^2 log n)`` -- more than a minute at
-  12k points -- while the sharded engine solves the same instance exactly in
-  seconds, because per-shard cost is quadratic only in the (small) shard
-  population.  This is the headline: on quadratic solvers sharding reduces
-  total *work*, so the engine wins serially, before any executor
-  parallelism (which this container, often 1-core, cannot show) kicks in.
-  ``test_sharded_faster_than_serial_disk`` times both paths on the same
-  12k-point workload and asserts the sharded one is faster outright.
+    PYTHONPATH=src python benchmarks/bench_engine.py            # 12k points
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI-sized
 
-Each benchmarked engine call clears the LRU first so the solvers (not the
-cache) are measured; ``test_cached_query_is_instant`` measures the cache-hit
-path by itself.
+Equivalent to ``repro bench grid --suite engine``; see
+``docs/benchmarks.md`` for the schema and the regression workflow.
+Exits non-zero if any engine answer differs from the direct sweep.
 """
 
-import time
+from __future__ import annotations
 
-import pytest
+import argparse
+import os
+import sys
 
-from repro.approx import maxrs_disk_grid_decomposition
-from repro.datasets import clustered_points, uniform_weighted_points
-from repro.engine import Query, QueryEngine
-from repro.exact import maxrs_disk_exact, maxrs_rectangle_exact
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-N_LARGE = 12_000
-RECT_QUERY = Query.rectangle(2.0, 2.0)
-DISK_QUERY = Query.disk(1.0)
+from repro.bench.grid import run_grid  # noqa: E402
 
 
-@pytest.fixture(scope="module")
-def rect_cloud_12k():
-    """12k weighted uniform points in [0, 60]^2 (rectangle workload)."""
-    return uniform_weighted_points(N_LARGE, dim=2, extent=60.0, seed=211)
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workload (4k points)")
+    parser.add_argument("--output", default="BENCH_engine.json",
+                        help="destination JSON path")
+    parser.add_argument("--history", default=None,
+                        help="append this run to a PERF_HISTORY.jsonl trajectory")
+    args = parser.parse_args(argv)
+    return run_grid(names=["engine"], quick=args.quick, output=args.output,
+                    history=args.history)
 
 
-@pytest.fixture(scope="module")
-def disk_cloud_12k():
-    """12k points in [0, 80]^2 with six broad hotspots (disk workload)."""
-    return clustered_points(N_LARGE, dim=2, extent=80.0, clusters=6,
-                            cluster_std=2.0, seed=212)
-
-
-def _engine_call(engine, query):
-    def run():
-        engine.clear_cache()
-        return engine.solve(query)
-    return run
-
-
-# --------------------------------------------------------------------------- #
-# rectangle, 12k points: direct O(n log n) sweep vs the engine
-# --------------------------------------------------------------------------- #
-
-@pytest.mark.benchmark(group="engine-rectangle-12k")
-def test_rectangle_direct_serial(benchmark, rect_cloud_12k):
-    points, weights = rect_cloud_12k
-    result = benchmark.pedantic(
-        lambda: maxrs_rectangle_exact(points, width=2.0, height=2.0, weights=weights),
-        rounds=3, iterations=1)
-    assert result.value > 0
-
-
-@pytest.mark.benchmark(group="engine-rectangle-12k")
-@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
-def test_rectangle_sharded(benchmark, rect_cloud_12k, backend):
-    points, weights = rect_cloud_12k
-    reference = maxrs_rectangle_exact(points, width=2.0, height=2.0, weights=weights)
-    with QueryEngine(points, weights=weights, executor=backend, workers=4) as engine:
-        result = benchmark.pedantic(_engine_call(engine, RECT_QUERY), rounds=3, iterations=1)
-    assert abs(result.value - reference.value) < 1e-9
-
-
-# --------------------------------------------------------------------------- #
-# disk, 12k points: the engine vs the serial exact alternatives
-# --------------------------------------------------------------------------- #
-
-@pytest.mark.benchmark(group="engine-disk-12k")
-@pytest.mark.parametrize("backend", ["serial", "process"])
-def test_disk_sharded(benchmark, disk_cloud_12k, backend):
-    with QueryEngine(disk_cloud_12k, executor=backend, workers=4) as engine:
-        result = benchmark.pedantic(_engine_call(engine, DISK_QUERY), rounds=2, iterations=1)
-    assert result.value > 0 and result.exact
-
-
-@pytest.mark.benchmark(group="engine-disk-12k")
-def test_disk_grid_decomposition_serial(benchmark, disk_cloud_12k):
-    """The seed's shifted-grid trick, the strongest pre-engine serial baseline
-    (it still re-solves every cell under 4 grid shifts; the engine's halo
-    replication is cheaper)."""
-    result = benchmark.pedantic(
-        lambda: maxrs_disk_grid_decomposition(disk_cloud_12k, radius=1.0),
-        rounds=1, iterations=1)
-    assert result.value > 0
-
-
-@pytest.mark.benchmark(group="engine-cache")
-def test_cached_query_is_instant(benchmark, disk_cloud_12k):
-    with QueryEngine(disk_cloud_12k, executor="serial") as engine:
-        engine.solve(DISK_QUERY)  # warm the cache
-        result = benchmark(lambda: engine.solve(DISK_QUERY))
-        assert engine.stats["cache_hits"] > 0
-    assert result.value > 0
-
-
-# --------------------------------------------------------------------------- #
-# the acceptance check: sharded not slower than serial at >= 10k points
-# --------------------------------------------------------------------------- #
-
-def test_sharded_faster_than_serial_disk(disk_cloud_12k):
-    """Time the direct ``O(n^2 log n)`` sweep and the sharded engine on the
-    *same* 12k-point workload: identical values, sharded strictly faster."""
-    t0 = time.perf_counter()
-    direct = maxrs_disk_exact(disk_cloud_12k, radius=1.0)
-    direct_time = time.perf_counter() - t0
-
-    with QueryEngine(disk_cloud_12k, executor="serial") as engine:
-        t0 = time.perf_counter()
-        sharded = engine.solve(DISK_QUERY)
-        sharded_time = time.perf_counter() - t0
-
-    assert sharded.exact
-    assert sharded.value == direct.value
-    assert sharded_time < direct_time, (
-        "sharded engine (%.2fs) should beat the direct serial sweep (%.2fs) "
-        "on %d points" % (sharded_time, direct_time, N_LARGE)
-    )
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,171 +1,45 @@
-"""Kernel backend benchmarks: pure-Python reference vs vectorised NumPy.
+"""Kernel backend benchmarks -- thin wrapper over ``repro bench grid``.
 
-Times every kernel of the :mod:`repro.kernels` contract on the workload
-sizes named by the engineering targets (rectangle/interval sweeps at 100k
-points, the quadratic disk sweep at 10k points, a Technique-1-shaped probe
-batch) and writes a machine-readable ``BENCH_kernels.json`` so future PRs
-can track the performance trajectory::
+The workload declarations (every kernel of the :mod:`repro.kernels`
+contract at the engineering-target sizes, pure-Python reference vs
+vectorised NumPy, cross-backend agreement checks) live in
+:class:`repro.bench.suites.KernelsSuite`; this script runs that one suite
+and writes the unified ``repro-bench-grid/1`` artifact to
+``BENCH_kernels.json``::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py            # full sizes
     PYTHONPATH=src python benchmarks/bench_kernels.py --quick    # CI-sized
 
-Schema (``bench_kernels/v1``)::
-
-    {
-      "schema": "bench_kernels/v1",
-      "config": {"quick": false, "repeats": 1},
-      "results": [
-        {"kernel": "rectangle_sweep", "n": 100000, "backend": "numpy",
-         "seconds": 0.61, "value": 24.80, "speedup_vs_python": 10.7},
-        ...
-      ]
-    }
-
-The script exits non-zero if the backends disagree on any objective value
-(beyond float reassociation noise), so it doubles as a coarse differential
-check at sizes the unit suite cannot afford.
-
-This file is a standalone script, not a pytest-benchmark module: the JSON
-artifact is the point, and the 100k-point workloads are too heavy for the
-default benchmark suite.
+Equivalent to ``repro bench grid --suite kernels``; see
+``docs/benchmarks.md`` for the schema and the regression workflow.
+Exits non-zero if the backends disagree on any objective value.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import math
+import os
 import sys
-import time
-from typing import Callable, Dict, List
 
-from repro import kernels
-from repro.datasets import clustered_points, uniform_weighted_points
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-BACKENDS = ("python", "numpy")
-
-
-def _timed(function: Callable, repeats: int):
-    """Best-of-``repeats`` wall-clock time and the (last) return value."""
-    best = math.inf
-    value = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = function()
-        best = min(best, time.perf_counter() - start)
-    return best, value
-
-
-def _workloads(quick: bool) -> List[Dict]:
-    n_sweep = 10_000 if quick else 100_000
-    n_disk = 2_000 if quick else 10_000
-    n_probe_centers = 1_000 if quick else 5_000
-
-    sweep_points, sweep_weights = uniform_weighted_points(
-        n_sweep, dim=2, extent=math.sqrt(n_sweep) * 0.95, seed=1)
-    xs = [p[0] for p in sweep_points]
-
-    disk_points = clustered_points(
-        n_disk, dim=2, extent=math.sqrt(n_disk) * 0.8, clusters=6,
-        cluster_std=2.0, seed=2)
-    disk_weights = [1.0] * n_disk
-
-    probe_centers, probe_weights = uniform_weighted_points(
-        n_probe_centers, dim=2, extent=8.0, seed=3)
-    probes = [(x + 0.1, y - 0.1) for x, y in probe_centers[:512]]
-
-    def objective_of_pair(result):
-        return float(result[0])
-
-    return [
-        {
-            "kernel": "interval_sweep",
-            "n": n_sweep,
-            "run": lambda module: module.interval_sweep(xs, sweep_weights, 2.0, True),
-            "objective": objective_of_pair,
-        },
-        {
-            "kernel": "rectangle_sweep",
-            "n": n_sweep,
-            "run": lambda module: module.rectangle_sweep(
-                sweep_points, sweep_weights, 2.0, 2.0),
-            "objective": objective_of_pair,
-        },
-        {
-            "kernel": "disk_sweep",
-            "n": n_disk,
-            "run": lambda module: module.disk_sweep(disk_points, disk_weights, 1.0),
-            "objective": objective_of_pair,
-        },
-        {
-            "kernel": "probe_depths",
-            "n": n_probe_centers,
-            "run": lambda module: module.probe_depths(
-                probes, probe_centers, probe_weights, 1.0),
-            "objective": lambda depths: float(max(depths)),
-        },
-    ]
-
-
-def run(quick: bool = False, repeats: int = 1, output: str = "BENCH_kernels.json") -> int:
-    results: List[Dict] = []
-    disagreements: List[str] = []
-
-    for workload in _workloads(quick):
-        kernel = workload["kernel"]
-        python_seconds = None
-        python_value = None
-        for backend in BACKENDS:
-            module = kernels.get_backend(backend)
-            seconds, returned = _timed(lambda: workload["run"](module), repeats)
-            value = workload["objective"](returned)
-            entry = {
-                "kernel": kernel,
-                "n": workload["n"],
-                "backend": backend,
-                "seconds": round(seconds, 6),
-                "value": value,
-            }
-            if backend == "python":
-                python_seconds = seconds
-                python_value = value
-            else:
-                entry["speedup_vs_python"] = round(python_seconds / seconds, 3)
-                if not math.isclose(value, python_value, rel_tol=1e-9, abs_tol=1e-9):
-                    disagreements.append(
-                        "%s: python=%r numpy=%r" % (kernel, python_value, value))
-            results.append(entry)
-            print("%-18s n=%-7d %-7s %8.3fs  value=%.6f%s" % (
-                kernel, workload["n"], backend, seconds, value,
-                "" if backend == "python"
-                else "  (%.1fx vs python)" % (python_seconds / seconds)))
-
-    payload = {
-        "schema": "bench_kernels/v1",
-        "config": {"quick": quick, "repeats": repeats},
-        "results": results,
-    }
-    with open(output, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print("wrote %s" % output)
-
-    if disagreements:
-        print("BACKEND DISAGREEMENT:\n  " + "\n  ".join(disagreements), file=sys.stderr)
-        return 1
-    return 0
+from repro.bench.grid import run_grid  # noqa: E402
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized workloads (10k sweep / 2k disk)")
-    parser.add_argument("--repeats", type=int, default=1,
+    parser.add_argument("--repeats", type=int, default=None,
                         help="repetitions per measurement (best-of)")
     parser.add_argument("--output", default="BENCH_kernels.json",
                         help="destination JSON path")
+    parser.add_argument("--history", default=None,
+                        help="append this run to a PERF_HISTORY.jsonl trajectory")
     args = parser.parse_args(argv)
-    return run(quick=args.quick, repeats=args.repeats, output=args.output)
+    overrides = {"repeats": args.repeats} if args.repeats is not None else None
+    return run_grid(names=["kernels"], quick=args.quick, output=args.output,
+                    history=args.history, overrides=overrides)
 
 
 if __name__ == "__main__":

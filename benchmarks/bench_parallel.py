@@ -1,111 +1,31 @@
-"""Benchmark: zero-copy shared-memory execution vs the pickle-based process pool.
+"""Shared-memory executor benchmark -- thin wrapper over ``repro bench grid``.
 
-Replays the same exact-rectangle query batch through three engines over one
-large weighted dataset:
-
-* ``serial``         -- the reference: inline shard tasks, no serialization;
-* ``process``        -- the pickle-based ``ProcessPoolExecutor`` backend
-                        (full shard point payloads pickled per task);
-* ``shared-process`` -- :mod:`repro.parallel`: the dataset published once as
-                        shared memory, tasks carrying only index descriptors,
-                        exact weighted shards resolved as raw array slices.
-
-Each engine solves the batch for ``--rounds`` rounds with the result cache
-disabled: round 1 is the cold publish/pickle round, later rounds model the
-serving/streaming steady state (repeated re-solves over a fixed sharding --
-the dirty-shard monitors' and invalidation-heavy serving loops' pattern)
-where the process backend re-pickles every payload and the shared store
-sends nothing.
-
-Differential gate: every compared answer must be **bit-for-bit** identical
-to the serial engine's (value and placement), and ``shared-process`` must
-beat ``process`` on total wall-clock.  Exit status 1 on any violation, so CI
-can gate on it.  Results land in ``BENCH_parallel.json``.
-
-Usage::
+The workload declarations (the same exact-rectangle query batch replayed
+through the serial, pickle-based process-pool and zero-copy shared-memory
+engines with the result cache disabled, bit-for-bit gates against serial,
+the shared-process-beats-process gate, and the per-phase span probe) live
+in :class:`repro.bench.suites.ParallelSuite`; this script runs that one
+suite and writes the unified ``repro-bench-grid/1`` artifact to
+``BENCH_parallel.json``::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py           # full (200k points)
     PYTHONPATH=src python benchmarks/bench_parallel.py --quick   # CI-sized
+
+Equivalent to ``repro bench grid --suite parallel``; see
+``docs/benchmarks.md`` for the schema and the regression workflow.
+Exits non-zero if any answer differs from serial or shared-process fails
+to beat the pickle-based backend.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
-import time
-from typing import Dict, List
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-import repro.obs as obs  # noqa: E402
-from repro.datasets import uniform_weighted_points  # noqa: E402
-from repro.engine import Query, QueryEngine  # noqa: E402
-
-EXECUTORS = ("serial", "process", "shared-process")
-
-
-def trace_phase_summary(points, weights, queries, workers: int) -> Dict:
-    """Replay the batch once on ``shared-process`` with tracing forced on
-    and return the per-phase span summary.  Runs outside the timed rounds,
-    so the gated comparison above never pays for span capture."""
-    sink = obs.ListSink()
-    obs.add_sink(sink)
-    obs.set_enabled(True)
-    try:
-        engine = QueryEngine(points, weights=weights,
-                             executor="shared-process", workers=workers,
-                             cache_size=0)
-        try:
-            engine.solve_batch(queries)
-        finally:
-            engine.close()
-    finally:
-        obs.set_enabled(None)
-        obs.remove_sink(sink)
-    return {
-        "executor": "shared-process",
-        "queries": len(queries),
-        "spans": obs.summarize_spans(sink.spans()),
-    }
-
-
-def run_engine(label: str, points, weights, queries, warmup, rounds: int,
-               workers: int) -> Dict:
-    """Time one executor over ``rounds`` replays of the batch; returns
-    timings plus the last round's results for the differential check."""
-    engine = QueryEngine(points, weights=weights, executor=label,
-                         workers=workers, cache_size=0)
-    try:
-        setup_started = time.perf_counter()
-        engine.solve(warmup)  # start the pool, pay one plan outside the timer
-        setup = time.perf_counter() - setup_started
-        round_times: List[float] = []
-        results = []
-        for _ in range(rounds):
-            started = time.perf_counter()
-            results = engine.solve_batch(queries)
-            round_times.append(time.perf_counter() - started)
-        stats = dict(engine.stats)
-    finally:
-        engine.close()
-    return {
-        "setup_seconds": round(setup, 4),
-        "round_seconds": [round(t, 4) for t in round_times],
-        "total_seconds": round(sum(round_times), 4),
-        "cold_seconds": round(round_times[0], 4),
-        "warm_seconds": (round(sum(round_times[1:]) / (len(round_times) - 1), 4)
-                         if len(round_times) > 1 else None),
-        "shards_solved": stats["shards_solved"],
-        "results": [
-            {"query": q.describe(), "value": r.value,
-             "center": list(r.center) if r.center is not None else None}
-            for q, r in zip(queries, results)
-        ],
-        "_raw_results": results,
-    }
+from repro.bench.grid import run_grid  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -116,105 +36,18 @@ def main(argv=None) -> int:
                         help="dataset size (default: 200000, quick: 60000)")
     parser.add_argument("--rounds", type=int, default=None,
                         help="batch replays per executor (default: 4, quick: 3)")
-    parser.add_argument("--workers", type=int, default=2,
-                        help="worker count for the pooled executors")
-    parser.add_argument("--out", default="BENCH_parallel.json",
-                        help="artifact path")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for the pooled executors (default: 2)")
+    parser.add_argument("--output", default="BENCH_parallel.json",
+                        help="destination JSON path")
+    parser.add_argument("--history", default=None,
+                        help="append this run to a PERF_HISTORY.jsonl trajectory")
     args = parser.parse_args(argv)
-
-    n = args.n if args.n is not None else (60_000 if args.quick else 200_000)
-    rounds = args.rounds if args.rounds is not None else (3 if args.quick else 4)
-    points, weights = uniform_weighted_points(n, dim=2, extent=100.0, seed=7)
-    # Distinct extents so every query gets its own sharding plan: nothing is
-    # answered from a cache, and the cold round pays one publish per plan.
-    queries = [Query.rectangle(2.0, 1.6), Query.rectangle(2.5, 2.0)]
-    warmup = Query.rectangle(3.0, 2.4)
-
-    print("bench_parallel: n=%d rounds=%d workers=%d (%s)"
-          % (n, rounds, args.workers, "quick" if args.quick else "full"))
-    report = {
-        "benchmark": "parallel",
-        "workload": {
-            "kind": "uniform-weighted",
-            "n": n,
-            "dim": 2,
-            "extent": 100.0,
-            "seed": 7,
-            "queries": [q.describe() for q in queries],
-            "rounds": rounds,
-            "workers": args.workers,
-        },
-        "environment": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
-        "executors": {},
-    }
-
-    raw = {}
-    for label in EXECUTORS:
-        measured = run_engine(label, points, weights, queries, warmup,
-                              rounds, args.workers)
-        raw[label] = measured.pop("_raw_results")
-        report["executors"][label] = measured
-        print("  %-15s total=%.2fs cold=%.2fs warm=%s"
-              % (label, measured["total_seconds"], measured["cold_seconds"],
-                 "%.2fs" % measured["warm_seconds"]
-                 if measured["warm_seconds"] is not None else "n/a"))
-
-    mismatches = []
-    for label in EXECUTORS[1:]:
-        for query, reference, result in zip(queries, raw["serial"], raw[label]):
-            if (result.value != reference.value
-                    or result.center != reference.center):
-                mismatches.append("%s on %s: value=%r center=%r vs serial "
-                                  "value=%r center=%r"
-                                  % (label, query.describe(), result.value,
-                                     result.center, reference.value,
-                                     reference.center))
-    speedup = (report["executors"]["process"]["total_seconds"]
-               / report["executors"]["shared-process"]["total_seconds"])
-    warm_process = report["executors"]["process"]["warm_seconds"]
-    warm_shared = report["executors"]["shared-process"]["warm_seconds"]
-    report["comparison"] = {
-        "bit_for_bit_vs_serial": not mismatches,
-        "mismatches": mismatches,
-        "speedup_shared_vs_process_total": round(speedup, 3),
-        "speedup_shared_vs_process_warm": (
-            round(warm_process / warm_shared, 3)
-            if warm_process and warm_shared else None),
-    }
-
-    span_summary = trace_phase_summary(points, weights, queries, args.workers)
-    report["span_summary"] = span_summary
-    heaviest = sorted(span_summary["spans"].items(),
-                      key=lambda kv: -kv[1]["total_s"])[:3]
-    print("[spans] heaviest phases: %s"
-          % ", ".join("%s %.0fms" % (name, 1e3 * stats["total_s"])
-                      for name, stats in heaviest))
-
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print("wrote %s" % args.out)
-    print("speedup shared-process vs process: %.2fx total, %s warm"
-          % (speedup,
-             "%.2fx" % report["comparison"]["speedup_shared_vs_process_warm"]
-             if report["comparison"]["speedup_shared_vs_process_warm"] else "n/a"))
-
-    if mismatches:
-        print("FAIL: executors disagree with the serial engine:", file=sys.stderr)
-        for line in mismatches:
-            print("  " + line, file=sys.stderr)
-        return 1
-    if speedup <= 1.0:
-        print("FAIL: shared-process (%.2fs) did not beat the pickle-based "
-              "process backend (%.2fs)"
-              % (report["executors"]["shared-process"]["total_seconds"],
-                 report["executors"]["process"]["total_seconds"]),
-              file=sys.stderr)
-        return 1
-    print("OK: bit-for-bit agreement and shared-process beats process")
-    return 0
+    overrides = {key: value for key, value in
+                 (("n", args.n), ("rounds", args.rounds),
+                  ("workers", args.workers)) if value is not None}
+    return run_grid(names=["parallel"], quick=args.quick, output=args.output,
+                    history=args.history, overrides=overrides or None)
 
 
 if __name__ == "__main__":

@@ -1,324 +1,54 @@
-"""Serving front-end benchmark: coalescing + micro-batching vs a serial loop.
+"""Serving front-end benchmark -- thin wrapper over ``repro bench grid``.
 
-Two sections, one JSON artifact (``BENCH_service.json``, schema
-``bench_service/v1``):
-
-**Headline (gated).** A mixed 10k-request open-loop trace -- Zipf-popular
-static queries (linearithmic rectangle sweeps at the popularity head, the
-quadratic exact disk sweep at the tail), live-monitor hotspot reads, and
-interleaved update batches -- replayed two ways:
-
-* ``serial-loop``     -- the baseline the acceptance target is written
-                         against: one request at a time, every static query
-                         a fresh direct solver call, every monitor read a
-                         fresh monitor query, every update applied
-                         event-at-a-time;
-* ``service-direct``  -- the same trace through
-                         :class:`repro.service.MaxRSService` with
-                         ``routing="direct"``: flush windows, in-flight
-                         coalescing, TTL'd caching, one shared monitor pass
-                         per flush.  Must sustain >= ``MIN_SPEEDUP`` (3x)
-                         the serial loop's requests/sec;
-* ``service-sharded`` -- ``routing="sharded"`` (cache misses flushed through
-                         the sharded engine): optimum values still match the
-                         baseline for exact queries, placements may be
-                         different-but-equally-optimal, so this variant is
-                         reported but excluded from the bit-for-bit check;
-* ``service-auto``    -- plan-aware routing (``QueryEngine.batch_plan``):
-                         only quadratic-cost queries go through the sharded
-                         engine, the rest stay on direct calls.  Reported
-                         like ``service-sharded``.
-
-**Heterogeneous (differential only).** A smaller trace whose catalog spans
-every request family the service accepts -- exact rectangle/disk sweeps, the
-paper's (1/2 - eps)-approximate d-ball query (Theorem 1.2), the exact
-colored disk sweep, monitor reads, update batches -- checked under the same
-differential but not throughput-gated (the approximate solver's ~1s fixed
-cost would make a 10k serial replay meaningless).
-
-Differential checks (any failure exits non-zero):
-
-1. **static**: for every request served with ``routing="direct"``,
-   re-issuing the *concrete* query recorded on the response
-   (``response.served_query``) as a direct solver call reproduces
-   ``(value, center, exact)`` bit-for-bit;
-2. **monitor**: every served monitor read equals -- bit-for-bit -- the
-   answer the serial baseline's own monitor gave at the same trace position;
-3. **values**: exact static queries match the baseline's optimum value on
-   every routing (the kernel/merge contracts).
-
-Usage::
+The workload declarations (a mixed Zipf open-loop request trace through
+the one-query-at-a-time serial loop and :class:`repro.service.MaxRSService`
+per routing mode, the bit-for-bit serving differential, the >= 3x
+service-direct throughput gate, a heterogeneous every-query-family trace,
+and the per-phase span probe) live in
+:class:`repro.bench.suites.ServiceSuite`; this script runs that one suite
+and writes the unified ``repro-bench-grid/1`` artifact to
+``BENCH_service.json``::
 
     PYTHONPATH=src python benchmarks/bench_service.py           # 10k requests, 1k points
-    PYTHONPATH=src python benchmarks/bench_service.py --quick   # 10k requests, CI-sized dataset
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # same trace, CI-sized dataset
 
-This file is a standalone script, not a pytest-benchmark module: the JSON
-artifact and the acceptance gate are the point.
+Equivalent to ``repro bench grid --suite service``; see
+``docs/benchmarks.md`` for the schema and the regression workflow.
+Exits non-zero on any differential drift or a missed throughput gate.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
-import time
-from typing import Dict, List, Optional, Tuple
 
-import repro.obs as obs
-from repro.datasets import clustered_points, request_trace
-from repro.engine import Query
-from repro.engine.planner import solve_query
-from repro.service import MaxRSService
-from repro.streaming import ShardedMaxRSMonitor
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-MIN_SPEEDUP = 3.0
-RADIUS = 0.5
+from repro.bench.grid import run_grid  # noqa: E402
 
 
-def headline_catalog() -> List[Query]:
-    """The gated trace's catalog, cheapest first (the trace is generated
-    with ``shuffle=False``, so Zipf popularity follows this order and the
-    quadratic disk sweep sits at the tail)."""
-    catalog = [Query.rectangle(w, h) for w, h in
-               ((1.0, 1.0), (2.0, 1.0), (1.0, 2.0), (2.0, 2.0),
-                (0.5, 0.5), (3.0, 1.5), (1.5, 3.0), (0.75, 1.25))]
-    catalog.append(Query.disk(0.4))
-    return catalog
-
-
-def hetero_catalog() -> List[Query]:
-    """Every static-query family the service accepts, cheapest first; the
-    (1/2 - eps)-approximate d-ball query rides at the popularity tail."""
-    return [
-        Query.rectangle(1.0, 1.0),
-        Query.rectangle(2.0, 2.0),
-        Query.disk(0.4),
-        Query.colored_disk(0.75),
-        Query.disk_approx(1.0, epsilon=0.4, seed=7),
-    ]
-
-
-def run_serial_loop(trace, coords, colors) -> Tuple[float, List[Optional[Tuple]]]:
-    """The one-query-at-a-time baseline; returns (elapsed, per-request answers).
-
-    Static answers are ``("q", value, center, exact)``, monitor answers
-    ``("m", value, center)``, updates ``None``.
-    """
-    monitor = ShardedMaxRSMonitor(radius=RADIUS)
-    answers: List[Optional[Tuple]] = []
-    position = 0
-    started = time.perf_counter()
-    for request in trace:
-        if request.kind == "query":
-            result = solve_query(request.query, coords, None,
-                                 colors if request.query.colored else None)
-            answers.append(("q", result.value, result.center, result.exact))
-        elif request.kind == "monitor":
-            result = monitor.current()
-            answers.append(("m", result.value, result.center))
-        else:
-            for event in request.events:
-                monitor.apply(event, position)
-                position += 1
-            answers.append(None)
-    elapsed = time.perf_counter() - started
-    return elapsed, answers
-
-
-def run_service(trace, coords, colors, routing: str, window: int) -> Tuple[float, List, Dict]:
-    """One service replay; returns (elapsed, responses, stats snapshot)."""
-    monitor = ShardedMaxRSMonitor(radius=RADIUS)
-    with MaxRSService(coords, colors=colors, monitor=monitor, routing=routing,
-                      cache_ttl=3600.0, max_batch=window) as service:
-        report = service.serve_trace(trace, window=window)
-        snapshot = service.snapshot()
-    return report.elapsed, report.responses, snapshot
-
-
-def check_differential(trace, coords, colors, responses, baseline_answers,
-                       check_static_bits: bool) -> Dict[str, int]:
-    """Assert the serving guarantees; returns check counters, raises on drift."""
-    static_checked = monitor_checked = 0
-    direct_memo: Dict[Query, Tuple] = {}
-    for index, (request, response) in enumerate(zip(trace, responses)):
-        if response.error is not None:
-            raise AssertionError("request %d failed: %r" % (index, response.error))
-        baseline = baseline_answers[index]
-        if request.kind == "query":
-            if check_static_bits:
-                served = response.served_query
-                if served not in direct_memo:
-                    reference = solve_query(
-                        served, coords, None,
-                        colors if served.colored else None)
-                    direct_memo[served] = (reference.value, reference.center,
-                                           reference.exact)
-                if direct_memo[served] != (response.result.value,
-                                           response.result.center,
-                                           response.result.exact):
-                    raise AssertionError(
-                        "request %d: served answer differs from the direct "
-                        "solver call for %s" % (index, served.describe()))
-            if request.query.exact and response.result.value != baseline[1]:
-                raise AssertionError(
-                    "request %d: value %r != baseline %r for %s"
-                    % (index, response.result.value, baseline[1],
-                       request.query.describe()))
-            static_checked += 1
-        elif request.kind == "monitor":
-            if (response.result.value, response.result.center) != baseline[1:]:
-                raise AssertionError(
-                    "request %d: monitor read %r != baseline %r"
-                    % (index, (response.result.value, response.result.center),
-                       baseline[1:]))
-            monitor_checked += 1
-    return {"static_checked": static_checked, "monitor_checked": monitor_checked}
-
-
-def run_section(name, trace, coords, colors, window, routings):
-    """Replay one trace through the serial baseline and the service variants;
-    returns the section's JSON payload (with per-variant differentials)."""
-    counts = trace.counts
-    print("[%s] %d requests (%d query / %d monitor / %d update)"
-          % (name, len(trace), counts["query"], counts["monitor"],
-             counts["update"]))
-    serial_elapsed, baseline_answers = run_serial_loop(trace, coords, colors)
-    serial_rps = len(trace) / serial_elapsed
-    print("  %-16s %8.2fs  %8.0f req/s"
-          % ("serial-loop", serial_elapsed, serial_rps))
-    variants = []
-    for routing in routings:
-        elapsed, responses, snapshot = run_service(trace, coords, colors,
-                                                   routing, window)
-        checks = check_differential(trace, coords, colors, responses,
-                                    baseline_answers,
-                                    check_static_bits=(routing == "direct"))
-        rps = len(trace) / elapsed
-        print("  %-16s %8.2fs  %8.0f req/s  (%.1fx serial; %d coalesced, "
-              "%d cache hits, %d solver calls)"
-              % ("service-" + routing, elapsed, rps, rps / serial_rps,
-                 snapshot["coalesced"], snapshot["cache_hits"],
-                 snapshot["solver_calls"]))
-        variants.append({
-            "name": "service-" + routing,
-            "routing": routing,
-            "elapsed_s": elapsed,
-            "requests_per_s": rps,
-            "speedup_vs_serial": rps / serial_rps,
-            "differential": checks,
-            "stats": snapshot,
-        })
-    return {
-        "counts": counts,
-        "baseline": {"name": "serial-loop", "elapsed_s": serial_elapsed,
-                     "requests_per_s": serial_rps},
-        "variants": variants,
-    }
-
-
-def trace_phase_summary(coords, colors, window, seed, extent) -> Dict:
-    """Replay a small trace with span tracing on and aggregate the spans by
-    name (repro.obs.summarize_spans), so the BENCH artifact records *where*
-    serving time goes -- flush vs static solving vs per-shard kernel work --
-    not just end-to-end totals.  Runs outside the timed sections: tracing
-    is off during every gated measurement."""
-    trace = request_trace(300, catalog=headline_catalog(), shuffle=False,
-                          zipf_s=1.3, update_every=100, update_batch=8,
-                          seed=seed, extent=extent)
-    sink = obs.ListSink()
-    obs.add_sink(sink)
-    previous = obs.set_enabled(True)
-    try:
-        run_service(trace, coords, colors, routing="sharded", window=window)
-    finally:
-        obs.set_enabled(previous)
-        obs.remove_sink(sink)
-    return {"requests": len(trace), "routing": "sharded",
-            "spans": obs.summarize_spans(sink.spans())}
-
-
-def main() -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized dataset (same 10k-request trace shape)")
-    parser.add_argument("--requests", type=int, default=10_000)
-    parser.add_argument("--window", type=int, default=64,
-                        help="service flush window (requests in flight together)")
-    parser.add_argument("--seed", type=int, default=11)
-    parser.add_argument("--output", default="BENCH_service.json")
-    args = parser.parse_args()
-
-    n_points = 400 if args.quick else 1000
-    extent = 8.0 if args.quick else 10.0
-    coords = clustered_points(n_points, dim=2, extent=extent, seed=args.seed)
-    colors = [index % 12 for index in range(n_points)]
-
-    # Update cadence keeps the monitor's live set modest: the dirty-shard
-    # re-solve cost after an update batch is paid identically by the serial
-    # loop and the service (the monitor only re-solves when dirty), so it
-    # dilutes the speedup without differentiating the serving layer.
-    headline_trace = request_trace(args.requests, catalog=headline_catalog(),
-                                   shuffle=False, zipf_s=1.3,
-                                   update_every=100, update_batch=8,
-                                   seed=args.seed, extent=extent)
-    headline = run_section("headline", headline_trace, coords, colors,
-                           args.window, routings=("direct", "sharded", "auto"))
-
-    hetero_requests = 200 if args.quick else 400
-    hetero_trace = request_trace(hetero_requests, catalog=hetero_catalog(),
-                                 shuffle=False, zipf_s=1.6,
-                                 update_every=100, update_batch=8,
-                                 seed=args.seed + 1, extent=extent)
-    hetero = run_section("heterogeneous", hetero_trace, coords, colors,
-                         args.window, routings=("direct",))
-
-    span_summary = trace_phase_summary(coords, colors, args.window,
-                                       args.seed + 2, extent)
-    heaviest = sorted(span_summary["spans"].items(),
-                      key=lambda kv: -kv[1]["total_s"])[:3]
-    print("[spans] heaviest phases: %s"
-          % ", ".join("%s %.0fms" % (name, 1e3 * stats["total_s"])
-                      for name, stats in heaviest))
-
-    speedup = headline["variants"][0]["speedup_vs_serial"]
-    payload = {
-        "schema": "bench_service/v1",
-        "config": {
-            "requests": len(headline_trace),
-            "hetero_requests": len(hetero_trace),
-            "n_points": n_points,
-            "extent": extent,
-            "window": args.window,
-            "radius": RADIUS,
-            "seed": args.seed,
-            "quick": args.quick,
-        },
-        "headline": headline,
-        "heterogeneous": hetero,
-        "span_summary": span_summary,
-        "summary": {
-            "speedup_vs_serial": speedup,
-            "min_required": MIN_SPEEDUP,
-        },
-    }
-    with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print("wrote %s" % args.output)
-
-    if speedup < MIN_SPEEDUP:
-        print("FAIL: service-direct speedup %.2fx < required %.1fx"
-              % (speedup, MIN_SPEEDUP), file=sys.stderr)
-        return 1
-    checks = headline["variants"][0]["differential"]
-    hetero_checks = hetero["variants"][0]["differential"]
-    print("OK: coalescing + micro-batching at %.1fx the serial loop "
-          "(differential: %d static + %d monitor answers bit-identical, "
-          "plus %d/%d on the heterogeneous trace)"
-          % (speedup, checks["static_checked"], checks["monitor_checked"],
-             hetero_checks["static_checked"], hetero_checks["monitor_checked"]))
-    return 0
+    parser.add_argument("--requests", type=int, default=None,
+                        help="headline trace length (default: 10000)")
+    parser.add_argument("--window", type=int, default=None,
+                        help="service flush window (default: 64)")
+    parser.add_argument("--output", default="BENCH_service.json",
+                        help="destination JSON path")
+    parser.add_argument("--history", default=None,
+                        help="append this run to a PERF_HISTORY.jsonl trajectory")
+    args = parser.parse_args(argv)
+    overrides = {}
+    if args.requests is not None:
+        overrides["requests"] = args.requests
+    if args.window is not None:
+        overrides["window"] = args.window
+    return run_grid(names=["service"], quick=args.quick, output=args.output,
+                    history=args.history, overrides=overrides or None)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main())

@@ -1,300 +1,30 @@
-"""Streaming monitor benchmarks: recompute vs dirty-shard vs multi-query.
+"""Streaming monitor benchmarks -- thin wrapper over ``repro bench grid``.
 
-Builds a large live point set, then times a churn phase (localized
-inserts/deletes with a hotspot query every ``query_every`` events) through
-each monitor configuration:
-
-* ``recompute``            -- :class:`ExactRecomputeMonitor`, the from-scratch
-                              baseline (NumPy sweep at these sizes);
-* ``dirty-shard-python``   -- :class:`ShardedMaxRSMonitor`, pure-Python
-                              per-shard sweeps;
-* ``dirty-shard-batched``  -- the same monitor with ``backend="auto"``
-                              (planner-resolved per shard) and batched
-                              ingestion -- the configuration the acceptance
-                              target measures;
-* ``dirty-shard-threaded`` -- batched + thread-pool executor for the
-                              per-query dirty-shard fan-out;
-* ``multi-query-shared``   -- :class:`MultiQueryMonitor` answering three
-                              standing queries from one shard store, against
-                              ``independent-monitors`` running one replica
-                              per query.  Throughput is near parity (the
-                              shared max-halo tiling slightly inflates the
-                              smaller queries' shards, offsetting the shared
-                              ingestion/bookkeeping saving); the shared
-                              store's wins are the ``1/N`` live-state
-                              footprint and snapshot consistency (every
-                              standing query answered at the same stream
-                              prefix), both recorded in the JSON.
-
-Writes ``BENCH_streaming.json`` (schema ``bench_streaming/v1``) with
-events/sec and mean query latency per variant, plus the headline speedups::
+The workload declarations (a localized churn phase over a large live set,
+replayed through the exact-recompute baseline, the dirty-shard monitors --
+python / batched-auto / threaded -- and the multi-query shared store, with
+post-churn differential checks and the full-size 5x acceptance gate) live
+in :class:`repro.bench.suites.StreamingSuite`; this script runs that one
+suite and writes the unified ``repro-bench-grid/1`` artifact to
+``BENCH_streaming.json``::
 
     PYTHONPATH=src python benchmarks/bench_streaming.py            # 50k live
     PYTHONPATH=src python benchmarks/bench_streaming.py --quick    # CI-sized
 
-The script exits non-zero if any exact monitor disagrees with the recompute
-baseline on the final hotspot value, so it doubles as a coarse differential
-check at sizes the unit suite cannot afford.
-
-This file is a standalone script, not a pytest-benchmark module: the JSON
-artifact is the point, and the 50k-point live set is too heavy for the
-default benchmark suite.
+Equivalent to ``repro bench grid --suite streaming``; see
+``docs/benchmarks.md`` for the schema and the regression workflow.
+Exits non-zero if any exact monitor disagrees on the post-churn optimum.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import math
+import os
 import sys
-import time
-from typing import Dict, List
 
-from repro.core.sampling import default_rng
-from repro.datasets import UpdateEvent, UpdateStream, uniform_points
-from repro.engine import Query
-from repro.streaming import (
-    ExactRecomputeMonitor,
-    MultiQueryMonitor,
-    ShardedMaxRSMonitor,
-)
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-RADIUS = 1.0
-
-
-def build_workload(n_live: int, churn_events: int, seed: int = 1):
-    """Base insertions reaching ``n_live`` live points, then a churn phase of
-    alternating localized inserts and deletions keeping the live set steady.
-
-    The base field is uniform at constant density (the extent scales with
-    ``sqrt(n)``), so the recompute baseline's per-query cost grows with the
-    live-set size while each spatial tile stays modest.  The churn is
-    *localized*: inserts cluster around a handful of active sites (hotspots
-    forming) and deletions pick among points near those same sites (the same
-    hotspots fading) -- the Section 1.1 monitoring shape, where activity
-    concentrates in a few regions while the quiet majority of the live set
-    is untouched.  This is exactly the regime dirty-shard monitoring is
-    built for; globally scattered deletions would dirty O(events) tiles per
-    query and erode the gap.
-    """
-    extent = math.sqrt(n_live) * 0.8
-    base = uniform_points(n_live, dim=2, extent=extent, seed=seed)
-    rng = default_rng(seed + 1)
-    events: List[UpdateEvent] = [
-        UpdateEvent(kind="insert", point=point) for point in base
-    ]
-    sites = [base[int(rng.integers(0, n_live))] for _ in range(8)]
-    site_reach = 4.5
-    local_alive = [
-        index for index, (x, y) in enumerate(base)
-        if any((x - sx) ** 2 + (y - sy) ** 2 <= site_reach ** 2 for sx, sy in sites)
-    ]
-    for _ in range(churn_events):
-        if rng.random() < 0.5 and local_alive:
-            position = int(rng.integers(0, len(local_alive)))
-            events.append(UpdateEvent(kind="delete", target=local_alive.pop(position)))
-        else:
-            site = sites[int(rng.integers(0, len(sites)))]
-            point = (float(site[0] + rng.normal(0.0, 1.5)),
-                     float(site[1] + rng.normal(0.0, 1.5)))
-            events.append(UpdateEvent(kind="insert", point=point))
-            local_alive.append(len(events) - 1)
-    return UpdateStream(events), n_live
-
-
-def measure(monitor, events, n_base, churn_events, query_every, batch_size,
-            latency_probes):
-    """Ingest the base set untimed, then time the churn phase and a few
-    single-update query latencies.  Returns (metrics, final_value)."""
-    base, churn = events[:n_base], events[n_base:n_base + churn_events]
-    monitor.apply_batch(base, 0)
-    monitor.current()  # settle: pay the initial full solve outside the clock
-
-    started = time.perf_counter()
-    snapshots = monitor.apply_stream(churn, chunk_size=batch_size,
-                                     query_every=query_every,
-                                     start_index=n_base)
-    elapsed = time.perf_counter() - started
-
-    # Post-churn answer, before any latency-probe inserts perturb the live
-    # set: this is what the cross-monitor differential check compares.
-    after = monitor.current()
-    if isinstance(after, dict):
-        value_after_churn = {name: result.value for name, result in after.items()}
-    else:
-        value_after_churn = after.value
-
-    # Query latency after one localized update (steady-state monitoring).
-    probe_event = UpdateEvent(kind="insert", point=churn[0].point or (0.0, 0.0))
-    latencies = []
-    for probe in range(latency_probes):
-        monitor.apply(probe_event, len(events) + 1000 + probe)
-        probe_started = time.perf_counter()
-        monitor.current()
-        latencies.append(time.perf_counter() - probe_started)
-    mean_latency = (round(sum(latencies) / len(latencies), 6)
-                    if latencies else None)
-
-    metrics = {
-        "events": len(churn),
-        "queries": len(snapshots),
-        "seconds": round(elapsed, 6),
-        "events_per_sec": round(len(churn) / elapsed, 3) if elapsed > 0 else None,
-        "mean_query_latency": mean_latency,
-        "value_after_churn": value_after_churn,
-    }
-    if hasattr(monitor, "close"):
-        monitor.close()
-    return metrics, value_after_churn
-
-
-def run(quick: bool = False, output: str = "BENCH_streaming.json") -> int:
-    n_live = 5_000 if quick else 50_000
-    query_every = 50 if quick else 100
-    baseline_events = 2 * query_every          # recompute queries are seconds each
-    sharded_events = 600 if quick else 4_000
-    batch_size = 256
-    latency_probes = 2 if quick else 3
-
-    stream, n_base = build_workload(n_live, max(baseline_events, sharded_events))
-    events = list(stream)
-    print("workload: %d live points, churn batches of %d, query every %d events"
-          % (n_live, batch_size, query_every))
-
-    # A mixed standing set (two disk radii plus a rectangle) sharing one
-    # max-halo tiling -- the deployment shape MultiQueryMonitor exists for.
-    multi_queries = {
-        "disk-r": Query.disk(RADIUS),
-        "disk-0.9r": Query.disk(0.9 * RADIUS),
-        "rect-1x1": Query.rectangle(RADIUS, RADIUS),
-    }
-    variants = [
-        ("recompute", baseline_events,
-         lambda: ExactRecomputeMonitor(radius=RADIUS)),
-        ("dirty-shard-python", sharded_events,
-         lambda: ShardedMaxRSMonitor(radius=RADIUS, backend="python")),
-        ("dirty-shard-batched", sharded_events,
-         lambda: ShardedMaxRSMonitor(radius=RADIUS, backend="auto")),
-        ("dirty-shard-threaded", sharded_events,
-         lambda: ShardedMaxRSMonitor(radius=RADIUS, backend="auto",
-                                     executor="thread", workers=4)),
-        ("multi-query-shared", sharded_events,
-         lambda: MultiQueryMonitor(multi_queries)),
-    ]
-
-    results: List[Dict] = []
-    by_variant: Dict[str, Dict] = {}
-    disagreements: List[str] = []
-
-    for name, churn_events, factory in variants:
-        monitor = factory()
-        metrics, after_value = measure(monitor, events, n_base, churn_events,
-                                       query_every, batch_size, latency_probes)
-        entry = {"variant": name, "n_live": n_live, **metrics}
-        results.append(entry)
-        by_variant[name] = entry
-        shown = max(after_value.values()) if isinstance(after_value, dict) else after_value
-        print("%-22s %8d events %8.3fs  %10.0f ev/s  query %7.1f ms  value=%g"
-              % (name, metrics["events"], metrics["seconds"],
-                 metrics["events_per_sec"], 1e3 * metrics["mean_query_latency"],
-                 shown))
-
-    # Differential checks: every exact monitor that replayed the same churn
-    # must agree bit-for-bit on the post-churn optimum.
-    def _check(label, got, expected):
-        if not math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-9):
-            disagreements.append("%s: %r vs %r" % (label, got, expected))
-
-    sharded_reference = by_variant["dirty-shard-python"]["value_after_churn"]
-    for name in ("dirty-shard-batched", "dirty-shard-threaded"):
-        _check("%s vs dirty-shard-python" % name,
-               by_variant[name]["value_after_churn"], sharded_reference)
-    _check("multi-query disk-r vs dirty-shard-python",
-           by_variant["multi-query-shared"]["value_after_churn"]["disk-r"],
-           sharded_reference)
-    # Recompute ran a shorter churn; replay that same short churn through a
-    # fresh dirty-shard monitor so the sharded path is checked against the
-    # from-scratch baseline too.
-    _, cross_value = measure(
-        ShardedMaxRSMonitor(radius=RADIUS), events, n_base, baseline_events,
-        query_every, batch_size, 0)
-    _check("dirty-shard vs recompute (short churn)",
-           cross_value, by_variant["recompute"]["value_after_churn"])
-
-    # Independent monitors matching multi-query's standing set: one
-    # single-query MultiQueryMonitor replica per standing query, so the
-    # comparison isolates the shared-shard-pass saving.
-    independent_values = {}
-    for qname, query in multi_queries.items():
-        solo = MultiQueryMonitor({qname: query})
-        metrics, value = measure(solo, events, n_base, sharded_events,
-                                 query_every, batch_size, 0)
-        independent_values[qname] = metrics
-    independent_elapsed = sum(m["seconds"] for m in independent_values.values())
-    independent_entry = {
-        "variant": "independent-monitors",
-        "n_live": n_live,
-        "events": sharded_events,
-        "queries": by_variant["multi-query-shared"]["queries"],
-        "seconds": round(independent_elapsed, 6),
-        "events_per_sec": round(sharded_events / independent_elapsed, 3),
-        "mean_query_latency": None,
-        "value_after_churn": None,
-        "live_state_replication": len(multi_queries),  # vs 1.0 for the shared store
-        "wall_clock_note": "sum of three single-query replicas' churn phases",
-    }
-    results.append(independent_entry)
-    by_variant["independent-monitors"] = independent_entry
-    print("%-22s %8d events %8.3fs  %10.0f ev/s  (3 separate monitors)"
-          % ("independent-monitors", sharded_events, independent_elapsed,
-             independent_entry["events_per_sec"]))
-    for qname, replica_metrics in independent_values.items():
-        _check("independent %s vs multi-query-shared" % qname,
-               replica_metrics["value_after_churn"][qname],
-               by_variant["multi-query-shared"]["value_after_churn"][qname])
-
-    speedups = {
-        "dirty_shard_batched_vs_recompute": round(
-            by_variant["dirty-shard-batched"]["events_per_sec"]
-            / by_variant["recompute"]["events_per_sec"], 2),
-        "dirty_shard_python_vs_recompute": round(
-            by_variant["dirty-shard-python"]["events_per_sec"]
-            / by_variant["recompute"]["events_per_sec"], 2),
-        "multi_query_vs_independent_throughput": round(
-            by_variant["multi-query-shared"]["events_per_sec"]
-            / by_variant["independent-monitors"]["events_per_sec"], 2),
-        "multi_query_live_state_saving": float(len(multi_queries)),
-        "query_latency_recompute_over_dirty": round(
-            by_variant["recompute"]["mean_query_latency"]
-            / by_variant["dirty-shard-batched"]["mean_query_latency"], 1),
-    }
-    print("speedups: %s" % speedups)
-
-    payload = {
-        "schema": "bench_streaming/v1",
-        "config": {"quick": quick, "n_live": n_live, "query_every": query_every,
-                   "batch_size": batch_size, "radius": RADIUS,
-                   "baseline_events": baseline_events,
-                   "sharded_events": sharded_events},
-        "results": results,
-        "speedups": speedups,
-    }
-    with open(output, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print("wrote %s" % output)
-
-    if disagreements:
-        print("MONITOR DISAGREEMENT:\n  " + "\n  ".join(disagreements), file=sys.stderr)
-        return 1
-    if not quick and speedups["dirty_shard_batched_vs_recompute"] < 5.0:
-        # The 5x acceptance target is defined at the 50k-live full size; the
-        # quick CI size is too small for the O(n^2) recompute gap to open.
-        print("ACCEPTANCE MISS: dirty-shard batched is only %.1fx the recompute "
-              "baseline (target: 5x)" % speedups["dirty_shard_batched_vs_recompute"],
-              file=sys.stderr)
-        return 1
-    return 0
+from repro.bench.grid import run_grid  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -303,8 +33,11 @@ def main(argv=None) -> int:
                         help="CI-sized workload (5k live points)")
     parser.add_argument("--output", default="BENCH_streaming.json",
                         help="destination JSON path")
+    parser.add_argument("--history", default=None,
+                        help="append this run to a PERF_HISTORY.jsonl trajectory")
     args = parser.parse_args(argv)
-    return run(quick=args.quick, output=args.output)
+    return run_grid(names=["streaming"], quick=args.quick, output=args.output,
+                    history=args.history)
 
 
 if __name__ == "__main__":

@@ -5,13 +5,41 @@ defines one experiment per theorem / claim (see DESIGN.md section 4).  Each
 experiment is a function in :mod:`repro.bench.experiments` (E1-E10) or
 :mod:`repro.bench.experiments_extended` (E11-E15) that generates the
 workload, runs the relevant solvers and returns an :class:`ExperimentReport`
-whose rows can be printed as a plain-text table; ``benchmarks/`` wraps the hot
-kernels of the same experiments in pytest-benchmark targets, and
+whose rows can be printed as a plain-text table, and
 :mod:`repro.bench.recorder` archives reports as CSV/JSON.
+
+Performance benchmarking lives here too: :mod:`repro.bench.grid` drives
+declarative workload x size x backend x executor grids (``repro bench
+grid``) over the engine / kernels / streaming / service / parallel layers,
+:mod:`repro.bench.suites` declares the built-in suites (the
+``benchmarks/bench_*.py`` scripts are thin wrappers over them), and
+:mod:`repro.bench.compare` regresses the unified ``repro-bench-grid/1``
+artifacts against the committed ``PERF_HISTORY.jsonl`` trajectory with a
+configurable noise band (``repro bench compare``).
 """
 
 from .harness import ExperimentReport, Timer, format_table, geometric_sizes
-from .recorder import report_to_dict, write_report_csv, write_reports_csv_dir, write_reports_json
+from .recorder import (
+    append_history,
+    atomic_write_text,
+    load_history,
+    report_to_dict,
+    write_bench_json,
+    write_report_csv,
+    write_reports_csv_dir,
+    write_reports_json,
+)
+from .grid import (
+    BENCH_SCHEMA,
+    CaseResult,
+    CheckResult,
+    GridCase,
+    GridSuite,
+    SuiteRun,
+    run_grid,
+    run_suite,
+)
+from .compare import compare_artifact, compare_gates, metric_direction, run_compare, self_test
 from . import experiments
 from . import experiments_extended
 
@@ -26,4 +54,21 @@ __all__ = [
     "write_report_csv",
     "write_reports_csv_dir",
     "write_reports_json",
+    "atomic_write_text",
+    "write_bench_json",
+    "append_history",
+    "load_history",
+    "BENCH_SCHEMA",
+    "GridCase",
+    "CaseResult",
+    "CheckResult",
+    "SuiteRun",
+    "GridSuite",
+    "run_suite",
+    "run_grid",
+    "metric_direction",
+    "compare_gates",
+    "compare_artifact",
+    "self_test",
+    "run_compare",
 ]

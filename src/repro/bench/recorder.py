@@ -1,13 +1,26 @@
-"""Persisting experiment reports to CSV and JSON.
+"""Persisting experiment reports and benchmark results to CSV, JSON and JSONL.
 
 ``python -m repro experiments run`` can archive the tables it prints so
 EXPERIMENTS.md (and any downstream analysis) can be regenerated from files
-rather than terminal scrollback.  The formats are intentionally plain:
+rather than terminal scrollback, and ``repro bench grid`` persists its
+unified benchmark artifacts and the committed perf trajectory through the
+same module.  The formats are intentionally plain:
 
 * one CSV file per experiment: the report's header row followed by its data
-  rows, then a blank line and the claim outcomes;
+  rows, then a blank line and the claim outcomes (booleans use the JSON
+  spelling ``true``/``false`` so the CSV and JSON archives of one report
+  agree);
 * a single JSON file for a whole run: experiment id, title, headers, rows,
-  claims and notes.
+  claims and notes;
+* one JSON document per benchmark grid run (:func:`write_bench_json`,
+  schema in :mod:`repro.bench.grid`) and one JSON line per suite run in the
+  committed ``PERF_HISTORY.jsonl`` trajectory (:func:`append_history` /
+  :func:`load_history`).
+
+Every writer is **atomic**: content lands in a temporary file in the
+destination directory which replaces the target via :func:`os.replace` only
+after the writer completes, so a crash mid-write can never corrupt a
+committed artifact or the perf history.
 """
 
 from __future__ import annotations
@@ -15,7 +28,8 @@ from __future__ import annotations
 import csv
 import json
 import os
-from typing import Dict, Iterable, List
+import tempfile
+from typing import Callable, Dict, Iterable, List, Optional, TextIO
 
 from .harness import ExperimentReport
 
@@ -24,7 +38,32 @@ __all__ = [
     "write_report_csv",
     "write_reports_json",
     "write_reports_csv_dir",
+    "atomic_write_text",
+    "write_bench_json",
+    "append_history",
+    "load_history",
 ]
+
+
+def atomic_write_text(path: str, write: Callable[[TextIO], object],
+                      newline: Optional[str] = None) -> None:
+    """Run ``write(handle)`` against a temporary file and atomically replace
+    ``path`` with it.
+
+    The temporary file lives in the destination directory (so the final
+    :func:`os.replace` stays on one filesystem).  If the writer raises, the
+    temporary file is removed and any existing ``path`` is left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp",
+                                    prefix=os.path.basename(path) + ".")
+    try:
+        with os.fdopen(fd, "w", newline=newline) as handle:
+            write(handle)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
 
 
 def report_to_dict(report: ExperimentReport) -> Dict[str, object]:
@@ -40,26 +79,39 @@ def report_to_dict(report: ExperimentReport) -> Dict[str, object]:
     }
 
 
+def _csv_value(value: object) -> object:
+    """CSV cell encoding: booleans use the JSON spelling (``true``/``false``)
+    so a report's CSV and JSON archives agree on claim outcomes."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return value
+
+
 def write_report_csv(report: ExperimentReport, path: str) -> None:
-    """Write one report's table (and claim outcomes) as CSV."""
-    with open(path, "w", newline="") as handle:
+    """Atomically write one report's table (and claim outcomes) as CSV."""
+    def _write(handle: TextIO) -> None:
         writer = csv.writer(handle)
         writer.writerow(report.headers)
         for row in report.rows:
-            writer.writerow(row)
+            writer.writerow([_csv_value(cell) for cell in row])
         if report.claims:
             writer.writerow([])
             writer.writerow(["claim", "holds"])
             for description, holds in report.claims.items():
-                writer.writerow([description, holds])
+                writer.writerow([description, _csv_value(holds)])
+
+    atomic_write_text(path, _write, newline="")
 
 
 def write_reports_json(reports: Iterable[ExperimentReport], path: str) -> None:
-    """Write a collection of reports as one JSON document."""
+    """Atomically write a collection of reports as one JSON document."""
     payload: List[Dict[str, object]] = [report_to_dict(report) for report in reports]
-    with open(path, "w") as handle:
+
+    def _write(handle: TextIO) -> None:
         json.dump(payload, handle, indent=2, default=str)
         handle.write("\n")
+
+    atomic_write_text(path, _write)
 
 
 def write_reports_csv_dir(reports: Iterable[ExperimentReport], directory: str) -> List[str]:
@@ -71,3 +123,53 @@ def write_reports_csv_dir(reports: Iterable[ExperimentReport], directory: str) -
         write_report_csv(report, path)
         paths.append(path)
     return paths
+
+
+def write_bench_json(payload: Dict[str, object], path: str) -> None:
+    """Atomically write one unified benchmark artifact (the versioned
+    ``repro-bench-grid`` schema; see :mod:`repro.bench.grid` and
+    ``docs/benchmarks.md``)."""
+    def _write(handle: TextIO) -> None:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+
+    atomic_write_text(path, _write)
+
+
+def append_history(path: str, entries: Iterable[Dict[str, object]]) -> int:
+    """Append one JSON line per entry to the perf-history file.
+
+    The append is implemented as an atomic read-modify-replace of the whole
+    file (history files are small), so a crash mid-append can never truncate
+    or tear the committed trajectory.  Returns the number of lines appended.
+    """
+    lines: List[str] = []
+    if os.path.exists(path):
+        with open(path) as handle:
+            lines = [line for line in handle.read().splitlines() if line.strip()]
+    new_lines = [json.dumps(entry, sort_keys=True, default=str) for entry in entries]
+    atomic_write_text(path, lambda handle: handle.write(
+        "\n".join(lines + new_lines) + "\n"))
+    return len(new_lines)
+
+
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Parse a ``PERF_HISTORY.jsonl`` trajectory into a list of entries.
+
+    Blank lines and torn (non-JSON or non-object) lines are skipped so a
+    half-written line from a crashed legacy writer cannot poison later
+    comparisons.
+    """
+    entries: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                entries.append(record)
+    return entries

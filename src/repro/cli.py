@@ -29,7 +29,16 @@ writing Python:
 * ``stats`` -- render a span-trace JSONL file recorded with ``--trace-out``
   (available on ``solve``, ``monitor`` and ``serve``) as a per-span-name
   summary table, the full span tree, or Prometheus-style text exposition
-  (:mod:`repro.obs`; ``docs/observability.md``).
+  (:mod:`repro.obs`; ``docs/observability.md``);
+* ``bench`` -- the unified performance-grid harness (``docs/benchmarks.md``):
+  ``bench list`` names the declarative workload x size x backend x executor
+  suites, ``bench grid`` runs them (``--suite``, ``--quick``, ``--set
+  key=value`` overrides, ``--output`` artifact, ``--history`` trajectory
+  append, ``--no-spans``) and writes one versioned ``repro-bench-grid/1``
+  JSON artifact, ``bench compare`` regresses a ``--current`` artifact
+  against the committed ``PERF_HISTORY.jsonl`` within a relative ``--noise``
+  band (``--self-test`` proves the comparator catches an injected
+  regression).
 
 ``repro --version`` prints the installed package version.  Every command
 prints a short human-readable summary to stdout and exits with status 0 on
@@ -519,6 +528,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_overrides(pairs: Optional[Sequence[str]]) -> Optional[Dict[str, object]]:
+    """Parse ``--set key=value`` pairs; values are JSON when they parse as
+    JSON (numbers, booleans, lists), strings otherwise."""
+    import json
+
+    if not pairs:
+        return None
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ValueError("--set expects key=value, got %r" % pair)
+        try:
+            overrides[key] = json.loads(raw)
+        except ValueError:
+            overrides[key] = raw
+    return overrides
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.compare import run_compare
+    from .bench.grid import run_grid
+    from .bench.suites import SUITES
+
+    if args.action == "list":
+        for name in sorted(SUITES):
+            suite = SUITES[name]()
+            print("%-10s %s" % (name, suite.description))
+        return 0
+    if args.action == "compare":
+        try:
+            return run_compare(args.current, args.history, noise=args.noise,
+                               run_self_test=args.self_test)
+        except (OSError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    # grid
+    unknown = [name for name in (args.suite or []) if name not in SUITES]
+    if unknown:
+        print("unknown bench suites: %s" % ", ".join(unknown), file=sys.stderr)
+        print("known suites: %s" % ", ".join(sorted(SUITES)), file=sys.stderr)
+        return 2
+    try:
+        overrides = _parse_overrides(args.set)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return run_grid(names=args.suite or None, quick=args.quick,
+                    output=args.output, history=args.history,
+                    overrides=overrides, spans=not args.no_spans)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     try:
         records = obs.load_trace_jsonl(args.trace)
@@ -732,6 +793,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep only the N heaviest span names in the "
                             "summary (0 = all)")
     stats.set_defaults(func=_cmd_stats)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the unified performance grids or compare against "
+                      "the committed perf history")
+    bench.add_argument("action", choices=["list", "grid", "compare"],
+                       help="'list' names the suites, 'grid' runs them and "
+                            "writes one repro-bench-grid/1 artifact, "
+                            "'compare' regresses an artifact against the "
+                            "committed PERF_HISTORY.jsonl trajectory")
+    bench.add_argument("--suite", action="append", default=None,
+                       help="suite to run (repeatable; default: all of %s)"
+                            % "engine/kernels/parallel/service/streaming")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized workloads (the committed baselines in "
+                            "PERF_HISTORY.jsonl are quick-mode)")
+    bench.add_argument("--output", default="BENCH_grid.json",
+                       help="destination of the unified JSON artifact")
+    bench.add_argument("--history", default=None,
+                       help="append one JSON line per suite run to this "
+                            "PERF_HISTORY.jsonl trajectory")
+    bench.add_argument("--set", action="append", default=None, metavar="KEY=VALUE",
+                       help="override a suite config key (repeatable; values "
+                            "parse as JSON when possible, e.g. "
+                            "--set n_sweep=500)")
+    bench.add_argument("--no-spans", action="store_true",
+                       help="skip the per-phase span probes (repro.obs)")
+    bench.add_argument("--current", default="BENCH_grid.json",
+                       help="artifact to compare (bench compare)")
+    bench.add_argument("--noise", type=float, default=0.25,
+                       help="relative noise band for gate regressions "
+                            "(0.25 = a metric must move 25%% beyond the "
+                            "baseline to fail)")
+    bench.add_argument("--self-test", action="store_true",
+                       help="first prove the comparator catches a synthetic "
+                            "regression injected at twice the noise band")
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

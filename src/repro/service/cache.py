@@ -60,12 +60,20 @@ class TTLCache:
         return value
 
     def put(self, key: Hashable, value, now: float) -> None:
-        """Cache ``value`` under ``key`` until ``now + ttl``."""
+        """Cache ``value`` under ``key`` until ``now + ttl``.
+
+        At capacity, already-expired entries are purged first (counted as
+        expirations, like :meth:`get` lazily dropping one) so a dead slot is
+        never kept alive at the cost of evicting the LRU *live* answer; only
+        when every resident entry is still fresh does LRU eviction kick in.
+        """
         if self.maxsize == 0:
             return
         if key in self._data:
             self._data.move_to_end(key)
         self._data[key] = (now + self.ttl, value)
+        if len(self._data) > self.maxsize:
+            self.purge(now)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 

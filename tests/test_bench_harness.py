@@ -13,6 +13,20 @@ class TestTimer:
         assert total == 499500
         assert timer.elapsed >= 0.0
 
+    def test_elapsed_is_zero_before_first_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_reusable_and_measures_an_exceptional_block(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with pytest.raises(RuntimeError):
+            with timer:
+                raise RuntimeError("measured anyway")
+        assert timer.elapsed >= 0.0
+        assert first >= 0.0
+
 
 class TestFormatTable:
     def test_alignment_and_headers(self):
@@ -45,6 +59,43 @@ class TestExperimentReport:
     def test_all_claims_hold_default(self):
         report = ExperimentReport(experiment_id="EX", title="demo", headers=["a"])
         assert report.all_claims_hold
+
+    def test_all_claims_hold_tracks_every_claim(self):
+        report = ExperimentReport(experiment_id="EX", title="demo", headers=["a"])
+        report.add_claim("first", True)
+        assert report.all_claims_hold
+        report.add_claim("second", False)
+        assert not report.all_claims_hold
+        report.add_claim("second", True)  # latest verdict per description wins
+        assert report.all_claims_hold
+
+
+class TestExperimentsRunExitCode:
+    """`repro experiments run` must exit 1 when any claim fails, 0 otherwise."""
+
+    @staticmethod
+    def _driver(holds: bool):
+        def driver():
+            report = ExperimentReport(experiment_id="E1", title="stub",
+                                      headers=["n"])
+            report.add_row(1)
+            report.add_claim("stubbed claim", holds)
+            return report
+        return driver
+
+    def test_failed_claim_exits_one(self, monkeypatch, capsys):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "experiment_registry",
+                            lambda: {"E1": self._driver(False)})
+        assert cli.main(["experiments", "run", "E1"]) == 1
+        assert "claims FAILED for: E1" in capsys.readouterr().err
+
+    def test_passing_claims_exit_zero(self, monkeypatch, capsys):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "experiment_registry",
+                            lambda: {"E1": self._driver(True)})
+        assert cli.main(["experiments", "run", "E1"]) == 0
+        assert "FAILED" not in capsys.readouterr().err
 
 
 class TestGeometricSizes:

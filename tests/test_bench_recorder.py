@@ -1,0 +1,164 @@
+"""Tests for the atomic recorder writers, CSV/JSON consistency and history I/O."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentReport
+from repro.bench.recorder import (
+    append_history,
+    atomic_write_text,
+    load_history,
+    report_to_dict,
+    write_bench_json,
+    write_report_csv,
+    write_reports_json,
+)
+
+
+def _report(claim: bool = True) -> ExperimentReport:
+    report = ExperimentReport(experiment_id="E99", title="atomicity probe",
+                              headers=["n", "ok"])
+    report.add_row(10, True)
+    report.add_row(20, False)
+    report.add_claim("writer is atomic", claim)
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# atomic writes + fault injection
+# --------------------------------------------------------------------------- #
+
+class TestAtomicWrites:
+    def test_write_then_replace(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, lambda handle: handle.write("payload"))
+        with open(path) as handle:
+            assert handle.read() == "payload"
+
+    def test_crash_mid_write_leaves_original_intact(self, tmp_path):
+        # Regression: the recorder used plain open(path, "w"), so a crash
+        # mid-write truncated a committed artifact to a partial file.
+        path = tmp_path / "artifact.json"
+        path.write_text('{"schema": "old", "intact": true}\n')
+
+        def exploding(handle):
+            handle.write('{"schema": "new", "partial":')
+            raise RuntimeError("disk full")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_text(str(path), exploding)
+        assert json.loads(path.read_text()) == {"schema": "old", "intact": True}
+
+    def test_crash_leaves_no_tmp_litter(self, tmp_path):
+        path = tmp_path / "artifact.json"
+
+        def exploding(handle):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_text(str(path), exploding)
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_report_writers_survive_crash(self, tmp_path, monkeypatch):
+        # The high-level writers route through the same atomic path: fail the
+        # final rename and the original artifact must survive.
+        path = tmp_path / "report.csv"
+        write_report_csv(_report(), str(path))
+        original = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("rename failed")
+
+        monkeypatch.setattr("repro.bench.recorder.os.replace", exploding_replace)
+        with pytest.raises(OSError):
+            write_report_csv(_report(claim=False), str(path))
+        assert path.read_text() == original
+        assert [name for name in os.listdir(str(tmp_path))
+                if name.endswith(".tmp")] == []
+
+    def test_write_bench_json(self, tmp_path):
+        path = str(tmp_path / "BENCH_grid.json")
+        write_bench_json({"schema": "repro-bench-grid/1", "suites": []}, path)
+        with open(path) as handle:
+            assert json.load(handle)["schema"] == "repro-bench-grid/1"
+
+
+# --------------------------------------------------------------------------- #
+# CSV <-> JSON consistency
+# --------------------------------------------------------------------------- #
+
+class TestCsvJsonConsistency:
+    def test_csv_booleans_use_json_spelling(self, tmp_path):
+        # Regression: csv.writer stringified Python booleans as True/False
+        # while the JSON archive emitted true/false for the same report.
+        path = str(tmp_path / "report.csv")
+        write_report_csv(_report(), path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1] == ["10", "true"]
+        assert rows[2] == ["20", "false"]
+        assert rows[-1] == ["writer is atomic", "true"]
+        flat = "".join(",".join(row) for row in rows)
+        assert "True" not in flat and "False" not in flat
+
+    def test_csv_json_claims_round_trip(self, tmp_path):
+        report = _report(claim=False)
+        csv_path = str(tmp_path / "report.csv")
+        json_path = str(tmp_path / "report.json")
+        write_report_csv(report, csv_path)
+        write_reports_json([report], json_path)
+
+        with open(json_path) as handle:
+            json_claims = json.load(handle)[0]["claims"]
+        with open(csv_path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        claim_start = rows.index(["claim", "holds"]) + 1
+        csv_claims = {description: holds
+                      for description, holds in rows[claim_start:]}
+        # The CSV's cells, parsed as JSON scalars, must equal the JSON claims.
+        assert {k: json.loads(v) for k, v in csv_claims.items()} == json_claims
+
+    def test_report_to_dict_round_trips_through_json(self):
+        payload = report_to_dict(_report())
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["all_claims_hold"] is True
+
+
+# --------------------------------------------------------------------------- #
+# perf-history append/load
+# --------------------------------------------------------------------------- #
+
+class TestHistory:
+    def test_append_creates_and_extends(self, tmp_path):
+        path = str(tmp_path / "PERF_HISTORY.jsonl")
+        assert append_history(path, [{"suite": "kernels", "gates": {"s": 2.0}}]) == 1
+        assert append_history(path, [{"suite": "engine"},
+                                     {"suite": "service"}]) == 2
+        entries = load_history(path)
+        assert [entry["suite"] for entry in entries] == \
+            ["kernels", "engine", "service"]
+
+    def test_load_skips_blank_and_torn_lines(self, tmp_path):
+        path = tmp_path / "PERF_HISTORY.jsonl"
+        path.write_text('{"suite": "kernels"}\n'
+                        '\n'
+                        '{"suite": "engi'      # torn mid-write by a crash
+                        '\n'
+                        '[1, 2, 3]\n'           # JSON but not an entry object
+                        '{"suite": "service"}\n')
+        entries = load_history(str(path))
+        assert [entry["suite"] for entry in entries] == ["kernels", "service"]
+
+    def test_append_preserves_existing_lines_atomically(self, tmp_path):
+        path = tmp_path / "PERF_HISTORY.jsonl"
+        path.write_text('{"suite": "kernels", "gates": {"x": 1.5}}\n')
+        append_history(str(path), [{"suite": "parallel"}])
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines() if line.strip()]
+        assert lines[0] == {"suite": "kernels", "gates": {"x": 1.5}}
+        assert lines[1] == {"suite": "parallel"}
+        assert [name for name in os.listdir(str(tmp_path))
+                if name.endswith(".tmp")] == []

@@ -97,3 +97,32 @@ class TestArchitectureCoverage:
         assert artifacts, "benchmarks must emit BENCH_*.json artifacts"
         missing = [a for a in sorted(artifacts) if a not in documentation_text]
         assert not missing, "undocumented bench artifacts: %s" % ", ".join(missing)
+
+
+class TestBenchGuideCoverage:
+    """docs/benchmarks.md must track the grid harness it documents."""
+
+    @pytest.fixture(scope="class")
+    def bench_guide(self):
+        path = REPO_ROOT / "docs" / "benchmarks.md"
+        assert path.is_file(), "docs/benchmarks.md is part of the deliverable"
+        return path.read_text()
+
+    def test_every_suite_is_documented(self, bench_guide):
+        from repro.bench.suites import SUITES
+        missing = [name for name in SUITES
+                   if not re.search(r"\b%s\b" % re.escape(name), bench_guide)]
+        assert not missing, "undocumented bench suites: %s" % ", ".join(missing)
+
+    def test_schema_version_is_documented(self, bench_guide):
+        from repro.bench.grid import BENCH_SCHEMA
+        assert BENCH_SCHEMA in bench_guide, (
+            "docs/benchmarks.md must name the artifact schema %r" % BENCH_SCHEMA)
+
+    def test_history_file_is_documented(self, bench_guide):
+        assert "PERF_HISTORY.jsonl" in bench_guide
+
+    def test_bench_actions_are_documented(self, bench_guide):
+        for action in ("bench list", "bench grid", "bench compare"):
+            assert action in bench_guide, (
+                "docs/benchmarks.md must describe `repro %s`" % action)

@@ -68,6 +68,29 @@ class TestTTLCache:
         assert cache.purge(now=6.0) == 1
         assert len(cache) == 1 and cache.get("new", now=6.0) == 2
 
+    def test_full_cache_expired_entry_insert_keeps_live_answers(self):
+        # Regression: at capacity, put() used to evict the LRU *live* entry
+        # while an expired entry still occupied a slot.
+        cache = TTLCache(maxsize=3, ttl=5.0)
+        cache.put("stale", 0, now=0.0)    # expires at 5.0
+        cache.put("live-a", 1, now=4.0)
+        cache.put("live-b", 2, now=4.0)
+        cache.put("new", 3, now=6.0)      # full, but "stale" is already dead
+        assert len(cache) == 3
+        assert cache.get("live-a", now=6.0) == 1
+        assert cache.get("live-b", now=6.0) == 2
+        assert cache.get("new", now=6.0) == 3
+        assert cache.stats["expirations"] == 1
+
+    def test_put_at_capacity_all_live_falls_back_to_lru(self):
+        cache = TTLCache(maxsize=2, ttl=100.0)
+        cache.put("a", 1, now=0.0)
+        cache.put("b", 2, now=1.0)
+        cache.put("c", 3, now=2.0)        # nothing expired: evict LRU "a"
+        assert cache.get("a", now=2.0) is None
+        assert cache.get("b", now=2.0) == 2 and cache.get("c", now=2.0) == 3
+        assert cache.stats["expirations"] == 0
+
     def test_zero_size_disables(self):
         cache = TTLCache(maxsize=0, ttl=5.0)
         cache.put("k", 1, now=0.0)
