@@ -106,6 +106,7 @@ from .boxes import (
     colored_maxrs_box,
     colored_maxrs_box_arrangement,
     colored_maxrs_box_output_sensitive,
+    colored_maxrs_box3d_exact,
     estimate_colored_opt_box,
 )
 from .exact import maxrs_box3d_exact
@@ -137,6 +138,7 @@ from .service import MaxRSService, ServiceRequest, ServiceResponse
 from . import obs
 from .regions import (
     DecayingMaxRSMonitor,
+    decayed_maxrs,
     top_k_maxrs_disk,
     top_k_maxrs_rectangle,
 )
@@ -192,6 +194,7 @@ __all__ = [
     "colored_maxrs_box",
     "colored_maxrs_box_arrangement",
     "colored_maxrs_box_output_sensitive",
+    "colored_maxrs_box3d_exact",
     "estimate_colored_opt_box",
     # streaming monitors (Section 1.1 application layer)
     "ApproximateMaxRSMonitor",
@@ -218,6 +221,7 @@ __all__ = [
     "top_k_maxrs_rectangle",
     "top_k_maxrs_disk",
     "DecayingMaxRSMonitor",
+    "decayed_maxrs",
     # batched problems
     "batched_maxrs_1d",
     "batched_maxrs_rectangles",

@@ -28,13 +28,16 @@ def batched_maxrs_1d(
     *,
     weights: Optional[Sequence[float]] = None,
     allow_empty: bool = True,
+    backend: str = "auto",
 ) -> List[MaxRSResult]:
     """Solve 1-d MaxRS for every query interval length (``O(m n log n)``).
 
     Weights may be negative (the Section 5.4 reduction relies on it).
+    ``backend`` is forwarded to every per-length sweep.
     """
     return [
-        maxrs_interval_exact(points, length, weights=weights, allow_empty=allow_empty)
+        maxrs_interval_exact(points, length, weights=weights, allow_empty=allow_empty,
+                             backend=backend)
         for length in lengths
     ]
 
@@ -44,13 +47,15 @@ def batched_maxrs_rectangles(
     sizes: Sequence[Tuple[float, float]],
     *,
     weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
 ) -> List[MaxRSResult]:
     """Solve planar MaxRS for every query rectangle size (``O(m n log n)``).
 
     This is the ``R^2`` upper bound discussed after Theorem 1.3: running the
     exact Imai--Asano / Nandy--Bhattacharya sweep once per query size.
+    ``backend`` is forwarded to every per-size sweep.
     """
     return [
-        maxrs_rectangle_exact(points, width, height, weights=weights)
+        maxrs_rectangle_exact(points, width, height, weights=weights, backend=backend)
         for width, height in sizes
     ]

@@ -25,7 +25,15 @@ executor grid through the driver in :mod:`repro.bench.grid`:
 * ``parallel``  -- the same exact-rectangle batch on the serial, pickle
                    process-pool and zero-copy shared-memory engines, gated
                    bit-for-bit against serial and on shared-process beating
-                   process.
+                   process;
+* ``zoo``       -- the long-tail query families (top-k peels, decayed
+                   weights, batched members, colored 3-d boxes) as one
+                   heterogeneous trace through the serial loop and the
+                   serving front end per routing mode, with the bit-for-bit
+                   differential on direct routing, the strict value
+                   differential on plan-aware routing (which shards the
+                   quadratic top-k members), and the colored box3d solver
+                   checked direct vs engine.
 
 All imports of the measured subsystems happen lazily inside the suites so
 ``import repro.bench`` stays light.
@@ -41,7 +49,7 @@ from .grid import CaseResult, CheckResult, GridCase, GridSuite, capture_spans, t
 
 __all__ = ["SUITES", "get_suite",
            "KernelsSuite", "EngineSuite", "StreamingSuite",
-           "ServiceSuite", "ParallelSuite"]
+           "ServiceSuite", "ParallelSuite", "ZooSuite"]
 
 
 def _isclose(a: float, b: float) -> bool:
@@ -712,6 +720,176 @@ class ServiceSuite(GridSuite):
 
 
 # --------------------------------------------------------------------------- #
+# zoo
+# --------------------------------------------------------------------------- #
+
+class ZooSuite(ServiceSuite):
+    """The long-tail query families served as one heterogeneous trace.
+
+    Reuses the :class:`ServiceSuite` trace/differential machinery over a
+    trace that mixes top-k, decayed and batched queries into the headline
+    shapes (:func:`repro.datasets.requests.zoo_query_catalog`), plus a
+    colored box3d workload checked direct vs the sharded engine.  The
+    dataset is unweighted on purpose: every top-k / batched optimum is then
+    an integer count, so the strict per-request value equality of the
+    differential is safe even for the sharded answers plan-aware routing
+    produces (decayed queries always route direct -- their weights depend
+    on global arrival order -- so they stay bit-identical regardless).
+    """
+
+    name = "zoo"
+    description = ("topk/decayed/batched trace through the serial loop and "
+                   "MaxRSService per routing, plus colored box3d direct vs "
+                   "engine, differentially gated")
+
+    RADIUS = 0.5
+
+    def defaults(self, quick: bool) -> Dict[str, object]:
+        """Trace length, planar dataset size and the 3-d box dataset size."""
+        return {
+            "requests": 300 if quick else 600,
+            "n_points": 400 if quick else 900,
+            "n_box": 240 if quick else 600,
+            "extent": 8.0 if quick else 10.0,
+            "window": 64,
+            "seed": 23,
+            "routings": ["direct", "auto"],
+            "families": ["topk", "decayed", "batched"],
+        }
+
+    def _base_catalog(self):
+        from ..engine import Query
+        return [Query.rectangle(1.0, 1.0), Query.disk(0.4)]
+
+    def build(self, config):
+        """Planar dataset + zoo trace; 3-d colored dataset for the box."""
+        from ..datasets import (clustered_points, request_trace,
+                                trajectory_colored_points)
+        from ..engine import Query
+
+        n_points = int(config["n_points"])
+        extent = float(config["extent"])
+        seed = int(config["seed"])
+        coords = clustered_points(n_points, dim=2, extent=extent, seed=seed)
+        n_box = int(config["n_box"])
+        entities = 12
+        box_points, box_colors = trajectory_colored_points(
+            entities, samples_per_entity=max(1, n_box // entities), dim=3,
+            extent=extent, seed=seed + 1)
+        traces = {
+            # families_backend is pinned: "auto" resolves per micro-batch in
+            # the service but per call in the serial loop, which flips
+            # kernels near the threshold and breaks the strict decayed-value
+            # differential in the last float bits.
+            "zoo": request_trace(
+                int(config["requests"]), catalog=self._base_catalog(),
+                families=tuple(config["families"]),
+                families_backend="numpy", shuffle=False,
+                zipf_s=1.2, update_every=120, update_batch=8, seed=seed,
+                extent=extent),
+        }
+        cases = [GridCase(self.name, "zoo", len(traces["zoo"]),
+                          executor="serial-loop")]
+        cases += [GridCase(self.name, "zoo", len(traces["zoo"]),
+                           executor=routing) for routing in config["routings"]]
+        cases += [GridCase(self.name, "box3d", len(box_points),
+                           executor=executor)
+                  for executor in ("direct", "serial")]
+        return cases, {"coords": coords, "colors": None, "traces": traces,
+                       "box": (box_points, box_colors),
+                       "box_query": Query.colored_box3d(1.5, 1.5, 1.5),
+                       "baselines": {}, "responses": {}, "box_results": {}}
+
+    def run_case(self, case, config, context):
+        """Zoo-trace cells reuse the service machinery; box3d cells time the
+        direct solver call vs the sharded engine."""
+        if case.workload != "box3d":
+            return super().run_case(case, config, context)
+        from ..boxes import colored_maxrs_box3d_exact
+        from ..engine import QueryEngine
+
+        points, colors = context["box"]
+        query = context["box_query"]
+        if case.executor == "direct":
+            seconds, result = timed(lambda: colored_maxrs_box3d_exact(
+                points, (query.width, query.height, query.depth),
+                colors=colors))
+        else:
+            with QueryEngine(points, colors=colors,
+                             executor=case.executor) as engine:
+                def run():
+                    engine.clear_cache()
+                    return engine.solve(query)
+                seconds, result = timed(run)
+        context["box_results"][case.executor] = result
+        return CaseResult(case.case_id, case.axes,
+                          {"seconds": round(seconds, 6),
+                           "value": result.value,
+                           "exact": bool(result.exact)})
+
+    def finish(self, results, config, context):
+        """Differential per routing (bit-for-bit on direct), the box3d
+        engine agreement check and the portable speedup gates."""
+        by_key = {(r.axes["workload"], r.axes["executor"]): r for r in results}
+        checks: List[CheckResult] = []
+        summary: Dict[str, object] = {}
+        gates: Dict[str, object] = {}
+        for (workload, routing), responses in sorted(context["responses"].items()):
+            trace = context["traces"][workload]
+            static, monitor, failure = self._differential(
+                trace, context["coords"], context["colors"], responses,
+                context["baselines"][workload],
+                check_static_bits=(routing == "direct"))
+            checks.append(CheckResult(
+                "%s %s differential (%d static + %d monitor)"
+                % (workload, routing, static, monitor),
+                failure is None, failure or ""))
+        serial = by_key[("zoo", "serial-loop")]
+        for routing in config["routings"]:
+            variant = by_key.get(("zoo", routing))
+            if variant is None:
+                continue
+            speedup = round(variant.metrics["requests_per_sec"]
+                            / serial.metrics["requests_per_sec"], 2)
+            summary["speedup_%s_vs_serial" % routing] = speedup
+        if "speedup_direct_vs_serial" in summary:
+            gates["speedup_direct_vs_serial"] = \
+                summary["speedup_direct_vs_serial"]
+        direct_box = context["box_results"].get("direct")
+        engine_box = context["box_results"].get("serial")
+        if direct_box is not None and engine_box is not None:
+            checks.append(CheckResult(
+                "box3d engine == direct value",
+                _isclose(engine_box.value, direct_box.value)
+                and engine_box.exact,
+                "engine=%r direct=%r" % (engine_box.value, direct_box.value)))
+            direct_case = by_key[("box3d", "direct")]
+            engine_case = by_key[("box3d", "serial")]
+            if engine_case.metrics["seconds"] > 0:
+                ratio = round(direct_case.metrics["seconds"]
+                              / engine_case.metrics["seconds"], 3)
+                summary["box3d_sharded_speedup"] = ratio
+                gates["box3d_sharded_speedup"] = ratio
+        return checks, summary, gates
+
+    def span_probe(self, config, context):
+        """One small traced plan-aware replay of a zoo trace, so the
+        artifact records where the peel rounds and direct detours go."""
+        from ..datasets import request_trace
+
+        trace = request_trace(150, catalog=self._base_catalog(),
+                              families=tuple(config["families"]),
+                              families_backend="numpy",
+                              shuffle=False, zipf_s=1.2, update_every=120,
+                              update_batch=8, seed=int(config["seed"]) + 2,
+                              extent=float(config["extent"]))
+        spans = capture_spans(lambda: self._run_service(
+            trace, context["coords"], context["colors"], "auto",
+            int(config["window"])))
+        return {"requests": len(trace), "routing": "auto", "spans": spans}
+
+
+# --------------------------------------------------------------------------- #
 # parallel
 # --------------------------------------------------------------------------- #
 
@@ -837,7 +1015,8 @@ class ParallelSuite(GridSuite):
 
 SUITES: Dict[str, Callable[[], GridSuite]] = {
     suite.name: suite for suite in
-    (KernelsSuite, EngineSuite, StreamingSuite, ServiceSuite, ParallelSuite)
+    (KernelsSuite, EngineSuite, StreamingSuite, ServiceSuite, ParallelSuite,
+     ZooSuite)
 }
 """Registry of the built-in grid suites, keyed by suite name."""
 

@@ -29,6 +29,7 @@ from .colored import (
     colored_maxrs_box_output_sensitive,
     estimate_colored_opt_box,
 )
+from .box3d import colored_maxrs_box3d_exact
 
 __all__ = [
     "rectangles_union_pieces",
@@ -39,4 +40,5 @@ __all__ = [
     "colored_maxrs_box_output_sensitive",
     "estimate_colored_opt_box",
     "colored_maxrs_box",
+    "colored_maxrs_box3d_exact",
 ]

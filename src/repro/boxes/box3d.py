@@ -1,0 +1,100 @@
+"""Exact colored MaxRS for axis-aligned boxes in R^3.
+
+The colored (type-2 / group-by) objective counts *distinct colors*, not
+total weight.  The open-problem extension of Section 7 asks for colored
+boxes beyond the plane; as with the uncolored case (`repro.exact.box3d`),
+the robust baseline is a reduction to the planar solver rather than the
+asymptotically fast machinery:
+
+an optimal box can be shifted until its top z-face passes through an input
+point, so it suffices to try the ``n`` candidate bottom faces
+``c = z_i - wz`` and solve the induced *planar colored* problem --
+:func:`repro.exact.colored_rectangle.colored_maxrs_rectangle_exact` -- on
+the points whose z-coordinate falls inside the slab ``[c, c + wz]``.
+Distinct-color counts only shrink when restricting to a slab, so the number
+of distinct colors in a slab is a sound upper bound used for pruning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from ..core._inputs import normalize_colored
+from ..core.result import MaxRSResult
+from ..exact.colored_rectangle import colored_maxrs_rectangle_exact
+
+__all__ = ["colored_maxrs_box3d_exact"]
+
+_EPS = 1e-9
+
+
+def colored_maxrs_box3d_exact(
+    points: Sequence,
+    side_lengths: Sequence[float],
+    *,
+    colors: Optional[Sequence] = None,
+) -> MaxRSResult:
+    """Optimal colored (distinct-count) placement of a box in R^3 (exact).
+
+    Parameters
+    ----------
+    points:
+        Points in R^3 (coordinate triples or ``ColoredPoint``).
+    side_lengths:
+        The box dimensions ``(wx, wy, wz)``; all must be positive.
+    colors:
+        Per-point color labels (defaults to the points' inherent colors).
+
+    Returns
+    -------
+    MaxRSResult
+        ``value`` is the maximum number of distinct colors a box of the
+        given dimensions can cover; ``center`` holds the lower corner
+        ``(a, b, c)`` of an optimal box.
+    """
+    side_lengths = tuple(float(s) for s in side_lengths)
+    if len(side_lengths) != 3 or any(s <= 0 for s in side_lengths):
+        raise ValueError(
+            "side_lengths must be three positive numbers, got %r" % (side_lengths,))
+    wx, wy, wz = side_lengths
+    coords, color_list, dim = normalize_colored(points, colors)
+    if coords and dim != 3:
+        raise ValueError(
+            "colored_maxrs_box3d_exact expects points in R^3, got dim=%d" % dim)
+    if not coords:
+        return MaxRSResult(value=0.0, center=None, shape="box", exact=True,
+                           meta={"side_lengths": side_lengths, "n": 0, "colors": 0})
+
+    zs = [c[2] for c in coords]
+    best_value = -math.inf
+    best_corner: Optional[Tuple[float, float, float]] = None
+    for anchor_z in sorted(set(zs)):
+        c = anchor_z - wz
+        slab_indices = [i for i, z in enumerate(zs) if c - _EPS <= z <= anchor_z + _EPS]
+        if not slab_indices:
+            continue
+        # Restricting to a slab can only lose colors, so the distinct-color
+        # count of the slab upper-bounds every box anchored in it.
+        slab_colors = [color_list[i] for i in slab_indices]
+        if len(set(slab_colors)) <= best_value:
+            continue
+        slab_points = [(coords[i][0], coords[i][1]) for i in slab_indices]
+        planar = colored_maxrs_rectangle_exact(slab_points, width=wx, height=wy,
+                                               colors=slab_colors)
+        if planar.center is not None and planar.value > best_value:
+            best_value = planar.value
+            best_corner = (planar.center[0], planar.center[1], c)
+
+    return MaxRSResult(
+        value=best_value,
+        center=best_corner,
+        shape="box",
+        exact=True,
+        meta={
+            "side_lengths": side_lengths,
+            "n": len(coords),
+            "colors": len(set(color_list)),
+            "method": "z-slab sweep + planar colored sweep",
+        },
+    )

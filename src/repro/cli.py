@@ -75,7 +75,7 @@ from .datasets import (
     weighted_hotspot_points,
 )
 from .datasets.io import read_points_csv, write_points_csv
-from .engine import Query, QueryEngine
+from .engine import Query, QueryEngine, solve_query
 from .exact import (
     colored_maxrs_disk_sweep,
     maxrs_disk_exact,
@@ -188,10 +188,78 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_lengths(raw: Optional[str]) -> Optional[List[float]]:
+    """Parse ``--lengths 0.5,1.0,2.0`` into a list of floats."""
+    if raw is None:
+        return None
+    try:
+        return [float(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError("--lengths expects comma-separated numbers, got %r" % raw)
+
+
+def _parse_sizes(raw: Optional[str]) -> Optional[List]:
+    """Parse ``--sizes 1x1,2x1.5`` into a list of ``(width, height)`` pairs."""
+    if raw is None:
+        return None
+    sizes = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        width, separator, height = part.partition("x")
+        if not separator:
+            raise ValueError("--sizes expects comma-separated WxH pairs, got %r" % raw)
+        try:
+            sizes.append((float(width), float(height)))
+        except ValueError:
+            raise ValueError("--sizes expects comma-separated WxH pairs, got %r" % raw)
+    return sizes
+
+
+def _zoo_query_from_args(args: argparse.Namespace, has_colors: bool) -> Optional[Query]:
+    """Build the long-tail family queries (``solve --family``); raises
+    :class:`ValueError` on family/shape combinations with no solver."""
+    backend = args.backend
+    if args.family == "topk":
+        if args.shape == "disk":
+            return Query.topk_disk(args.radius, args.k, backend=backend)
+        if args.shape == "rectangle":
+            return Query.topk_rectangle(args.width, args.height, args.k, backend=backend)
+        raise ValueError("--family topk supports shapes 'rectangle' and 'disk'")
+    if args.family == "batched":
+        if args.shape == "interval":
+            lengths = _parse_lengths(args.lengths) or [args.length]
+            return Query.batched_intervals(lengths, backend=backend)
+        if args.shape == "rectangle":
+            sizes = _parse_sizes(args.sizes) or [(args.width, args.height)]
+            return Query.batched_rectangles(sizes, backend=backend)
+        raise ValueError("--family batched supports shapes 'interval' and 'rectangle'")
+    if args.family == "decayed":
+        if args.shape == "disk":
+            return Query.decayed_disk(args.radius, args.gamma, as_of=args.as_of,
+                                      backend=backend)
+        if args.shape == "rectangle":
+            return Query.decayed_rectangle(args.width, args.height, args.gamma,
+                                           as_of=args.as_of, backend=backend)
+        if args.shape == "interval":
+            return Query.decayed_interval(args.length, args.gamma, as_of=args.as_of,
+                                          backend=backend)
+        raise ValueError("--family decayed supports shapes 'interval', 'rectangle' "
+                         "and 'disk'")
+    # colored-box3d: the box is --width x --height x --depth; the positional
+    # shape is ignored (there is exactly one box-family solver).
+    if not has_colors:
+        return None
+    return Query.colored_box3d(args.width, args.height, args.depth)
+
+
 def _query_from_args(args: argparse.Namespace, has_colors: bool) -> Optional[Query]:
     """Translate ``solve`` arguments into an engine :class:`Query` (or ``None``
     when the shape needs a color column that is missing)."""
     backend = args.backend
+    if args.family != "single":
+        return _zoo_query_from_args(args, has_colors)
     if args.shape == "interval":
         return Query.interval(args.length, backend=backend)
     if args.shape == "rectangle":
@@ -213,14 +281,15 @@ def _query_from_args(args: argparse.Namespace, has_colors: bool) -> Optional[Que
 
 
 def _solve_with_engine(args: argparse.Namespace, table) -> int:
-    query = _query_from_args(args, table.colors is not None)
-    if query is None:
-        print("colored solvers need a 'color' column in the input CSV", file=sys.stderr)
-        return 2
     # No --executor: --workers > 1 implies the thread pool, otherwise the
     # default executor (REPRO_EXECUTOR if set, serial below that).
     executor = args.executor or ("thread" if args.workers > 1 else None)
     try:
+        query = _query_from_args(args, table.colors is not None)
+        if query is None:
+            print("colored solvers need a 'color' column in the input CSV",
+                  file=sys.stderr)
+            return 2
         with QueryEngine(table.points, weights=table.weights, colors=table.colors,
                          executor=executor, workers=args.workers) as engine:
             result = engine.solve(query)
@@ -264,6 +333,23 @@ def _solve_table(args: argparse.Namespace, table) -> int:
     points = table.points
     weights = table.weights
     colors = table.colors
+
+    if args.family != "single":
+        # The zoo families share one direct dispatch point with the engine
+        # and service (engine.solve_query), so `solve --family` answers are
+        # bit-identical to what routing="direct" serves.
+        try:
+            query = _query_from_args(args, colors is not None)
+            if query is None:
+                print("colored solvers need a 'color' column in the input CSV",
+                      file=sys.stderr)
+                return 2
+            result = solve_query(query, points, weights, colors)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        _print_result(result)
+        return 0
 
     if args.shape == "interval":
         result = maxrs_interval_exact(points, length=args.length, weights=weights,
@@ -480,10 +566,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("cannot load trace %s: %s" % (args.replay, error), file=sys.stderr)
             return 2
     else:
+        families = ([part.strip() for part in args.families.split(",") if part.strip()]
+                    if args.families else None)
         catalog = default_query_catalog(colored=colors is not None,
                                         backend=args.backend)
-        trace = request_trace(args.requests, catalog=catalog, seed=args.seed,
-                              extent=args.extent)
+        try:
+            trace = request_trace(args.requests, catalog=catalog, seed=args.seed,
+                                  extent=args.extent, families=families,
+                                  families_backend=args.backend)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     if args.save_trace:
         save_trace(args.save_trace, trace)
         print("wrote %d requests to %s" % (len(trace), args.save_trace))
@@ -652,6 +745,37 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--exact", action="store_true",
                        help="use the exact solver where both exist (colored-disk)")
+    solve.add_argument("--family",
+                       choices=["single", "topk", "batched", "decayed", "colored-box3d"],
+                       default="single",
+                       help="query family: 'single' is the plain one-placement "
+                            "solver for the positional shape; 'topk' peels --k "
+                            "disjoint placements (shapes rectangle/disk); "
+                            "'batched' answers every --lengths / --sizes member "
+                            "in one query (shapes interval/rectangle); 'decayed' "
+                            "weights point i by gamma^(horizon - i) (shapes "
+                            "interval/rectangle/disk; always routed direct -- "
+                            "weights depend on global arrival order); "
+                            "'colored-box3d' places a --width x --height x "
+                            "--depth box maximising distinct colors (the "
+                            "positional shape is ignored)")
+    solve.add_argument("--k", type=int, default=3,
+                       help="placements to peel for --family topk")
+    solve.add_argument("--gamma", type=float, default=0.9,
+                       help="decay factor in (0, 1) for --family decayed")
+    solve.add_argument("--as-of", type=int, default=None, dest="as_of",
+                       help="evaluate --family decayed as of this arrival index "
+                            "(default: the last point)")
+    solve.add_argument("--depth", type=float, default=1.0,
+                       help="z-side length for --family colored-box3d")
+    solve.add_argument("--lengths", default=None,
+                       help="comma-separated interval lengths for --family "
+                            "batched with shape interval, e.g. 0.5,1.0,2.0 "
+                            "(default: one member of --length)")
+    solve.add_argument("--sizes", default=None,
+                       help="comma-separated WxH rectangle sizes for --family "
+                            "batched with shape rectangle, e.g. 1x1,2x1.5 "
+                            "(default: one member of --width x --height)")
     solve.add_argument("--backend", choices=["auto", "python", "numpy"], default="auto",
                        help="kernel backend for the sweep inner loops (repro.kernels): "
                             "'python' is the reference loop, 'numpy' the vectorised "
@@ -743,6 +867,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(see repro.datasets.requests.save_trace)")
     serve.add_argument("--save-trace", default=None,
                        help="write the replayed trace to this JSONL path")
+    serve.add_argument("--families", default=None,
+                       help="comma-separated long-tail query families to mix "
+                            "into the generated trace (topk, decayed, batched, "
+                            "batched_interval, colored_box3d); replayed traces "
+                            "carry their own families")
     serve.add_argument("--concurrency", type=int, default=64,
                        help="maximum requests in flight together (the flush window "
                             "micro-batches and coalescing operate over)")
@@ -804,7 +933,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "committed PERF_HISTORY.jsonl trajectory")
     bench.add_argument("--suite", action="append", default=None,
                        help="suite to run (repeatable; default: all of %s)"
-                            % "engine/kernels/parallel/service/streaming")
+                            % "engine/kernels/parallel/service/streaming/zoo")
     bench.add_argument("--quick", action="store_true",
                        help="CI-sized workloads (the committed baselines in "
                             "PERF_HISTORY.jsonl are quick-mode)")

@@ -36,6 +36,7 @@ __all__ = [
     "RequestEvent",
     "RequestTrace",
     "default_query_catalog",
+    "zoo_query_catalog",
     "request_trace",
     "save_trace",
     "load_trace",
@@ -130,6 +131,50 @@ def default_query_catalog(
     return catalog
 
 
+def zoo_query_catalog(
+    *,
+    families: Sequence[str] = ("topk", "decayed", "batched"),
+    backend: str = "auto",
+) -> List[Query]:
+    """Long-tail query families for heterogeneous-zoo traces.
+
+    ``families`` selects which family mixes to include:
+
+    * ``"topk"`` -- greedy disjoint top-k rectangle/disk placements;
+    * ``"decayed"`` -- arrival-order exponential decay (planar);
+    * ``"batched"`` -- batched rectangle sizes (planar; use
+      ``"batched_interval"`` for the 1-d lengths variant);
+    * ``"colored_box3d"`` -- exact colored boxes (needs a 3-d colored
+      dataset, so it is off by default for planar traces).
+
+    Unknown family names raise so a typo cannot silently thin the mix.
+    """
+    known = {"topk", "decayed", "batched", "batched_interval", "colored_box3d"}
+    unknown = [family for family in families if family not in known]
+    if unknown:
+        raise ValueError("unknown zoo families %r (known: %s)"
+                         % (unknown, ", ".join(sorted(known))))
+    catalog: List[Query] = []
+    for family in families:
+        if family == "topk":
+            catalog.append(Query.topk_rectangle(1.5, 1.0, 3, backend=backend))
+            catalog.append(Query.topk_disk(0.75, 2, backend=backend))
+        elif family == "decayed":
+            catalog.append(Query.decayed_disk(0.8, 0.9, backend=backend))
+            catalog.append(Query.decayed_rectangle(1.0, 1.0, 0.95,
+                                                   backend=backend))
+        elif family == "batched":
+            catalog.append(Query.batched_rectangles(
+                ((1.0, 1.0), (2.0, 1.5), (0.5, 2.0)), backend=backend))
+        elif family == "batched_interval":
+            catalog.append(Query.batched_intervals((0.5, 1.0, 2.0),
+                                                   backend=backend))
+        else:  # colored_box3d
+            catalog.append(Query.colored_box3d(1.5, 1.5, 1.5))
+            catalog.append(Query.colored_box3d(2.5, 2.0, 1.0))
+    return catalog
+
+
 def request_trace(
     n_requests: int,
     *,
@@ -145,6 +190,8 @@ def request_trace(
     hotspot_boost: float = 8.0,
     extent: float = 10.0,
     seed=None,
+    families: Optional[Sequence[str]] = None,
+    families_backend: str = "auto",
 ) -> RequestTrace:
     """Synthesise a mixed open-loop serving trace of ``n_requests`` requests.
 
@@ -158,6 +205,15 @@ def request_trace(
         (``shuffle=False``: the first entry is the most popular -- how the
         benchmarks pin expensive queries to the popularity tail), so a
         handful of queries receive most of the traffic.
+    families:
+        Optional long-tail family mix: the names
+        :func:`zoo_query_catalog` accepts.  The zoo queries are appended to
+        the catalog (after the default one when ``catalog`` is ``None``), so
+        heterogeneous traces are one knob away from the headline mix;
+        ``families_backend`` pins their kernel backend (a concrete name
+        makes served answers bit-comparable to a per-call baseline --
+        ``"auto"`` resolves per micro-batch in the service but per call in
+        a serial loop, which flips kernels near the threshold).
     monitor_fraction:
         Fraction of non-update requests that are live-monitor hotspot reads
         instead of static queries.
@@ -186,6 +242,9 @@ def request_trace(
         raise ValueError("rate must be positive and hotspot_boost >= 1")
     rng = default_rng(seed)
     queries = list(catalog) if catalog is not None else default_query_catalog()
+    if families:
+        queries.extend(zoo_query_catalog(families=families,
+                                         backend=families_backend))
     if not queries:
         raise ValueError("the query catalog must not be empty")
     order = rng.permutation(len(queries)) if shuffle else list(range(len(queries)))

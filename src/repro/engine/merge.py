@@ -19,11 +19,11 @@ key), which keeps the merged result deterministic under every executor.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.result import MaxRSResult
 
-__all__ = ["merge_shard_results"]
+__all__ = ["merge_shard_results", "merge_batched_results"]
 
 
 def merge_shard_results(
@@ -59,5 +59,51 @@ def merge_shard_results(
         center=best.center,
         shape=best.shape,
         exact=exact,
+        meta=meta,
+    )
+
+
+def merge_batched_results(
+    results: Sequence[MaxRSResult],
+    *,
+    empty: Optional[MaxRSResult] = None,
+) -> MaxRSResult:
+    """Fold per-shard *batched* results component-wise.
+
+    Every shard answers the same tuple of member lengths/sizes (in
+    ``meta["batch"]``), and each member is itself a monotone MaxRS objective
+    under the shared max-extent halo, so the shard-max argument of
+    :func:`merge_shard_results` applies independently per component: take
+    the best ``(value, center, exact)`` per member (first shard wins ties),
+    then recompute the headline best-member value/center.
+    """
+    if not results:
+        if empty is None:
+            raise ValueError("cannot merge zero shard results without an `empty` fallback")
+        meta = dict(empty.meta)
+        meta.update({"sharded": True, "shards": 0})
+        return MaxRSResult(value=empty.value, center=empty.center,
+                           shape=empty.shape, exact=empty.exact, meta=meta)
+
+    batches = [result.meta.get("batch", ()) for result in results]
+    members = len(batches[0])
+    if any(len(batch) != members for batch in batches):
+        raise ValueError("batched shard results answer different member counts")
+    merged: List[Tuple] = []
+    for index in range(members):
+        best = None
+        for batch in batches:
+            component = batch[index]
+            if best is None or component[0] > best[0]:
+                best = component
+        merged.append(best)
+    head = max(range(members), key=lambda i: merged[i][0])
+    meta = dict(results[0].meta)
+    meta.update({"batch": tuple(merged), "sharded": True, "shards": len(results)})
+    return MaxRSResult(
+        value=merged[head][0],
+        center=merged[head][1],
+        shape=results[0].shape,
+        exact=all(result.exact for result in results),
         meta=meta,
     )

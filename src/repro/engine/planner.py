@@ -30,10 +30,11 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..boxes import colored_maxrs_box
+from ..batched import batched_maxrs_1d, batched_maxrs_rectangles
+from ..boxes import colored_maxrs_box, colored_maxrs_box3d_exact
 from ..core import colored_maxrs_disk, max_range_sum_ball
 from ..core._inputs import normalize_colored, normalize_weighted
-from ..core.geometry import ColoredPoint
+from ..core.geometry import ColoredPoint, point_in_ball, point_in_box
 from ..core.result import MaxRSResult
 from ..exact import (
     colored_maxrs_disk_sweep,
@@ -45,8 +46,10 @@ from ..exact import (
 )
 from ..kernels import resolve_backend
 from ..obs import tracing as obs
+from ..regions.decay import decayed_maxrs
+from ..regions.topk import PlacementScore, top_k_maxrs_disk, top_k_maxrs_rectangle
 from .executors import Executor, get_executor
-from .merge import merge_shard_results
+from .merge import merge_batched_results, merge_shard_results
 from .sharding import Shard, ShardPlan, plan_shards
 
 __all__ = [
@@ -71,12 +74,23 @@ class Query:
     """A hashable description of one MaxRS query.
 
     Use the named constructors (:meth:`disk`, :meth:`rectangle`,
-    :meth:`interval` and their ``colored_`` / ``_approx`` variants) rather
-    than the raw dataclass fields.  Being frozen and hashable is what lets
-    the planner deduplicate identical queries and key its result cache.
+    :meth:`interval`, their ``colored_`` / ``_approx`` variants, and the
+    family constructors :meth:`topk_rectangle` / :meth:`topk_disk` /
+    :meth:`batched_intervals` / :meth:`batched_rectangles` /
+    :meth:`decayed_disk` / :meth:`decayed_rectangle` /
+    :meth:`decayed_interval` / :meth:`colored_box3d`) rather than the raw
+    dataclass fields.  Being frozen and hashable is what lets the planner
+    deduplicate identical queries and key its result cache.
+
+    ``family`` selects the long-tail query families beyond a single
+    placement: ``"topk"`` asks for ``k`` greedy disjoint placements,
+    ``"decayed"`` weights point ``i`` by ``gamma ** (as_of - i)`` of its
+    arrival order, ``"batched"`` answers a whole tuple of interval lengths /
+    rectangle sizes as one query, and ``"colored_box3d"`` is the exact
+    colored (distinct-count) axis-aligned box in R^3.
     """
 
-    shape: str                      # "disk" | "rectangle" | "interval"
+    shape: str                      # "disk" | "rectangle" | "interval" | "box"
     exact: bool = True
     colored: bool = False
     radius: Optional[float] = None
@@ -91,18 +105,88 @@ class Query:
     #: solvers have no kernel hooks yet and run their reference loops
     #: regardless.
     backend: str = "auto"
+    #: Query family: "single" | "topk" | "batched" | "decayed" | "colored_box3d".
+    family: str = "single"
+    k: Optional[int] = None                       # topk: number of placements
+    gamma: Optional[float] = None                 # decayed: per-tick decay factor
+    as_of: Optional[int] = None                   # decayed: query horizon tick
+    lengths: Optional[Tuple[float, ...]] = None   # batched intervals
+    sizes: Optional[Tuple[Tuple[float, float], ...]] = None  # batched rectangles
+    depth: Optional[float] = None                 # box: z side length
 
     def __post_init__(self):
-        if self.shape not in ("disk", "rectangle", "interval"):
+        if self.shape not in ("disk", "rectangle", "interval", "box"):
             raise ValueError("unknown query shape %r" % self.shape)
+        if self.family not in ("single", "topk", "batched", "decayed", "colored_box3d"):
+            raise ValueError("unknown query family %r" % self.family)
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("backend must be a non-empty string, got %r" % (self.backend,))
-        if self.shape == "disk":
+        # JSONL trace round-trips deliver lists; coerce back to tuples so the
+        # query stays hashable and equal to its pre-serialisation self.
+        if self.lengths is not None:
+            object.__setattr__(self, "lengths",
+                               tuple(float(value) for value in self.lengths))
+        if self.sizes is not None:
+            object.__setattr__(self, "sizes",
+                               tuple((float(w), float(h)) for w, h in self.sizes))
+        if self.colored and self.shape == "interval" and not self.exact:
+            # There is no approximate colored interval path; before this
+            # guard the router silently served the *exact* sweep for such
+            # queries, misreporting an exact answer as approximate.
+            raise ValueError(
+                "approximate colored interval queries are not supported (no "
+                "approx path exists; use Query.colored_interval() for the "
+                "exact solver)")
+        if self.family == "topk":
+            if self.colored or not self.exact:
+                raise ValueError("topk queries are exact and weighted")
+            if self.k is None or self.k < 1:
+                raise ValueError("topk queries need k >= 1, got %r" % (self.k,))
+            if self.shape not in ("rectangle", "disk"):
+                raise ValueError("topk queries support rectangles and disks, "
+                                 "not %r" % self.shape)
+        elif self.family == "decayed":
+            if self.colored or not self.exact:
+                raise ValueError("decayed queries are exact and weighted")
+            if self.gamma is None or not 0.0 < self.gamma < 1.0:
+                raise ValueError("decayed queries need gamma strictly between "
+                                 "0 and 1, got %r" % (self.gamma,))
+            if self.as_of is not None and self.as_of < 0:
+                raise ValueError("as_of must be a non-negative tick")
+            if self.shape == "box":
+                raise ValueError("decayed queries support disk, rectangle and "
+                                 "interval shapes")
+        elif self.family == "colored_box3d":
+            if self.shape != "box" or not self.colored or not self.exact:
+                raise ValueError("colored_box3d queries are exact colored "
+                                 "box-shaped queries")
+        elif self.shape == "box":
+            raise ValueError("box-shaped queries are served via "
+                             "family='colored_box3d'")
+        if self.family == "batched":
+            if self.colored or not self.exact:
+                raise ValueError("batched queries are exact and weighted")
+            if self.shape == "interval":
+                if not self.lengths or any(value <= 0 for value in self.lengths):
+                    raise ValueError("batched interval queries need a non-empty "
+                                     "tuple of positive lengths")
+            elif self.shape == "rectangle":
+                if not self.sizes or any(w <= 0 or h <= 0 for w, h in self.sizes):
+                    raise ValueError("batched rectangle queries need a non-empty "
+                                     "tuple of positive (width, height) sizes")
+            else:
+                raise ValueError("batched queries support interval lengths or "
+                                 "rectangle sizes, not %r" % self.shape)
+        elif self.shape == "disk":
             if self.radius is None or self.radius <= 0:
                 raise ValueError("disk queries need a positive radius")
         elif self.shape == "rectangle":
             if self.width is None or self.height is None or self.width <= 0 or self.height <= 0:
                 raise ValueError("rectangle queries need positive width and height")
+        elif self.shape == "box":
+            if (self.width is None or self.height is None or self.depth is None
+                    or self.width <= 0 or self.height <= 0 or self.depth <= 0):
+                raise ValueError("box queries need positive width, height and depth")
         else:
             if self.length is None or self.length <= 0:
                 raise ValueError("interval queries need a positive length")
@@ -164,17 +248,79 @@ class Query:
         """Exact colored interval MaxRS (1-d)."""
         return Query(shape="interval", colored=True, length=length)
 
+    @staticmethod
+    def topk_rectangle(width: float, height: float, k: int,
+                       backend: str = "auto") -> "Query":
+        """Greedy top-k disjoint rectangle placements (regions/topk)."""
+        return Query(shape="rectangle", family="topk", k=k, width=width,
+                     height=height, backend=backend)
+
+    @staticmethod
+    def topk_disk(radius: float, k: int, backend: str = "auto") -> "Query":
+        """Greedy top-k disjoint disk placements (regions/topk)."""
+        return Query(shape="disk", family="topk", k=k, radius=radius,
+                     backend=backend)
+
+    @staticmethod
+    def batched_intervals(lengths: Sequence[float], backend: str = "auto") -> "Query":
+        """Batched 1-d MaxRS: one answer per interval length (Theorem 1.3 oracle)."""
+        return Query(shape="interval", family="batched", lengths=tuple(lengths),
+                     backend=backend)
+
+    @staticmethod
+    def batched_rectangles(sizes: Sequence[Tuple[float, float]],
+                           backend: str = "auto") -> "Query":
+        """Batched planar MaxRS: one answer per (width, height) size."""
+        return Query(shape="rectangle", family="batched",
+                     sizes=tuple(tuple(size) for size in sizes), backend=backend)
+
+    @staticmethod
+    def decayed_disk(radius: float, gamma: float, as_of: Optional[int] = None,
+                     backend: str = "auto") -> "Query":
+        """Exact disk MaxRS under arrival-order exponential decay ([TT22])."""
+        return Query(shape="disk", family="decayed", radius=radius, gamma=gamma,
+                     as_of=as_of, backend=backend)
+
+    @staticmethod
+    def decayed_rectangle(width: float, height: float, gamma: float,
+                          as_of: Optional[int] = None,
+                          backend: str = "auto") -> "Query":
+        """Exact rectangle MaxRS under arrival-order exponential decay."""
+        return Query(shape="rectangle", family="decayed", width=width,
+                     height=height, gamma=gamma, as_of=as_of, backend=backend)
+
+    @staticmethod
+    def decayed_interval(length: float, gamma: float, as_of: Optional[int] = None,
+                         backend: str = "auto") -> "Query":
+        """Exact interval MaxRS under arrival-order exponential decay (1-d)."""
+        return Query(shape="interval", family="decayed", length=length,
+                     gamma=gamma, as_of=as_of, backend=backend)
+
+    @staticmethod
+    def colored_box3d(width: float, height: float, depth: float) -> "Query":
+        """Exact colored (distinct-count) axis-aligned box MaxRS in R^3."""
+        return Query(shape="box", family="colored_box3d", colored=True,
+                     width=width, height=height, depth=depth)
+
     # ------------------------------------------------------------------ #
     # geometry
     # ------------------------------------------------------------------ #
 
     def halo(self, dim: int) -> Tuple[float, ...]:
         """Per-axis bound on the distance from a placement's anchor to any
-        point it covers -- the sharding halo for this query."""
+        point it covers -- the sharding halo for this query.  Batched
+        queries take the per-axis maximum over their member extents, so one
+        sharding is sound for every component."""
+        if self.family == "batched":
+            if self.shape == "interval":
+                return (max(self.lengths),)
+            return (max(w for w, _ in self.sizes), max(h for _, h in self.sizes))
         if self.shape == "disk":
             return (float(self.radius),) * dim
         if self.shape == "rectangle":
             return (float(self.width), float(self.height))
+        if self.shape == "box":
+            return (float(self.width), float(self.height), float(self.depth))
         return (float(self.length),)
 
     @property
@@ -183,31 +329,71 @@ class Query:
         which drives the planner's sharding granularity:
 
         * ``"quadratic"`` -- the ``O(m^2 log m)`` sweeps (weighted / colored
-          disk, colored rectangle).  The smallest legal tiles both minimise
-          total work and avoid stragglers, so sharding is a *work* optimisation
-          even on one core.
+          disk, colored rectangle, the colored 3-d box's z-slab sweep).  The
+          smallest legal tiles both minimise total work and avoid
+          stragglers, so sharding is a *work* optimisation even on one core.
         * ``"linearithmic"`` -- the ``O(m log m)`` sweeps (weighted rectangle
-          and both intervals).  Sharding only buys parallelism, so shards
-          should be coarse to keep halo replication low.
+          and both intervals, plus the batched families that loop them).
+          Sharding only buys parallelism, so shards should be coarse to keep
+          halo replication low.
         * ``"sampled"`` -- the near-linear approximate solvers, whose large
           per-call fixed costs argue for one shard per worker.
+
+        The top-k and decayed families inherit the class of their per-round /
+        underlying sweep.
         """
         if not self.exact:
             return "sampled"
+        if self.family == "batched":
+            return "linearithmic"
+        if self.shape == "box":
+            return "quadratic"
         if self.shape == "disk" or (self.colored and self.shape == "rectangle"):
             return "quadratic"
         return "linearithmic"
+
+    @property
+    def shard_mode(self) -> str:
+        """How the engine may distribute this query over shards:
+
+        * ``"halo"`` -- the standard plan: solve every halo shard once and
+          max-merge (component-wise for batched queries);
+        * ``"peel"`` -- top-k: per-round sharded re-peel (each greedy round
+          is one sharded rank-1 solve on the still-unclaimed points);
+        * ``"direct"`` -- sharded merge cannot be made sound, so the engine
+          answers on the full dataset in one call.  Decayed queries are
+          direct: a point's decayed weight depends on its *global* arrival
+          index, which a halo shard cannot see.  :class:`BatchPlan.direct`
+          names these queries so the routing decision is visible in the plan.
+        """
+        if self.family == "decayed":
+            return "direct"
+        if self.family == "topk":
+            return "peel"
+        return "halo"
 
     def describe(self) -> str:
         """Short human-readable label, used by the CLI and examples."""
         prefix = "colored " if self.colored else ""
         mode = "exact" if self.exact else "approx(eps=%g)" % self.epsilon
-        if self.shape == "disk":
+        if self.family == "batched":
+            if self.shape == "interval":
+                geom = "batched intervals m=%d" % len(self.lengths)
+            else:
+                geom = "batched rectangles m=%d" % len(self.sizes)
+        elif self.shape == "disk":
             geom = "disk r=%g" % self.radius
         elif self.shape == "rectangle":
             geom = "rectangle %gx%g" % (self.width, self.height)
+        elif self.shape == "box":
+            geom = "box %gx%gx%g" % (self.width, self.height, self.depth)
         else:
             geom = "interval L=%g" % self.length
+        if self.family == "topk":
+            geom = "top-%d %s" % (self.k, geom)
+        elif self.family == "decayed":
+            horizon = "" if self.as_of is None else ", as_of=%d" % self.as_of
+            geom = "decayed(gamma=%g%s) %s" % (self.gamma, horizon, geom)
         suffix = "" if self.backend == "auto" else ", backend=%s" % self.backend
         return "%s%s [%s%s]" % (prefix, geom, mode, suffix)
 
@@ -238,6 +424,50 @@ def solve_query(
         return _route_query(query, coords, weights, colors)
 
 
+def _topk_result(query: Query, placements: Sequence[PlacementScore],
+                 n: int) -> MaxRSResult:
+    """Fold a top-k placement list into one :class:`MaxRSResult`.
+
+    The headline ``value``/``center`` are the rank-1 placement's; the full
+    ranked list lives in ``meta["placements"]`` as plain tuples
+    ``(rank, value, center, covered_points)`` so the result stays picklable
+    and JSON-friendly.
+    """
+    records = tuple(
+        (p.rank, float(p.value), tuple(float(c) for c in p.center),
+         int(p.covered_points))
+        for p in placements)
+    meta = {"family": "topk", "k": query.k, "n": n, "placements": records}
+    if placements:
+        head = placements[0]
+        return MaxRSResult(value=float(head.value),
+                           center=tuple(float(c) for c in head.center),
+                           shape=query.shape, exact=True, meta=meta)
+    return MaxRSResult(value=0.0, center=None, shape=query.shape, exact=True,
+                       meta=meta)
+
+
+def _batched_result(query: Query, batch: Sequence[MaxRSResult],
+                    n: int) -> MaxRSResult:
+    """Fold a batched answer list into one :class:`MaxRSResult`.
+
+    ``meta["batch"]`` carries one ``(value, center, exact)`` tuple per
+    member length/size, in query order; the headline ``value``/``center``
+    are the best member's (first index on ties).
+    """
+    components = tuple(
+        (float(r.value),
+         None if r.center is None else tuple(float(c) for c in r.center),
+         bool(r.exact))
+        for r in batch)
+    best = max(range(len(components)), key=lambda i: components[i][0])
+    meta = {"family": "batched", "n": n, "batch": components}
+    return MaxRSResult(value=components[best][0], center=components[best][1],
+                       shape=query.shape,
+                       exact=all(component[2] for component in components),
+                       meta=meta)
+
+
 def _route_query(
     query: Query,
     coords: Sequence[Coords],
@@ -245,6 +475,33 @@ def _route_query(
     colors: Optional[Sequence[Hashable]],
 ) -> MaxRSResult:
     """The un-traced solver dispatch behind :func:`solve_query`."""
+    if query.family == "topk":
+        if query.shape == "rectangle":
+            placements = top_k_maxrs_rectangle(
+                coords, width=query.width, height=query.height, k=query.k,
+                weights=weights, backend=query.backend)
+        else:
+            placements = top_k_maxrs_disk(
+                coords, radius=query.radius, k=query.k, weights=weights,
+                backend=query.backend)
+        return _topk_result(query, placements, len(coords))
+    if query.family == "batched":
+        if query.shape == "interval":
+            batch = batched_maxrs_1d(coords, query.lengths, weights=weights,
+                                     backend=query.backend)
+        else:
+            batch = batched_maxrs_rectangles(coords, query.sizes,
+                                             weights=weights,
+                                             backend=query.backend)
+        return _batched_result(query, batch, len(coords))
+    if query.family == "decayed":
+        return decayed_maxrs(coords, decay=query.gamma, radius=query.radius,
+                             width=query.width, height=query.height,
+                             length=query.length, as_of=query.as_of,
+                             weights=weights, backend=query.backend)
+    if query.shape == "box":
+        return colored_maxrs_box3d_exact(
+            coords, (query.width, query.height, query.depth), colors=colors)
     if query.colored:
         if query.shape == "disk":
             if query.exact:
@@ -436,6 +693,13 @@ class BatchPlan:
     cost_classes:
         ``query -> cost_class`` for the non-cached unique queries (see
         :attr:`Query.cost_class`), the routing signal for batch formation.
+    direct:
+        The non-cached unique queries the engine will answer *directly* (one
+        full-dataset call, no shard merge) because their sharded merge
+        cannot be made sound -- currently the decayed family, whose weights
+        depend on global arrival order (see :attr:`Query.shard_mode`).  The
+        plan says so explicitly so the serving layer can see the routing
+        decision.
     """
 
     unique: Tuple[Query, ...]
@@ -443,6 +707,7 @@ class BatchPlan:
     cached: Tuple[Query, ...]
     shard_tasks: int
     cost_classes: Dict[Query, str]
+    direct: Tuple[Query, ...] = ()
 
 
 # --------------------------------------------------------------------------- #
@@ -596,6 +861,9 @@ class QueryEngine:
         if query.shape == "interval":
             if self.dim != 1:
                 raise ValueError("interval queries need 1-d data, got dim=%d" % self.dim)
+        elif query.shape == "box":
+            if self.dim != 3:
+                raise ValueError("box queries need 3-d data, got dim=%d" % self.dim)
         elif query.shape == "rectangle" or query.exact or query.colored:
             # Only the approximate weighted d-ball solver handles dim != 2.
             if self.dim != 2:
@@ -685,6 +953,7 @@ class QueryEngine:
                 seen.add(query)
                 unique.append(query)
         cached: List[Query] = []
+        direct: List[Query] = []
         shard_tasks = 0
         cost_classes: Dict[Query, str] = {}
         for query in unique:
@@ -693,13 +962,27 @@ class QueryEngine:
                 cached.append(query)
                 continue
             cost_classes[query] = query.cost_class
-            shard_tasks += len(self.shard_plan(query).shards) if self._coords else 0
+            if not self._coords:
+                continue
+            mode = query.shard_mode
+            if mode == "direct":
+                # Sharded merge is unsound for this family (decayed weights
+                # depend on global arrival order); the flush will make one
+                # full-dataset call, and the plan says so.
+                direct.append(query)
+                shard_tasks += 1
+            elif mode == "peel":
+                # Upper bound: one sharded rank-1 solve per greedy round.
+                shard_tasks += len(self.shard_plan(query).shards) * query.k
+            else:
+                shard_tasks += len(self.shard_plan(query).shards)
         return BatchPlan(
             unique=tuple(unique),
             duplicates=len(queries) - len(unique),
             cached=tuple(cached),
             shard_tasks=shard_tasks,
             cost_classes=cost_classes,
+            direct=tuple(direct),
         )
 
     # ------------------------------------------------------------------ #
@@ -758,11 +1041,18 @@ class QueryEngine:
                 misses.append(query)
         batch_span.tag(unique=len(unique), misses=len(misses))
 
-        if misses:
+        # Route each miss by its shard mode: the standard halo plan, the
+        # top-k per-round re-peel, or a direct full-dataset call (families
+        # whose sharded merge cannot be made sound; see Query.shard_mode).
+        halo_misses = [query for query in misses if query.shard_mode == "halo"]
+        peel_misses = [query for query in misses if query.shard_mode == "peel"]
+        direct_misses = [query for query in misses if query.shard_mode == "direct"]
+
+        if halo_misses:
             traced = obs.tracing_active()
             tasks: List[Tuple] = []
             groups: List[Tuple[Query, int]] = []
-            for query in misses:
+            for query in halo_misses:
                 with obs.span("engine.plan",
                               query=query.describe()) as plan_span:
                     self._validate(query)
@@ -834,7 +1124,9 @@ class QueryEngine:
                 cursor += count
                 with obs.span("engine.merge", query=query.describe(),
                               shards=count):
-                    merged = merge_shard_results(group, empty=self._empty_result(query))
+                    merge = (merge_batched_results if query.family == "batched"
+                             else merge_shard_results)
+                    merged = merge(group, empty=self._empty_result(query))
                     meta = dict(merged.meta)
                     if "n" in meta:
                         meta["n"] = len(self._coords)  # not the winning shard's population
@@ -844,5 +1136,110 @@ class QueryEngine:
                 self._cache.put((self.fingerprint, query), merged)
                 resolved[query] = merged
 
+        for query in peel_misses:
+            self._validate(query)
+            with obs.span("engine.peel", query=query.describe()) as peel_span:
+                merged = self._solve_topk_peel(query)
+                peel_span.tag(
+                    placements=len(merged.meta.get("placements", ())),
+                    rounds=merged.meta.get("rounds", 0))
+            self._cache.put((self.fingerprint, query), merged)
+            resolved[query] = merged
+
+        for query in direct_misses:
+            self._validate(query)
+            with obs.span("engine.direct", query=query.describe(),
+                          n=len(self._coords)):
+                result = solve_query(query, self._coords, self._weights,
+                                     self._colors)
+            meta = dict(result.meta)
+            meta.update({"routed": "direct", "executor": self._executor.kind})
+            result = MaxRSResult(value=result.value, center=result.center,
+                                 shape=result.shape, exact=result.exact,
+                                 meta=meta)
+            self._cache.put((self.fingerprint, query), result)
+            resolved[query] = result
+
         self._queries_served += len(queries)
         return [resolved[query] for query in queries]
+
+    def _solve_topk_peel(self, query: Query) -> MaxRSResult:
+        """Sharded greedy top-k: a per-round sharded re-peel.
+
+        A k-way merge of per-shard *candidate lists* is unsound beyond
+        rank 1: each shard's local rank-2 candidate was peeled against the
+        shard's own rank-1 pick, which need not match the global one, so the
+        local lists diverge from the global greedy trajectory after the
+        first claim.  Instead, every greedy round runs a full sharded rank-1
+        solve restricted to the still-unclaimed points -- the same halo
+        max-merge guarantee as any single query -- then claims the winner's
+        points globally and repeats.  Each round is therefore exactly the
+        greedy step, so the peeling guarantee of
+        :func:`repro.regions.topk.top_k_maxrs_rectangle` is preserved
+        (per-round optimum values match the direct peel bit-for-bit; as
+        everywhere in the sharded engine, a round may report a different
+        equally-optimal placement).
+
+        Rounds always ship pickled sub-shard payloads, never shared-memory
+        descriptors: the unclaimed subset changes every round, so there is
+        no stable index block to publish.
+        """
+        plan = self.shard_plan(query)
+        base = replace(query, family="single", k=None)
+        alive = [True] * len(self._coords)
+        placements: List[PlacementScore] = []
+        rounds = 0
+        for rank in range(1, query.k + 1):
+            tasks: List[Tuple[Query, Shard]] = []
+            for shard in plan.shards:
+                live = [j for j, index in enumerate(shard.indices) if alive[index]]
+                if not live:
+                    continue
+                sub = Shard(
+                    key=shard.key,
+                    coords=[shard.coords[j] for j in live],
+                    weights=(None if shard.weights is None
+                             else [shard.weights[j] for j in live]),
+                    colors=None,
+                    indices=[shard.indices[j] for j in live],
+                )
+                task_query = base
+                if base.backend == "auto":
+                    task_query = replace(
+                        base, backend=resolve_task_backend("auto", len(sub)))
+                tasks.append((task_query, sub))
+            if not tasks:
+                break
+            with obs.span("engine.execute", tasks=len(tasks),
+                          executor=self._executor.kind,
+                          workers=self._executor.workers):
+                results = self._executor.map(_solve_shard_task, tasks)
+            self._shards_solved += len(tasks)
+            rounds += 1
+            best = merge_shard_results(results, empty=self._empty_result(base))
+            if best.center is None or best.value <= 0:
+                break
+            if query.shape == "rectangle":
+                lower = best.center
+                upper = (lower[0] + query.width, lower[1] + query.height)
+                claimed = [i for i, live_flag in enumerate(alive)
+                           if live_flag and point_in_box(self._coords[i], lower, upper)]
+            else:
+                claimed = [i for i, live_flag in enumerate(alive)
+                           if live_flag and point_in_ball(self._coords[i],
+                                                          best.center, query.radius)]
+            if not claimed:
+                break
+            placements.append(PlacementScore(
+                rank=rank, value=best.value,
+                center=tuple(float(c) for c in best.center),
+                covered_points=len(claimed)))
+            for index in claimed:
+                alive[index] = False
+        merged = _topk_result(query, placements, len(self._coords))
+        meta = dict(merged.meta)
+        meta.update({"sharded": True, "shards": len(plan.shards),
+                     "rounds": rounds, "merge": "per-round sharded re-peel",
+                     "executor": self._executor.kind})
+        return MaxRSResult(value=merged.value, center=merged.center,
+                           shape=merged.shape, exact=merged.exact, meta=meta)

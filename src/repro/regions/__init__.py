@@ -23,11 +23,12 @@ dynamic solvers of the core library:
 """
 
 from .topk import PlacementScore, top_k_maxrs_disk, top_k_maxrs_rectangle
-from .decay import DecayingMaxRSMonitor
+from .decay import DecayingMaxRSMonitor, decayed_maxrs
 
 __all__ = [
     "PlacementScore",
     "top_k_maxrs_rectangle",
     "top_k_maxrs_disk",
     "DecayingMaxRSMonitor",
+    "decayed_maxrs",
 ]

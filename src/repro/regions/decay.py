@@ -19,14 +19,80 @@ the internal weights bounded.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..core._inputs import normalize_weighted
 from ..core.dynamic import DynamicMaxRS
 from ..core.result import MaxRSResult
+from ..exact.disk2d import maxrs_disk_exact
+from ..exact.interval1d import maxrs_interval_exact
+from ..exact.rectangle2d import maxrs_rectangle_exact
 
-__all__ = ["DecayingMaxRSMonitor"]
+__all__ = ["DecayingMaxRSMonitor", "decayed_maxrs"]
 
 Coords = Tuple[float, ...]
+
+
+def decayed_maxrs(
+    points: Sequence,
+    *,
+    decay: float,
+    radius: Optional[float] = None,
+    width: Optional[float] = None,
+    height: Optional[float] = None,
+    length: Optional[float] = None,
+    as_of: Optional[int] = None,
+    weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
+) -> MaxRSResult:
+    """Exact MaxRS under arrival-order exponential decay (the [TT22] weights).
+
+    Point ``i`` of the dataset is treated as having arrived at tick ``i``; at
+    the query horizon ``as_of`` (default: the last arrival, ``n - 1``) it
+    contributes ``weights[i] * decay ** (as_of - i)``.  Points with
+    ``i > as_of`` have not arrived yet and are excluded.  The decayed weights
+    are then handed to the exact sweep selected by the geometry arguments
+    (exactly one of ``radius``, ``width``+``height``, or ``length``).
+
+    Because the decayed weight of a point depends on its *global* arrival
+    index, this query is answered directly on the full dataset: a halo shard
+    only knows its local point order, so a sharded merge cannot reconstruct
+    the decay profile and is not sound.  The engine therefore routes
+    ``family="decayed"`` queries through this function without sharding.
+    """
+    if not 0.0 < decay < 1.0:
+        raise ValueError("decay must lie strictly between 0 and 1, got %r" % decay)
+    coords, weight_list, dim = normalize_weighted(points, weights, require_positive=False)
+    if any(w < 0 for w in weight_list):
+        raise ValueError("decayed MaxRS requires non-negative weights")
+    horizon = len(coords) - 1 if as_of is None else int(as_of)
+    if as_of is not None and as_of < 0:
+        raise ValueError("as_of must be a non-negative tick, got %r" % as_of)
+    live_coords: List[Coords] = []
+    effective: List[float] = []
+    for index, (coord, weight) in enumerate(zip(coords, weight_list)):
+        if index > horizon:
+            break  # arrives after the query horizon
+        live_coords.append(coord)
+        effective.append(weight * (decay ** (horizon - index)))
+    if radius is not None:
+        result = maxrs_disk_exact(live_coords, radius=radius, weights=effective,
+                                  backend=backend)
+    elif width is not None and height is not None:
+        result = maxrs_rectangle_exact(live_coords, width=width, height=height,
+                                       weights=effective, backend=backend)
+    elif length is not None:
+        result = maxrs_interval_exact(live_coords, length, weights=effective,
+                                      backend=backend)
+    else:
+        raise ValueError(
+            "decayed_maxrs needs a geometry: radius, width+height, or length")
+    meta = dict(result.meta)
+    meta.update({"family": "decayed", "decay": float(decay), "as_of": horizon,
+                 "n": len(coords)})
+    return MaxRSResult(value=result.value, center=result.center,
+                       shape=result.shape, exact=result.exact, meta=meta)
 
 
 class DecayingMaxRSMonitor:
@@ -64,6 +130,15 @@ class DecayingMaxRSMonitor:
         self._ticks = 0
         # id -> (raw weight at insertion, insertion tick)
         self._observations: Dict[int, Tuple[float, int]] = {}
+        # stream position -> observation id, for UpdateEvent deletes
+        self._stream_ids: Dict[int, int] = {}
+        self._generation = 0
+
+    #: Renormalize once the global scale drops below this.  The threshold
+    #: bounds the stored (internal) weights by ``w / _RENORM_THRESHOLD``; the
+    #: pre-audit value of 1e-9 let them grow a thousand times larger before a
+    #: rebuild, amplifying float error in the dynamic structure's sums.
+    _RENORM_THRESHOLD = 1e-6
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -76,6 +151,18 @@ class DecayingMaxRSMonitor:
     def ticks(self) -> int:
         """Number of decay ticks applied so far."""
         return self._ticks
+
+    @property
+    def generation(self) -> Hashable:
+        """Cache-invalidation token (the :class:`StreamMonitor` contract).
+
+        Bumped by every mutation -- ``observe``, ``forget``, *and* ``tick``.
+        Ticks change every cached answer's value even though no point moved,
+        so the serving layer must treat a tick exactly like an update batch:
+        keying its TTL cache on this token makes a ``tick`` invalidate cached
+        monitor reads the same way updates already do.
+        """
+        return (self._generation, self._ticks, len(self._observations))
 
     def effective_weight(self, observation_id: int) -> float:
         """Current (decayed) weight of a live observation."""
@@ -96,6 +183,7 @@ class DecayingMaxRSMonitor:
         stored = float(weight) / self._scale
         observation_id = self._structure.insert(point, stored)
         self._observations[observation_id] = (float(weight), self._ticks)
+        self._generation += 1
         return observation_id
 
     def forget(self, observation_id: int) -> None:
@@ -104,17 +192,48 @@ class DecayingMaxRSMonitor:
             raise KeyError("unknown observation id %r" % observation_id)
         del self._observations[observation_id]
         self._structure.delete(observation_id)
+        self._generation += 1
+
+    def apply_batch(self, events: Sequence, start_index: int = 0) -> None:
+        """Ingest a chunk of :class:`~repro.datasets.streams.UpdateEvent`\\ s.
+
+        Implements enough of the :class:`~repro.streaming.base.StreamMonitor`
+        contract for the serving layer: inserts become observations at the
+        current tick, deletes undo the insertion at stream position
+        ``event.target`` (ignored when that observation already decayed or
+        was pruned away).
+        """
+        for offset, event in enumerate(events):
+            if event.kind == "insert":
+                observation_id = self.observe(event.point, weight=event.weight)
+                self._stream_ids[start_index + offset] = observation_id
+            else:
+                observation_id = self._stream_ids.pop(event.target, None)
+                if observation_id is not None and observation_id in self._observations:
+                    self.forget(observation_id)
 
     def tick(self, steps: int = 1) -> None:
         """Advance time: every live observation's weight decays by ``decay`` per step."""
         if steps < 1:
             raise ValueError("steps must be >= 1")
-        self._ticks += steps
-        self._scale *= self.decay ** steps
-        if self.prune_below > 0:
-            self._prune()
-        if self._scale < 1e-9:
-            self._renormalize()
+        # Advance in bounded chunks: a single ``decay ** steps`` can underflow
+        # to exactly 0.0 for large ``steps`` (zeroing the scale and with it
+        # every stored weight), and an unbounded stretch between
+        # renormalizations lets the stored weights ``w / scale`` grow without
+        # limit.  Each chunk moves the scale by at most ~1e-200, then prunes
+        # and renormalizes before continuing.
+        max_chunk = max(1, int(-200.0 / math.log10(self.decay)))
+        remaining = int(steps)
+        while remaining > 0:
+            chunk = min(remaining, max_chunk)
+            remaining -= chunk
+            self._ticks += chunk
+            self._scale *= self.decay ** chunk
+            if self.prune_below > 0:
+                self._prune()
+            if self._scale < self._RENORM_THRESHOLD:
+                self._renormalize()
+        self._generation += 1
 
     def _renormalize(self) -> None:
         """Rebuild the structure with the current effective weights and reset the scale.
@@ -132,13 +251,22 @@ class DecayingMaxRSMonitor:
             self._structure.delete(observation_id)
         self._observations = {}
         self._scale = 1.0
-        for _, point, effective in live:
+        remap: Dict[int, int] = {}
+        for old_id, point, effective in live:
             if effective <= 0.0:
                 # Fully faded (numerically underflowed) observations carry no
                 # information; dropping them keeps the structure's weights valid.
                 continue
             new_id = self._structure.insert(point, effective)
             self._observations[new_id] = (effective, self._ticks)
+            remap[old_id] = new_id
+        # Rebuilding reassigns observation ids; keep stream-position deletes
+        # pointing at the surviving observations.
+        self._stream_ids = {
+            position: remap[old_id]
+            for position, old_id in self._stream_ids.items()
+            if old_id in remap
+        }
 
     def _prune(self) -> None:
         stale: List[int] = [

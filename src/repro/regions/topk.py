@@ -69,13 +69,16 @@ def top_k_maxrs_rectangle(
     k: int,
     *,
     weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
 ) -> List[PlacementScore]:
     """Greedy top-k disjoint placements of a ``width x height`` rectangle.
 
     Returns at most ``k`` placements ordered by rank; fewer are returned when
     the points run out first.  Placements are disjoint in the sense that no
     input point is claimed by two of them (the rectangles themselves may
-    abut).
+    abut).  ``backend`` is forwarded to every per-round exact sweep, so the
+    peeling loop can use the NumPy kernel tier (and honour the planner's
+    per-shard backend resolution).
     """
     _validate_k(k)
     if width <= 0 or height <= 0:
@@ -94,7 +97,7 @@ def top_k_maxrs_rectangle(
         sub_points = [coords[i] for i in remaining]
         sub_weights = [weight_list[i] for i in remaining]
         best = maxrs_rectangle_exact(sub_points, width=width, height=height,
-                                     weights=sub_weights)
+                                     weights=sub_weights, backend=backend)
         if best.center is None or best.value <= 0:
             break
         lower = best.center
@@ -115,11 +118,12 @@ def top_k_maxrs_disk(
     k: int,
     *,
     weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
 ) -> List[PlacementScore]:
     """Greedy top-k disjoint placements of a disk of the given radius.
 
     Mirrors :func:`top_k_maxrs_rectangle` with the exact Chazelle--Lee sweep
-    as the per-round solver.
+    as the per-round solver; ``backend`` is forwarded to each sweep.
     """
     _validate_k(k)
     if radius <= 0:
@@ -137,7 +141,8 @@ def top_k_maxrs_disk(
             break
         sub_points = [coords[i] for i in remaining]
         sub_weights = [weight_list[i] for i in remaining]
-        best = maxrs_disk_exact(sub_points, radius=radius, weights=sub_weights)
+        best = maxrs_disk_exact(sub_points, radius=radius, weights=sub_weights,
+                                backend=backend)
         if best.center is None or best.value <= 0:
             break
         center = best.center
