@@ -1,0 +1,57 @@
+"""Serving-SLO benchmark -- thin wrapper over ``repro bench grid``.
+
+The workload declarations (an open-loop :func:`repro.net.run_loadgen`
+replay of a query-only trace against an embedded
+:class:`repro.net.MaxRSServer` at fixed offered rates, the p50/p95/p99
+latency percentiles measured from each request's *scheduled* send, the
+bit-identical wire-vs-``serve_trace`` differential, and the
+bounded-admission overload case gated on shedding) live in
+:class:`repro.bench.suites.ServingSloSuite`; this script runs that one
+suite and writes the unified ``repro-bench-grid/1`` artifact to
+``BENCH_serving_slo.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serving_slo.py           # full trace
+    PYTHONPATH=src python benchmarks/bench_serving_slo.py --quick   # CI-sized
+
+Equivalent to ``repro bench grid --suite serving_slo``; see
+``docs/benchmarks.md`` for the schema and the regression workflow, and
+``docs/networking.md`` for the server and load-generator internals.
+Exits non-zero on any differential drift, on steady-rate shedding, or if
+the overload case fails to shed (unbounded queue growth).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.grid import run_grid  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized traces and datasets")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="steady trace length (default: 400, quick: 120)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="loadgen connection-pool size (default: 8)")
+    parser.add_argument("--output", default="BENCH_serving_slo.json",
+                        help="destination JSON path")
+    parser.add_argument("--history", default=None,
+                        help="append this run to a PERF_HISTORY.jsonl trajectory")
+    args = parser.parse_args(argv)
+    overrides = {}
+    if args.requests is not None:
+        overrides["requests"] = args.requests
+    if args.clients is not None:
+        overrides["clients"] = args.clients
+    return run_grid(names=["serving_slo"], quick=args.quick, output=args.output,
+                    history=args.history, overrides=overrides or None)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

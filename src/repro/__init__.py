@@ -46,6 +46,12 @@ On top of the paper's algorithms the package grows a serving stack
   included), a counters/gauges/histograms registry, and JSONL /
   Prometheus / tree exporters behind ``REPRO_TRACE=1``, the CLI
   ``--trace-out`` flags and ``repro stats`` (``docs/observability.md``).
+* **Network front end** (:mod:`repro.net`) -- :class:`MaxRSServer`, an
+  asyncio HTTP server with a bounded admission queue (overload sheds with
+  503 instead of queueing unboundedly) over :class:`MaxRSService`, plus an
+  open-loop load generator that replays recorded traces at their arrival
+  timestamps (``repro serve --listen``, ``repro loadgen``;
+  ``docs/networking.md``).
 
 Quickstart
 ----------
@@ -136,6 +142,11 @@ from .service import MaxRSService, ServiceRequest, ServiceResponse
 # Observability: hierarchical spans + metrics + exporters across every layer
 # above (REPRO_TRACE=1, --trace-out, repro stats; docs/observability.md).
 from . import obs
+# Network front end: the asyncio HTTP server over MaxRSService plus the
+# open-loop load generator (repro serve --listen, repro loadgen;
+# docs/networking.md).
+from . import net
+from .net import MaxRSServer
 from .regions import (
     DecayingMaxRSMonitor,
     decayed_maxrs,
@@ -217,6 +228,9 @@ __all__ = [
     "ServiceResponse",
     # cross-layer tracing + metrics
     "obs",
+    # asyncio socket front end + open-loop load generator
+    "net",
+    "MaxRSServer",
     # region-search extensions (Section 1.6 related work)
     "top_k_maxrs_rectangle",
     "top_k_maxrs_disk",

@@ -26,6 +26,12 @@ executor grid through the driver in :mod:`repro.bench.grid`:
                    process-pool and zero-copy shared-memory engines, gated
                    bit-for-bit against serial and on shared-process beating
                    process;
+* ``serving_slo`` -- the network front end over a real socket: an
+                   open-loop loadgen replay of a query-only trace at fixed
+                   offered rates (p50/p95/p99 from the scheduled send), the
+                   bit-identical wire-vs-``serve_trace`` differential, and
+                   a bounded-admission overload case gated on shedding
+                   instead of unbounded queue growth;
 * ``zoo``       -- the long-tail query families (top-k peels, decayed
                    weights, batched members, colored 3-d boxes) as one
                    heterogeneous trace through the serial loop and the
@@ -49,7 +55,7 @@ from .grid import CaseResult, CheckResult, GridCase, GridSuite, capture_spans, t
 
 __all__ = ["SUITES", "get_suite",
            "KernelsSuite", "EngineSuite", "StreamingSuite",
-           "ServiceSuite", "ParallelSuite", "ZooSuite"]
+           "ServiceSuite", "ParallelSuite", "ZooSuite", "ServingSloSuite"]
 
 
 def _isclose(a: float, b: float) -> bool:
@@ -1013,10 +1019,208 @@ class ParallelSuite(GridSuite):
                 "spans": capture_spans(replay)}
 
 
+# --------------------------------------------------------------------------- #
+# serving_slo
+# --------------------------------------------------------------------------- #
+
+class ServingSloSuite(GridSuite):
+    """Open-loop SLO latency of the network front end, over a real socket.
+
+    Every case boots a fresh :class:`repro.net.MaxRSServer` (an embedded
+    asyncio thread on an ephemeral port) over a fresh
+    :class:`~repro.service.MaxRSService` and replays a query-only trace with
+    :func:`repro.net.run_loadgen` -- requests fire at their recorded arrival
+    times, so the measured p50/p95/p99 are true open-loop latencies (from
+    the *scheduled* send, coordinated-omission-free).
+
+    Two case families:
+
+    * ``steady`` -- the numpy-pinned default catalog at >= 2 fixed offered
+      rates the service sustains.  Hard checks: nothing sheds, and every
+      wire answer is **bit-identical** (encoding-equal) to an in-process
+      :meth:`~repro.service.MaxRSService.serve_trace` replay of the same
+      trace.  The tracked gate per rate is ``achieved_over_offered`` (a
+      machine-portable ratio ~1.0 while the server keeps up).
+    * ``overload`` -- distinct slow pure-Python rectangle queries offered
+      far above capacity at a deliberately small admission queue.  Hard
+      checks: the server *sheds* (503s) instead of queueing unboundedly,
+      and the observed queue depth never exceeds ``max_pending``.
+    """
+
+    name = "serving_slo"
+    description = ("open-loop socket replay: steady-rate latency percentiles "
+                   "+ bit-identical wire answers + bounded-queue overload shed")
+
+    def defaults(self, quick: bool) -> Dict[str, object]:
+        """Trace sizes, the fixed offered rates, and the overload shape."""
+        return {
+            "requests": 120 if quick else 400,
+            "n_points": 300 if quick else 600,
+            "base_rate": 100.0,
+            "rate_multipliers": [1.0, 3.0],
+            "clients": 8,
+            "max_pending": 256,
+            "overload_requests": 150 if quick else 300,
+            "overload_points": 1500 if quick else 3000,
+            "overload_multiplier": 15.0,
+            "overload_max_pending": 16,
+            "overload_max_batch": 4,
+            "seed": 11,
+        }
+
+    def _slow_catalog(self):
+        # Distinct widths defeat coalescing/caching across families; the
+        # pure-Python backend makes each solve slow enough to overload.
+        from ..engine import Query
+        return [Query.rectangle(1.0 + 0.001 * i, 1.0, backend="python")
+                for i in range(40)]
+
+    def build(self, config):
+        """Dataset + steady/overload traces + the in-process reference."""
+        from ..datasets import default_query_catalog, request_trace, uniform_points
+        from ..net import result_to_dict
+        from ..service import MaxRSService
+
+        seed = int(config["seed"])
+        coords = uniform_points(int(config["n_points"]), seed=seed)
+        # backend="numpy" pins the kernel per query: "auto" would resolve
+        # per micro-batch, and differing batch shapes between the wire and
+        # the in-process replay could pick different (tie-breaking) kernels.
+        catalog = default_query_catalog(backend="numpy", heavy=False)
+        steady = list(request_trace(
+            int(config["requests"]), catalog=catalog, monitor_fraction=0.0,
+            update_every=0, rate=float(config["base_rate"]), seed=seed))
+        overload = list(request_trace(
+            int(config["overload_requests"]), catalog=self._slow_catalog(),
+            monitor_fraction=0.0, update_every=0,
+            rate=float(config["base_rate"]), seed=seed + 1))
+        with MaxRSService(coords) as service:
+            replay = service.serve_trace(steady)
+        reference = [None if response.result is None
+                     else result_to_dict(response.result)
+                     for response in replay.responses]
+        cases = [GridCase(self.name, "steady", len(steady),
+                          executor="x%g" % multiplier)
+                 for multiplier in config["rate_multipliers"]]
+        cases.append(GridCase(self.name, "overload", len(overload),
+                              executor="x%g" % config["overload_multiplier"]))
+        overload_coords = uniform_points(int(config["overload_points"]),
+                                         seed=seed + 2)
+        return cases, {"coords": coords, "overload_coords": overload_coords,
+                       "steady": steady, "overload": overload,
+                       "reference": reference, "reports": {}, "depths": {}}
+
+    def _replay(self, coords, events, *, speedup, clients, max_pending,
+                max_batch=None, timeout=60.0):
+        from ..net import MaxRSServer, run_loadgen
+        from ..service import MaxRSService
+
+        service = MaxRSService(coords)
+        server = MaxRSServer(service, max_pending=max_pending,
+                             max_batch=max_batch)
+        server.start_in_thread()
+        try:
+            report = run_loadgen(server.host, server.port, events,
+                                 speedup=speedup, clients=clients,
+                                 timeout=timeout)
+            depth = server.snapshot()["server"]["max_queue_depth"]
+        finally:
+            server.stop()
+            service.close()
+        return report, depth
+
+    def run_case(self, case, config, context):
+        """One socket replay: fresh server + service, open-loop loadgen."""
+        multiplier = float(case.executor.lstrip("x"))
+        if case.workload == "steady":
+            events, coords = context["steady"], context["coords"]
+            max_pending, max_batch = int(config["max_pending"]), None
+        else:
+            events, coords = context["overload"], context["overload_coords"]
+            max_pending = int(config["overload_max_pending"])
+            max_batch = int(config["overload_max_batch"])
+        report, depth = self._replay(
+            coords, events, speedup=multiplier,
+            clients=int(config["clients"]), max_pending=max_pending,
+            max_batch=max_batch)
+        context["reports"][(case.workload, case.executor)] = report
+        context["depths"][(case.workload, case.executor)] = (depth, max_pending)
+        latency = report.percentiles()
+        metrics = {
+            "requests": report.requests,
+            "served": report.served,
+            "shed": report.shed,
+            "errors": report.errors,
+            "offered_per_sec": round(report.offered_rate, 3),
+            "achieved_per_sec": round(report.achieved_rate, 3),
+            "shed_rate": round(report.shed_rate, 4),
+            "max_queue_depth": depth,
+            "latency_p50_ms": round(latency["p50"] * 1e3, 3),
+            "latency_p95_ms": round(latency["p95"] * 1e3, 3),
+            "latency_p99_ms": round(latency["p99"] * 1e3, 3),
+        }
+        return CaseResult(case.case_id, case.axes, metrics)
+
+    def finish(self, results, config, context):
+        """Differential + no-shed gates per steady rate; bounded overload."""
+        checks: List[CheckResult] = []
+        summary: Dict[str, object] = {}
+        gates: Dict[str, object] = {}
+        reference = context["reference"]
+        for (workload, executor), report in sorted(context["reports"].items()):
+            tag = executor.lstrip("x")
+            if workload == "steady":
+                mismatches = []
+                for record, expected in zip(report.records, reference):
+                    wire = (record.response.result
+                            if record.response is not None else None)
+                    if wire != expected:
+                        mismatches.append(
+                            "request %d: wire %r != in-process %r"
+                            % (record.index, wire, expected))
+                checks.append(CheckResult(
+                    "steady x%s wire answers bit-identical to serve_trace "
+                    "(%d compared)" % (tag, len(report.records)),
+                    not mismatches, "; ".join(mismatches[:3])))
+                checks.append(CheckResult(
+                    "steady x%s served without shedding" % tag,
+                    report.shed == 0 and report.errors == 0,
+                    "shed=%d errors=%d" % (report.shed, report.errors)))
+                ratio = round(min(report.achieved_rate
+                                  / report.offered_rate, 1.0), 3)
+                summary["achieved_over_offered_x%s" % tag] = ratio
+                gates["achieved_over_offered_x%s" % tag] = ratio
+            else:
+                depth, max_pending = context["depths"][(workload, executor)]
+                checks.append(CheckResult(
+                    "overload x%s sheds instead of queueing unboundedly" % tag,
+                    report.shed > 0,
+                    "shed=%d of %d" % (report.shed, report.requests)))
+                checks.append(CheckResult(
+                    "overload x%s queue depth bounded by max_pending=%d"
+                    % (tag, max_pending),
+                    depth <= max_pending,
+                    "max depth observed %d" % depth))
+                summary["overload_shed_rate"] = round(report.shed_rate, 4)
+                summary["overload_max_queue_depth"] = depth
+        return checks, summary, gates
+
+    def span_probe(self, config, context):
+        """One short traced socket replay: where wire time goes
+        (accept/decode/dispatch/serve/respond)."""
+        events = context["steady"][:40]
+
+        def replay():
+            self._replay(context["coords"], events, speedup=1.0,
+                         clients=int(config["clients"]),
+                         max_pending=int(config["max_pending"]))
+        return {"requests": len(events), "spans": capture_spans(replay)}
+
+
 SUITES: Dict[str, Callable[[], GridSuite]] = {
     suite.name: suite for suite in
     (KernelsSuite, EngineSuite, StreamingSuite, ServiceSuite, ParallelSuite,
-     ZooSuite)
+     ZooSuite, ServingSloSuite)
 }
 """Registry of the built-in grid suites, keyed by suite name."""
 

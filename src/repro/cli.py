@@ -52,7 +52,7 @@ import contextlib
 import os
 import sys
 import time
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from . import obs
 
@@ -581,6 +581,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         save_trace(args.save_trace, trace)
         print("wrote %d requests to %s" % (len(trace), args.save_trace))
 
+    if args.listen:
+        return _serve_listen(args, points, weights, colors)
+
     monitor = ShardedMaxRSMonitor(radius=args.radius, backend=args.backend)
     try:
         # Each serving flush roots its own service.flush trace, so the
@@ -617,6 +620,135 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if errors:
         print("errors:      %d requests failed (first: %s)"
               % (len(errors), errors[0].error), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _parse_hostport(value: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` CLI address; raises ``ValueError`` on junk."""
+    host, separator, raw_port = value.rpartition(":")
+    if not separator or not host or not raw_port.isdigit():
+        raise ValueError("expected HOST:PORT, got %r" % value)
+    port = int(raw_port)
+    if port > 65535:
+        raise ValueError("port %d out of range" % port)
+    return host, port
+
+
+def _serve_listen(args: argparse.Namespace, points, weights, colors) -> int:
+    """The ``repro serve --listen`` path: socket front end over the service."""
+    import time as _time
+
+    from .net import MaxRSServer
+    from .service import MaxRSService
+    from .streaming import ShardedMaxRSMonitor
+
+    try:
+        host, port = _parse_hostport(args.listen)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.max_pending < 1:
+        print("--max-pending must be >= 1", file=sys.stderr)
+        return 2
+    monitor = ShardedMaxRSMonitor(radius=args.radius, backend=args.backend)
+    try:
+        with _trace_sink(args.trace_out):
+            with MaxRSService(points, weights=weights, colors=colors,
+                              monitor=monitor, routing=args.routing,
+                              cache_ttl=args.cache_ttl, cache_size=args.cache_size,
+                              max_batch=args.concurrency, executor=args.executor,
+                              workers=args.workers) as service:
+                server = MaxRSServer(service, host, port,
+                                     max_pending=args.max_pending,
+                                     max_batch=args.concurrency)
+                server.start_in_thread()
+                print("listening on http://%s:%d/ (POST /v1/request, "
+                      "GET /v1/stats, GET /v1/healthz)" % server.address)
+                print("serving %d points, routing=%s, max_pending=%d, "
+                      "window=%d" % (len(points), args.routing,
+                                     args.max_pending, args.concurrency))
+                try:
+                    if args.duration is not None:
+                        _time.sleep(args.duration)
+                    else:
+                        while True:
+                            _time.sleep(3600.0)
+                except KeyboardInterrupt:
+                    pass
+                finally:
+                    server.stop()
+                stats = server.snapshot()["server"]
+                counters = stats["metrics"]
+
+                def count(name: str) -> int:
+                    return int((counters.get(name) or {}).get("value", 0))
+
+                print("served:      %d requests (%d shed, %d decode errors, "
+                      "max queue depth %d)"
+                      % (count("net.requests"), count("net.shed"),
+                         count("net.decode_errors"),
+                         stats["max_queue_depth"]))
+    except (OSError, RuntimeError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .datasets.requests import default_query_catalog, load_trace, request_trace
+    from .net import run_loadgen
+
+    try:
+        host, port = _parse_hostport(args.connect)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.replay:
+        try:
+            trace = list(load_trace(args.replay))
+        except (OSError, ValueError, KeyError) as error:
+            print("cannot load trace %s: %s" % (args.replay, error),
+                  file=sys.stderr)
+            return 2
+    else:
+        catalog = default_query_catalog(backend=args.backend)
+        trace = list(request_trace(args.requests, catalog=catalog,
+                                   monitor_fraction=0.0, update_every=0,
+                                   rate=args.rate, seed=args.seed,
+                                   extent=args.extent))
+    try:
+        report = run_loadgen(host, port, trace, speedup=args.speedup,
+                             clients=args.clients, timeout=args.timeout)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    summary = report.summary()
+    latency = summary["latency"]
+    print("replayed:    %d requests in %.3fs against %s:%d (speedup x%g, "
+          "%d-connection pool)" % (report.requests, report.elapsed, host,
+                                   port, report.speedup, report.clients))
+    print("rates:       offered %.1f/s, achieved %.1f/s"
+          % (report.offered_rate, report.achieved_rate))
+    print("outcomes:    %d served, %d shed (%.1f%%), %d errors"
+          % (report.served, report.shed, 100.0 * report.shed_rate,
+             report.errors))
+    if report.served:
+        print("latency:     p50=%.2fms p95=%.2fms p99=%.2fms (from the "
+              "scheduled send)" % (1e3 * latency["p50"], 1e3 * latency["p95"],
+                                   1e3 * latency["p99"]))
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote summary to %s" % args.output)
+    if report.errors:
+        first = next(record for record in report.records
+                     if not record.ok and not record.shed)
+        print("errors:      first failure: request %d (status %d)"
+              % (first.index, first.status), file=sys.stderr)
         return 1
     return 0
 
@@ -906,7 +1038,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record one span trace per serving flush "
                             "(repro.obs) to this JSONL file; inspect with "
                             "'repro stats'")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve over a socket instead of replaying: bind "
+                            "the asyncio HTTP front end (repro.net) here "
+                            "(e.g. 127.0.0.1:8750; port 0 picks a free port) "
+                            "and answer POST /v1/request until --duration "
+                            "elapses or Ctrl-C")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="seconds to keep a --listen server up "
+                            "(default: until interrupted)")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="admission-queue bound of a --listen server; "
+                            "requests arriving beyond it are shed with 503")
     serve.set_defaults(func=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="replay a request trace open-loop against a live "
+                        "'repro serve --listen' server")
+    loadgen.add_argument("--connect", required=True, metavar="HOST:PORT",
+                         help="address of the live server to load")
+    loadgen.add_argument("--replay", default=None,
+                         help="JSONL request trace to replay (see 'repro serve "
+                              "--save-trace'); default: synthesise a query-only "
+                              "trace of --requests requests")
+    loadgen.add_argument("--requests", type=int, default=500,
+                         help="synthetic trace length when --replay is not given")
+    loadgen.add_argument("--rate", type=float, default=100.0,
+                         help="arrival rate (requests/sec) of the synthetic trace")
+    loadgen.add_argument("--backend", choices=["auto", "python", "numpy"],
+                         default="auto",
+                         help="kernel backend pinned on the synthetic trace's "
+                              "queries")
+    loadgen.add_argument("--speedup", type=float, default=1.0,
+                         help="rate multiplier over the trace's recorded "
+                              "arrivals (2.0 offers the trace at twice its "
+                              "recorded rate)")
+    loadgen.add_argument("--clients", type=int, default=8,
+                         help="keep-alive connection-pool size (in-flight "
+                              "requests are not capped: the replay is open-loop)")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         help="per-request response deadline in seconds")
+    loadgen.add_argument("--extent", type=float, default=10.0,
+                         help="bounding-square side of the synthetic trace's "
+                              "query catalog")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--output", default=None,
+                         help="write the JSON report summary to this path")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     stats = subparsers.add_parser(
         "stats", help="render a span trace recorded with --trace-out")
@@ -933,7 +1111,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "committed PERF_HISTORY.jsonl trajectory")
     bench.add_argument("--suite", action="append", default=None,
                        help="suite to run (repeatable; default: all of %s)"
-                            % "engine/kernels/parallel/service/streaming/zoo")
+                            % "engine/kernels/parallel/service/serving_slo/"
+                              "streaming/zoo")
     bench.add_argument("--quick", action="store_true",
                        help="CI-sized workloads (the committed baselines in "
                             "PERF_HISTORY.jsonl are quick-mode)")

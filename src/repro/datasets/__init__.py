@@ -39,6 +39,8 @@ from .requests import (
     RequestTrace,
     default_query_catalog,
     load_trace,
+    request_from_dict,
+    request_to_dict,
     request_trace,
     save_trace,
 )
@@ -64,6 +66,8 @@ __all__ = [
     "RequestTrace",
     "default_query_catalog",
     "request_trace",
+    "request_to_dict",
+    "request_from_dict",
     "save_trace",
     "load_trace",
     "PointTable",

@@ -38,6 +38,8 @@ __all__ = [
     "default_query_catalog",
     "zoo_query_catalog",
     "request_trace",
+    "request_to_dict",
+    "request_from_dict",
     "save_trace",
     "load_trace",
 ]
@@ -295,19 +297,59 @@ def _event_to_dict(event: UpdateEvent) -> dict:
     return {k: v for k, v in payload.items() if v is not None}
 
 
+def request_to_dict(request: RequestEvent) -> dict:
+    """One :class:`RequestEvent` as a JSON-ready dict.
+
+    This is the single request-serialisation schema of the project: the
+    lines :func:`save_trace` writes and the request bodies the network
+    front end (:mod:`repro.net`) accepts are both exactly this shape.
+    """
+    record = {"kind": request.kind, "arrival": request.arrival}
+    if request.query is not None:
+        record["query"] = _query_to_dict(request.query)
+    if request.name is not None:
+        record["name"] = request.name
+    if request.events:
+        record["events"] = [_event_to_dict(e) for e in request.events]
+    return record
+
+
+def request_from_dict(record: dict) -> RequestEvent:
+    """Rebuild a :class:`RequestEvent` from :func:`request_to_dict` output.
+
+    Raises ``ValueError`` / ``TypeError`` / ``KeyError`` on malformed
+    records -- callers decoding untrusted input (the JSONL loader, the
+    network front end) surface these per request.
+    """
+    query = None
+    if "query" in record:
+        fields = dict(record["query"])
+        # JSON has no tuples; exactness defaults are restored by Query.
+        query = Query(**fields)
+    events = tuple(
+        UpdateEvent(
+            kind=e["kind"],
+            point=tuple(e["point"]) if "point" in e else None,
+            weight=e.get("weight", 1.0),
+            target=e.get("target"),
+            timestamp=e.get("timestamp"),
+            color=e.get("color"),
+        )
+        for e in record.get("events", ())
+    )
+    return RequestEvent(kind=record["kind"],
+                        arrival=record.get("arrival", 0.0),
+                        query=query,
+                        name=record.get("name"),
+                        events=events)
+
+
 def save_trace(path: str, trace: RequestTrace) -> None:
     """Write a trace as JSON lines (one request per line, replayable with
     ``repro serve --replay``)."""
     with open(path, "w") as handle:
         for request in trace:
-            record = {"kind": request.kind, "arrival": request.arrival}
-            if request.query is not None:
-                record["query"] = _query_to_dict(request.query)
-            if request.name is not None:
-                record["name"] = request.name
-            if request.events:
-                record["events"] = [_event_to_dict(e) for e in request.events]
-            handle.write(json.dumps(record) + "\n")
+            handle.write(json.dumps(request_to_dict(request)) + "\n")
 
 
 def load_trace(path: str) -> RequestTrace:
@@ -318,26 +360,5 @@ def load_trace(path: str) -> RequestTrace:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            query = None
-            if "query" in record:
-                fields = dict(record["query"])
-                # JSON has no tuples; exactness defaults are restored by Query.
-                query = Query(**fields)
-            events = tuple(
-                UpdateEvent(
-                    kind=e["kind"],
-                    point=tuple(e["point"]) if "point" in e else None,
-                    weight=e.get("weight", 1.0),
-                    target=e.get("target"),
-                    timestamp=e.get("timestamp"),
-                    color=e.get("color"),
-                )
-                for e in record.get("events", ())
-            )
-            requests.append(RequestEvent(kind=record["kind"],
-                                         arrival=record.get("arrival", 0.0),
-                                         query=query,
-                                         name=record.get("name"),
-                                         events=events))
+            requests.append(request_from_dict(json.loads(line)))
     return RequestTrace(requests)

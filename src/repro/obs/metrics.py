@@ -263,7 +263,7 @@ class MetricsRegistry:
     def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
         """Fold a :meth:`snapshot` from another registry (typically a worker
         process) into this one: counters add, gauges adopt the incoming
-        reading, histograms accumulate count/sum."""
+        reading, histograms accumulate count/sum and widen min/max."""
         for name, entry in snapshot.items():
             kind = entry.get("type")
             if kind == "counter":
@@ -272,9 +272,25 @@ class MetricsRegistry:
                 self.gauge(name).set(float(entry.get("value", 0.0)))
             elif kind == "histogram":
                 hist = self.histogram(name)
+                # Empty incoming histograms snapshot min/max as NaN; a
+                # worker's real extremes must widen (never narrow) ours.
+                low = _merge_bound(entry.get("min"))
+                high = _merge_bound(entry.get("max"))
                 with hist._lock:
                     hist._count += int(entry.get("count", 0))
                     hist._sum += float(entry.get("sum", 0.0))
+                    if low is not None:
+                        hist._min = low if hist._min is None else min(hist._min, low)
+                    if high is not None:
+                        hist._max = high if hist._max is None else max(hist._max, high)
+
+
+def _merge_bound(value) -> Optional[float]:
+    """A snapshot's min/max as a float, or ``None`` when absent/NaN."""
+    if value is None:
+        return None
+    bound = float(value)
+    return None if math.isnan(bound) else bound
 
 
 _REGISTRY = MetricsRegistry()

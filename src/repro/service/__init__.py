@@ -40,7 +40,7 @@ Quickstart
 """
 
 from .batcher import Group, coalesce, form_groups
-from .cache import TTLCache
+from .cache import MISSING, TTLCache
 from .metrics import ServiceStats, percentile
 from .requests import ServiceRequest, ServiceResponse
 from .server import MaxRSService, PendingResponse, TraceReport
@@ -53,6 +53,7 @@ __all__ = [
     "ServiceResponse",
     "ServiceStats",
     "TTLCache",
+    "MISSING",
     "Group",
     "form_groups",
     "coalesce",

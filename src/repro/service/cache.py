@@ -22,7 +22,25 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, Optional, Tuple
 
-__all__ = ["TTLCache"]
+__all__ = ["TTLCache", "MISSING"]
+
+
+class _Missing:
+    """The cache-miss sentinel (distinct from any cachable value)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<TTLCache.MISSING>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Returned by :meth:`TTLCache.get` on a miss or an expired entry.  ``None``
+#: is a legitimate cachable answer (a monitor whose ``current()`` is ``None``),
+#: so the miss signal must be a value no caller can ever cache.
+MISSING = _Missing()
 
 
 class TTLCache:
@@ -44,17 +62,23 @@ class TTLCache:
         return len(self._data)
 
     def get(self, key: Hashable, now: float):
-        """The cached value, or ``None`` on a miss or an expired entry."""
+        """The cached value, or :data:`MISSING` on a miss or an expired entry.
+
+        The sentinel (rather than ``None``) is the miss signal because
+        ``None`` is a legitimate cached answer -- e.g. a monitor whose
+        ``current()`` is ``None`` over an empty window.  Test hits with
+        ``value is not MISSING``, never truthiness.
+        """
         entry = self._data.get(key)
         if entry is None:
             self.misses += 1
-            return None
+            return MISSING
         deadline, value = entry
         if now >= deadline:
             del self._data[key]
             self.expirations += 1
             self.misses += 1
-            return None
+            return MISSING
         self._data.move_to_end(key)
         self.hits += 1
         return value

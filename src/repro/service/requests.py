@@ -100,8 +100,10 @@ class ServiceResponse:
     served_from:
         ``"solver"`` (fresh engine/solver call), ``"monitor"`` (fresh
         monitor pass), ``"cache"`` (TTL cache hit), ``"coalesced"``
-        (piggybacked on an identical request in the same flush), or
-        ``"update"`` (applied update batch).
+        (piggybacked on an identical request in the same flush),
+        ``"update"`` (applied update batch), or ``"error"`` (the flush
+        itself failed before the request could be routed -- ``error``
+        carries the exception).
     batch_size:
         Number of requests served in the same flush.
     queue_wait:

@@ -54,7 +54,7 @@ from ..kernels import resolve_batch_backend
 from ..obs import tracing as obs
 from ..streaming.base import StreamMonitor
 from .batcher import coalesce, form_groups
-from .cache import TTLCache
+from .cache import MISSING, TTLCache
 from .metrics import ServiceStats
 from .requests import ServiceRequest, ServiceResponse
 
@@ -191,6 +191,7 @@ class MaxRSService:
         self._queue: "queue.Queue[PendingResponse]" = queue.Queue()
         self._dispatcher: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -225,16 +226,45 @@ class MaxRSService:
             payload["engine"] = self._engine.stats
         return payload
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (post-close serving raises)."""
+        return self._closed
+
     def close(self) -> None:
         """Stop the dispatcher (serving what is already queued) and shut
-        down the engine the service owns.  Idempotent."""
-        if self._dispatcher is not None:
-            self._stop.set()
-            self._dispatcher.join()
+        down the engine the service owns.  Idempotent; afterwards
+        :meth:`submit`, :meth:`serve` and :meth:`start` raise
+        :class:`RuntimeError` -- the engine's shared-memory store may
+        already be released, so silently respawning the dispatcher over it
+        would serve corrupt answers.
+        """
+        with self._lock:
+            # The closed flag and the dispatcher handoff flip under _lock so
+            # a concurrent submit() either enqueues before the flag is set
+            # (and is drained below) or raises RuntimeError -- never lands
+            # in a queue nobody will ever drain.
+            if self._closed:
+                return
+            self._closed = True
+            dispatcher = self._dispatcher
             self._dispatcher = None
+            if dispatcher is not None:
+                self._stop.set()
+        if dispatcher is not None:
+            # Join *outside* the lock: the dispatcher takes _lock inside
+            # _serve_window, so holding it across the join would deadlock.
+            dispatcher.join()
             self._drain_queue()
         if self._owns_engine and self._engine is not None:
             self._engine.close()
+
+    def _ensure_open(self, what: str) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "MaxRSService is closed; %s() after close() is a bug in the "
+                "caller (the owned engine's resources are already released)"
+                % what)
 
     # ------------------------------------------------------------------ #
     # threaded front end
@@ -242,8 +272,9 @@ class MaxRSService:
 
     def start(self) -> "MaxRSService":
         """Start the dispatcher thread (idempotent; :meth:`submit` does this
-        on first use)."""
+        on first use).  Raises :class:`RuntimeError` after :meth:`close`."""
         with self._lock:  # concurrent first submits must not spawn two dispatchers
+            self._ensure_open("start")
             if self._dispatcher is None:
                 self._stop.clear()
                 self._dispatcher = threading.Thread(target=self._dispatch_loop,
@@ -254,10 +285,16 @@ class MaxRSService:
 
     def submit(self, request: ServiceRequest) -> PendingResponse:
         """Enqueue one request; returns a future whose ``result()`` blocks
-        until the dispatcher has served the flush containing it."""
-        self.start()
+        until the dispatcher has served the flush containing it.  Raises
+        :class:`RuntimeError` after :meth:`close`."""
         pending = PendingResponse(request, self._clock())
-        self._queue.put(pending)
+        with self._lock:
+            # Check-then-enqueue must be atomic w.r.t. close(): once close()
+            # sets the flag the queue is never drained again, so an entry
+            # slipped in after the check would block its waiter forever.
+            self._ensure_open("submit")
+            self.start()
+            self._queue.put(pending)
         return pending
 
     def _dispatch_loop(self) -> None:
@@ -266,7 +303,7 @@ class MaxRSService:
                 first = self._queue.get(timeout=0.02)
             except queue.Empty:
                 continue
-            self._serve_window(self._drain_window(first))
+            self._serve_window_guarded(self._drain_window(first))
         # Serve whatever arrived before the stop flag was seen.
         self._drain_queue()
 
@@ -285,7 +322,27 @@ class MaxRSService:
                 first = self._queue.get_nowait()
             except queue.Empty:
                 return
-            self._serve_window(self._drain_window(first))
+            self._serve_window_guarded(self._drain_window(first))
+
+    def _serve_window_guarded(self, entries: List[PendingResponse]) -> None:
+        """Serve one window, resolving every entry even if the serving core
+        itself raises.
+
+        :meth:`_serve_window` attaches per-request errors and should never
+        raise, but a bug escaping it must not kill the dispatcher thread:
+        before this guard, one such exception left every in-flight
+        ``PendingResponse.result()`` blocking forever (and the queue growing
+        unboundedly behind a dead dispatcher).
+        """
+        try:
+            self._serve_window(entries)
+        except Exception as exc:
+            for entry in entries:
+                if not entry.done():
+                    entry._resolve(ServiceResponse(
+                        request=entry.request, result=None,
+                        served_from="error", batch_size=len(entries),
+                        error=exc))
 
     # ------------------------------------------------------------------ #
     # deterministic front end
@@ -303,7 +360,9 @@ class MaxRSService:
 
         Errors are attached per response (``response.error``), never raised:
         one malformed request must not fail the flush that carries it.
+        Raises :class:`RuntimeError` after :meth:`close`.
         """
+        self._ensure_open("serve")
         now = self._clock()
         return self._serve_window([PendingResponse(r, now) for r in requests])
 
@@ -438,7 +497,7 @@ class MaxRSService:
         misses: List[Hashable] = []
         for key in keys:
             cached = self._cache.get(("q", fingerprint, key[1]), now)
-            if cached is not None:
+            if cached is not MISSING:
                 served_query, result = cached
                 answers[key] = (result, served_query, "cache", None)
             else:
@@ -471,12 +530,20 @@ class MaxRSService:
                     flush = [index for index, query in enumerate(concrete)
                              if plan.cost_classes.get(query, "") == "quadratic"]
         if flush:
-            results = self._engine.solve_batch([concrete[i] for i in flush])
-            solver_calls += len(flush)
-            for index, result in zip(flush, results):
-                key, query = misses[index], concrete[index]
-                answers[key] = (result, query, "solver", None)
-                self._cache.put(("q", fingerprint, key[1]), (query, result), now)
+            try:
+                results = self._engine.solve_batch([concrete[i] for i in flush])
+            except Exception:
+                # One malformed query fails the whole sharded flush -- fall
+                # back to per-query direct calls below, which attach the
+                # error to the offending response(s) and still serve the
+                # rest (the per-response error contract of :meth:`serve`).
+                flush = []
+            else:
+                solver_calls += len(flush)
+                for index, result in zip(flush, results):
+                    key, query = misses[index], concrete[index]
+                    answers[key] = (result, query, "solver", None)
+                    self._cache.put(("q", fingerprint, key[1]), (query, result), now)
         flushed = set(flush)
         for index, (key, query) in enumerate(zip(misses, concrete)):
             if index in flushed:
@@ -505,7 +572,9 @@ class MaxRSService:
         misses: List[Optional[str]] = []
         for name in names:
             cached = self._cache.get(("m", token, name), now)
-            if cached is not None:
+            if cached is not MISSING:
+                # ``cached`` may legitimately be None (a monitor over an
+                # empty window): MISSING, not None, is the miss signal.
                 answers[("m", name)] = (cached, None, "cache", None)
             else:
                 misses.append(name)

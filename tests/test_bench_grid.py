@@ -35,7 +35,7 @@ class TestGridBasics:
 
     def test_registry_names_every_benchmark_layer(self):
         assert set(SUITES) == {"kernels", "engine", "streaming", "service",
-                               "parallel", "zoo"}
+                               "parallel", "zoo", "serving_slo"}
         for name in SUITES:
             suite = get_suite(name)
             assert suite.name == name

@@ -171,6 +171,35 @@ class TestRegistry:
         assert parent.histogram("lat").count == 2
         assert parent.histogram("lat").sum == 4.0
 
+    def test_merge_snapshot_widens_histogram_extremes(self):
+        # Regression: merge_snapshot dropped the incoming histogram min/max,
+        # so worker-merged snapshots reported only the parent's extremes.
+        parent, worker = obs.MetricsRegistry(), obs.MetricsRegistry()
+        parent.histogram("lat").observe(2.0)
+        worker.histogram("lat").observe(1.0)
+        worker.histogram("lat").observe(3.0)
+        parent.merge_snapshot(worker.snapshot())
+        merged = parent.histogram("lat").snapshot()
+        assert merged["min"] == 1.0
+        assert merged["max"] == 3.0
+
+    def test_merge_snapshot_into_empty_histogram_adopts_extremes(self):
+        parent, worker = obs.MetricsRegistry(), obs.MetricsRegistry()
+        worker.histogram("lat").observe(4.0)
+        parent.merge_snapshot(worker.snapshot())
+        merged = parent.histogram("lat").snapshot()
+        assert merged["min"] == 4.0 and merged["max"] == 4.0
+
+    def test_merge_snapshot_ignores_empty_worker_extremes(self):
+        # An idle worker snapshots min/max as NaN; merging it must not
+        # clobber the parent's real extremes.
+        parent, worker = obs.MetricsRegistry(), obs.MetricsRegistry()
+        parent.histogram("lat").observe(2.0)
+        worker.histogram("lat")  # registered but never observed
+        parent.merge_snapshot(worker.snapshot())
+        merged = parent.histogram("lat").snapshot()
+        assert merged["min"] == 2.0 and merged["max"] == 2.0
+
     def test_global_registry_is_stable(self):
         assert obs.get_registry() is obs.get_registry()
 

@@ -22,6 +22,7 @@ from repro.datasets.streams import UpdateEvent
 from repro.engine import Query, QueryEngine
 from repro.engine.planner import solve_query
 from repro.service import (
+    MISSING,
     MaxRSService,
     ServiceRequest,
     ServiceStats,
@@ -49,7 +50,7 @@ class TestTTLCache:
         cache = TTLCache(maxsize=4, ttl=10.0)
         cache.put("k", 42, now=0.0)
         assert cache.get("k", now=5.0) == 42
-        assert cache.get("k", now=10.0) is None  # expired exactly at deadline
+        assert cache.get("k", now=10.0) is MISSING  # expired exactly at deadline
         assert cache.stats["expirations"] == 1
 
     def test_lru_eviction(self):
@@ -58,7 +59,7 @@ class TestTTLCache:
         cache.put("b", 2, now=0.0)
         assert cache.get("a", now=1.0) == 1  # refresh "a"
         cache.put("c", 3, now=1.0)           # evicts "b"
-        assert cache.get("b", now=1.0) is None
+        assert cache.get("b", now=1.0) is MISSING
         assert cache.get("a", now=1.0) == 1 and cache.get("c", now=1.0) == 3
 
     def test_purge_drops_only_expired(self):
@@ -87,14 +88,23 @@ class TestTTLCache:
         cache.put("a", 1, now=0.0)
         cache.put("b", 2, now=1.0)
         cache.put("c", 3, now=2.0)        # nothing expired: evict LRU "a"
-        assert cache.get("a", now=2.0) is None
+        assert cache.get("a", now=2.0) is MISSING
         assert cache.get("b", now=2.0) == 2 and cache.get("c", now=2.0) == 3
         assert cache.stats["expirations"] == 0
 
     def test_zero_size_disables(self):
         cache = TTLCache(maxsize=0, ttl=5.0)
         cache.put("k", 1, now=0.0)
-        assert cache.get("k", now=0.0) is None
+        assert cache.get("k", now=0.0) is MISSING
+
+    def test_cached_none_is_a_hit_not_a_miss(self):
+        # Regression: get() used to return None for both "miss" and "cached
+        # None answer", so a legitimately-None cached value could never hit.
+        cache = TTLCache(maxsize=4, ttl=10.0)
+        cache.put("k", None, now=0.0)
+        value = cache.get("k", now=1.0)
+        assert value is None and value is not MISSING
+        assert cache.stats["hits"] == 1 and cache.stats["misses"] == 0
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
@@ -285,6 +295,20 @@ class TestStaticServing:
             with pytest.raises(ValueError):
                 service.request(bad)
 
+    @pytest.mark.parametrize("routing", ["sharded", "auto"])
+    def test_failed_sharded_flush_degrades_to_per_request_errors(self, routing):
+        # Regression: solve_batch ran unguarded, so one malformed query that
+        # passed batch_plan (an unknown kernel backend) raised out of serve()
+        # and failed the whole flush instead of just its own response.
+        good = ServiceRequest.static(Query.disk(1.0))
+        bad = ServiceRequest.static(Query.rectangle(1.0, 1.0, backend="bogus"))
+        with MaxRSService(POINTS, routing=routing) as service:
+            responses = service.serve([good, bad, good])
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok
+        assert isinstance(responses[1].error, ValueError)
+        assert "bogus" in str(responses[1].error)
+
     def test_monitor_only_service_rejects_static_queries(self):
         with MaxRSService(monitor=ShardedMaxRSMonitor(radius=1.0)) as service:
             response = service.serve([ServiceRequest.static(Query.disk(1.0))])[0]
@@ -390,6 +414,34 @@ class TestMonitorServing:
                                        ServiceRequest.update([insert(0.0, 0.0)])])
         assert not responses[0].ok and not responses[1].ok
 
+    def test_cached_none_monitor_answer_hits_the_cache(self):
+        # Regression: a monitor whose legitimate current() answer is None was
+        # recomputed on every read -- the old cache API returned None for
+        # both "miss" and "cached None", so the hit path was unreachable.
+        class NoneAnswerMonitor:
+            generation = 0
+
+            def __init__(self):
+                self.passes = 0
+
+            def current(self):
+                self.passes += 1
+                return None
+
+            def apply_batch(self, events, start_index=0):
+                pass
+
+        monitor = NoneAnswerMonitor()
+        with MaxRSService(monitor=monitor) as service:
+            read = ServiceRequest.read()
+            first = service.serve([read])[0]
+            second = service.serve([read])[0]
+        assert first.ok and first.result is None
+        assert first.served_from == "monitor"
+        assert second.ok and second.result is None
+        assert second.served_from == "cache"
+        assert monitor.passes == 1
+
 
 class TestTraceReplay:
     def test_trace_replay_matches_serial_baseline(self):
@@ -490,3 +542,53 @@ class TestThreadedFrontEnd:
         with pytest.raises(TimeoutError):
             pending.result(timeout=0.01)
         service.close()
+
+    def test_dispatcher_survives_serving_core_failure(self):
+        # Regression: an exception escaping _serve_window killed the
+        # dispatcher thread, leaving every in-flight result() blocking
+        # forever and the queue growing behind a dead dispatcher.
+        service = MaxRSService(POINTS).start()
+        try:
+            boom = RuntimeError("injected serving-core bug")
+            original = service._serve_window
+
+            def exploding(entries):
+                raise boom
+
+            service._serve_window = exploding
+            pending = service.submit(ServiceRequest.static(Query.disk(1.0)))
+            response = pending.result(timeout=10.0)  # pre-fix: TimeoutError
+            assert not response.ok and response.error is boom
+            assert response.served_from == "error"
+            service._serve_window = original
+            recovered = service.submit(ServiceRequest.static(Query.disk(1.0)))
+            assert recovered.result(timeout=10.0).ok  # dispatcher still alive
+        finally:
+            service.close()
+
+    def test_sharded_flush_failure_keeps_dispatcher_alive(self):
+        # The threaded face of the unguarded-solve_batch bug: the malformed
+        # query's flush must resolve (with a per-response error), not kill
+        # the dispatcher.
+        with MaxRSService(POINTS, routing="sharded") as service:
+            bad = service.submit(ServiceRequest.static(
+                Query.rectangle(1.0, 1.0, backend="bogus")))
+            response = bad.result(timeout=10.0)
+            assert not response.ok and isinstance(response.error, ValueError)
+            good = service.submit(ServiceRequest.static(Query.disk(1.0)))
+            assert good.result(timeout=10.0).ok
+
+    def test_post_close_submit_and_serve_raise(self):
+        # Regression: submit() after close() silently respawned the
+        # dispatcher over an engine whose resources were already released.
+        service = MaxRSService(POINTS).start()
+        service.close()
+        assert service.closed
+        with pytest.raises(RuntimeError):
+            service.submit(ServiceRequest.static(Query.disk(1.0)))
+        with pytest.raises(RuntimeError):
+            service.serve([ServiceRequest.static(Query.disk(1.0))])
+        with pytest.raises(RuntimeError):
+            service.start()
+        assert service._dispatcher is None  # no silent respawn
+        service.close()  # idempotent
